@@ -1,0 +1,4 @@
+//! Ablation study. See `dedup_bench::experiments::ablations::chunk_sweep`.
+fn main() {
+    dedup_bench::experiments::ablations::chunk_sweep::run();
+}

@@ -1,0 +1,20 @@
+//! One module per paper table/figure. Each exposes `run()`, which prints a
+//! markdown section with the reproduced rows next to the paper's numbers.
+//!
+//! Dataset sizes are scaled down from the paper's testbed (multi-GB/TB on
+//! 16 SSDs) to laptop scale; dedup *ratios* are scale-invariant under the
+//! generators' duplicate-fraction control and timing results depend on
+//! offered load versus device rates, not dataset size. Each module's header
+//! documents its scaling.
+
+pub mod ablations;
+pub mod fig03;
+pub mod fig05;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod table1;
+pub mod table2;
+pub mod table3;

@@ -1,0 +1,21 @@
+//! Experiment harness for the paper reproduction.
+//!
+//! This crate holds the shared machinery behind the per-figure/-table
+//! binaries in `src/bin/`:
+//!
+//! * [`systems`] — the systems under test (*Original* raw cluster vs the
+//!   *Proposed* dedup layer in its configurations) behind one trait.
+//! * [`drivers`] — closed-loop and open-loop load drivers over the virtual
+//!   timing plane, with optional background deduplication contention.
+//! * [`report`] — markdown table/series printing shared by every binary.
+//!
+//! Run `cargo run --release -p dedup-bench --bin all_experiments` to
+//! regenerate every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod drivers;
+pub mod experiments;
+pub mod report;
+pub mod systems;

@@ -1,0 +1,99 @@
+//! Markdown reporting shared by every experiment binary.
+
+use std::fmt::Write as _;
+
+/// Prints an experiment header with the paper reference.
+pub fn header(id: &str, title: &str, notes: &str) {
+    println!("\n## {id} — {title}\n");
+    if !notes.is_empty() {
+        println!("{notes}\n");
+    }
+}
+
+/// Renders a markdown table.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "| {} |", headers.join(" | "));
+    let _ = writeln!(
+        out,
+        "|{}|",
+        headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+    );
+    for row in rows {
+        let _ = writeln!(out, "| {} |", row.join(" | "));
+    }
+    out
+}
+
+/// Prints a markdown table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    print!("{}", table(headers, rows));
+}
+
+/// Renders a per-second series as a compact `t=..s v` listing, sampling
+/// every `step` bins.
+pub fn series(name: &str, values: &[f64], step: usize) -> String {
+    let mut out = format!("{name}: ");
+    for (i, v) in values.iter().enumerate().step_by(step.max(1)) {
+        let _ = write!(out, "{i}s={v:.0} ");
+    }
+    out
+}
+
+/// Formats bytes human-readably (GiB/MiB/KiB).
+pub fn fmt_bytes(bytes: u64) -> String {
+    const GIB: f64 = (1u64 << 30) as f64;
+    const MIB: f64 = (1u64 << 20) as f64;
+    const KIB: f64 = 1024.0;
+    let b = bytes as f64;
+    if b >= GIB {
+        format!("{:.2} GiB", b / GIB)
+    } else if b >= MIB {
+        format!("{:.2} MiB", b / MIB)
+    } else if b >= KIB {
+        format!("{:.1} KiB", b / KIB)
+    } else {
+        format!("{bytes} B")
+    }
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{x:.2}%")
+}
+
+/// Formats milliseconds with two decimals.
+pub fn ms(x: f64) -> String {
+    format!("{x:.2} ms")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape() {
+        let t = table(&["a", "b"], &[vec!["1".into(), "2".into()]]);
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].contains("| a | b |"));
+        assert!(lines[1].contains("---"));
+        assert!(lines[2].contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn bytes_formatting() {
+        assert_eq!(fmt_bytes(10), "10 B");
+        assert_eq!(fmt_bytes(2048), "2.0 KiB");
+        assert_eq!(fmt_bytes(3 << 20), "3.00 MiB");
+        assert_eq!(fmt_bytes(5 << 30), "5.00 GiB");
+    }
+
+    #[test]
+    fn series_sampling() {
+        let s = series("x", &[1.0, 2.0, 3.0, 4.0], 2);
+        assert!(s.contains("0s=1"));
+        assert!(s.contains("2s=3"));
+        assert!(!s.contains("1s=2"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Local-deduplication baseline and dataset ratio analysis (paper §2.2,
+//! Fig. 3 / Table 1).
+//!
+//! *Local* deduplication runs independently per device: a duplicate is only
+//! removed when both copies land on the same OSD. *Global* deduplication
+//! (this repo's engine) removes duplicates cluster-wide. These analyzers
+//! compute both ratios for a dataset so the experiments can compare them
+//! without standing up two clusters.
+
+use std::collections::HashSet;
+
+use dedup_chunk::{Chunker, FixedChunker};
+use dedup_fingerprint::Fingerprint;
+use dedup_placement::hash::xxh64;
+
+/// Outcome of a dedup-ratio analysis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RatioAnalysis {
+    /// Total logical bytes in the dataset.
+    pub total_bytes: u64,
+    /// Bytes remaining after deduplication.
+    pub unique_bytes: u64,
+    /// Number of chunks examined.
+    pub chunks: u64,
+}
+
+impl RatioAnalysis {
+    /// Deduplication ratio in percent: `1 - unique / total`.
+    pub fn ratio_percent(&self) -> f64 {
+        if self.total_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.unique_bytes as f64 / self.total_bytes as f64) * 100.0
+    }
+}
+
+/// Computes the **global** dedup ratio of a dataset: unique chunk contents
+/// across every object.
+pub fn global_ratio<'a>(
+    objects: impl IntoIterator<Item = (&'a str, &'a [u8])>,
+    chunk_size: u32,
+) -> RatioAnalysis {
+    let chunker = FixedChunker::new(chunk_size);
+    let mut seen: HashSet<Fingerprint> = HashSet::new();
+    let mut out = RatioAnalysis::default();
+    for (_, data) in objects {
+        for span in chunker.chunks(data) {
+            let chunk = &data[span.offset as usize..span.end() as usize];
+            out.total_bytes += chunk.len() as u64;
+            out.chunks += 1;
+            if seen.insert(Fingerprint::of(chunk)) {
+                out.unique_bytes += chunk.len() as u64;
+            }
+        }
+    }
+    out
+}
+
+/// Computes the **local** dedup ratio of a dataset spread over `osd_count`
+/// devices: objects are placed by name hash (as the cluster would), and
+/// duplicates are only removed within one device.
+///
+/// # Panics
+///
+/// Panics if `osd_count` is zero.
+pub fn local_ratio<'a>(
+    objects: impl IntoIterator<Item = (&'a str, &'a [u8])>,
+    chunk_size: u32,
+    osd_count: usize,
+) -> RatioAnalysis {
+    assert!(osd_count > 0, "need at least one OSD");
+    let chunker = FixedChunker::new(chunk_size);
+    let mut seen: Vec<HashSet<Fingerprint>> = vec![HashSet::new(); osd_count];
+    let mut out = RatioAnalysis::default();
+    for (name, data) in objects {
+        let osd = (xxh64(name.as_bytes(), 0xd15ea5e) % osd_count as u64) as usize;
+        for span in chunker.chunks(data) {
+            let chunk = &data[span.offset as usize..span.end() as usize];
+            out.total_bytes += chunk.len() as u64;
+            out.chunks += 1;
+            if seen[osd].insert(Fingerprint::of(chunk)) {
+                out.unique_bytes += chunk.len() as u64;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dataset(pairs: &[(&'static str, Vec<u8>)]) -> Vec<(&'static str, Vec<u8>)> {
+        pairs.to_vec()
+    }
+
+    #[test]
+    fn identical_objects_dedup_globally() {
+        let data = vec![7u8; 8192];
+        let objs = dataset(&[("a", data.clone()), ("b", data.clone())]);
+        let r = global_ratio(objs.iter().map(|(n, d)| (*n, d.as_slice())), 4096);
+        assert_eq!(r.total_bytes, 16384);
+        assert_eq!(r.unique_bytes, 4096, "all four chunks identical");
+        assert!((r.ratio_percent() - 75.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_ratio_never_exceeds_global() {
+        // Pairwise duplicates across many objects.
+        let mut objs: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..200 {
+            let content = vec![(i % 100) as u8; 4096]; // pairs share content
+            objs.push((format!("obj-{i}"), content));
+        }
+        let pairs: Vec<(&str, &[u8])> = objs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        let g = global_ratio(pairs.iter().copied(), 4096);
+        assert!((g.ratio_percent() - 50.0).abs() < 1e-9);
+        for osds in [1usize, 4, 16] {
+            let l = local_ratio(pairs.iter().copied(), 4096, osds);
+            assert!(
+                l.ratio_percent() <= g.ratio_percent() + 1e-9,
+                "local {} > global {} at {osds} OSDs",
+                l.ratio_percent(),
+                g.ratio_percent()
+            );
+            if osds == 1 {
+                assert!((l.ratio_percent() - g.ratio_percent()).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn local_ratio_decays_with_osd_count() {
+        // The paper's Table 1 effect: more OSDs → lower local ratio.
+        let mut objs: Vec<(String, Vec<u8>)> = Vec::new();
+        for i in 0..400 {
+            objs.push((format!("o{i}"), vec![(i % 200) as u8; 4096]));
+        }
+        let pairs: Vec<(&str, &[u8])> = objs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        let r4 = local_ratio(pairs.iter().copied(), 4096, 4).ratio_percent();
+        let r16 = local_ratio(pairs.iter().copied(), 4096, 16).ratio_percent();
+        assert!(r4 > r16, "ratio should decay: {r4} vs {r16}");
+    }
+
+    #[test]
+    fn unique_data_has_zero_ratio() {
+        let objs: Vec<(String, Vec<u8>)> = (0..50u64)
+            .map(|i| {
+                let mut state = i.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+                let data = (0..4096)
+                    .map(|_| {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                        (state >> 33) as u8
+                    })
+                    .collect();
+                (format!("u{i}"), data)
+            })
+            .collect();
+        let pairs: Vec<(&str, &[u8])> = objs
+            .iter()
+            .map(|(n, d)| (n.as_str(), d.as_slice()))
+            .collect();
+        let g = global_ratio(pairs.iter().copied(), 4096);
+        assert_eq!(g.ratio_percent(), 0.0);
+    }
+
+    #[test]
+    fn empty_dataset() {
+        let r = global_ratio(std::iter::empty(), 4096);
+        assert_eq!(r.ratio_percent(), 0.0);
+        assert_eq!(r.chunks, 0);
+    }
+}

@@ -1,0 +1,274 @@
+//! The chunk map: per-metadata-object mapping from offset ranges to chunk
+//! objects (paper §4.1, Fig. 8).
+//!
+//! Entries live in the metadata object's **omap**, making the object fully
+//! self-contained: replication, recovery, and rebalancing of the object
+//! carry the chunk map with it. Each entry occupies exactly
+//! [`CHUNK_MAP_ENTRY_BYTES`] (the paper reports 150 bytes per entry in its
+//! Ceph implementation), so the space-accounting experiments (Table 2)
+//! measure the same metadata overhead.
+
+use std::fmt;
+
+use dedup_fingerprint::Fingerprint;
+
+/// On-storage size of one chunk-map entry (key + value), matching §5.
+pub const CHUNK_MAP_ENTRY_BYTES: usize = 150;
+
+const KEY_PREFIX: &str = "chunk.";
+const FLAG_CACHED: u8 = 0b01;
+const FLAG_DIRTY: u8 = 0b10;
+
+/// One chunk-map entry: `[offset, offset + len)` of the object maps to a
+/// chunk object (once deduplicated), with cached/dirty state bits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChunkMapEntry {
+    /// Byte offset of the chunk within the object.
+    pub offset: u64,
+    /// Chunk length in bytes.
+    pub len: u32,
+    /// Content-defined chunk object ID, if this chunk has ever been
+    /// flushed. `None` means the chunk exists only as cached data.
+    pub chunk_id: Option<Fingerprint>,
+    /// Whether the chunk's data is cached in the metadata object's data
+    /// part.
+    pub cached: bool,
+    /// Whether the cached data is newer than the chunk pool's copy
+    /// (deduplication needed).
+    pub dirty: bool,
+}
+
+impl ChunkMapEntry {
+    /// A freshly written chunk: cached, dirty, not yet deduplicated.
+    pub fn new_dirty(offset: u64, len: u32) -> Self {
+        ChunkMapEntry {
+            offset,
+            len,
+            chunk_id: None,
+            cached: true,
+            dirty: true,
+        }
+    }
+
+    /// End offset (exclusive).
+    pub fn end(&self) -> u64 {
+        self.offset + self.len as u64
+    }
+
+    /// The omap key for a chunk at `offset`.
+    pub fn key_for(offset: u64) -> String {
+        format!("{KEY_PREFIX}{offset:016x}")
+    }
+
+    /// This entry's omap key.
+    pub fn key(&self) -> String {
+        Self::key_for(self.offset)
+    }
+
+    /// Whether an omap key names a chunk-map entry.
+    pub fn is_chunk_key(key: &str) -> bool {
+        key.starts_with(KEY_PREFIX)
+    }
+
+    /// Encodes the value half of the omap entry; padded so that
+    /// `key + value` totals [`CHUNK_MAP_ENTRY_BYTES`].
+    pub fn encode_value(&self) -> Vec<u8> {
+        let key_len = self.key().len();
+        let mut v = Vec::with_capacity(CHUNK_MAP_ENTRY_BYTES - key_len);
+        v.extend_from_slice(&self.len.to_le_bytes());
+        let mut flags = 0u8;
+        if self.cached {
+            flags |= FLAG_CACHED;
+        }
+        if self.dirty {
+            flags |= FLAG_DIRTY;
+        }
+        v.push(flags);
+        match self.chunk_id {
+            Some(fp) => {
+                v.push(1);
+                for lane in fp.0 {
+                    v.extend_from_slice(&lane.to_le_bytes());
+                }
+            }
+            None => {
+                v.push(0);
+                v.extend_from_slice(&[0u8; 32]);
+            }
+        }
+        v.resize(CHUNK_MAP_ENTRY_BYTES - key_len, 0);
+        v
+    }
+
+    /// Decodes an entry from its omap key and value.
+    ///
+    /// Returns `None` for keys that are not chunk-map entries or malformed
+    /// values.
+    pub fn decode(key: &str, value: &[u8]) -> Option<Self> {
+        let hex = key.strip_prefix(KEY_PREFIX)?;
+        let offset = u64::from_str_radix(hex, 16).ok()?;
+        if value.len() < 38 {
+            return None;
+        }
+        let len = u32::from_le_bytes(value[0..4].try_into().ok()?);
+        let flags = value[4];
+        let has_fp = value[5] == 1;
+        let chunk_id = if has_fp {
+            let mut lanes = [0u64; 4];
+            for (i, lane) in lanes.iter_mut().enumerate() {
+                *lane = u64::from_le_bytes(value[6 + i * 8..14 + i * 8].try_into().ok()?);
+            }
+            Some(Fingerprint(lanes))
+        } else {
+            None
+        };
+        Some(ChunkMapEntry {
+            offset,
+            len,
+            chunk_id,
+            cached: flags & FLAG_CACHED != 0,
+            dirty: flags & FLAG_DIRTY != 0,
+        })
+    }
+
+    /// Decodes every chunk-map entry of an omap, ordered by offset.
+    pub fn all_from_omap<'a>(
+        omap: impl IntoIterator<Item = (&'a String, &'a Vec<u8>)>,
+    ) -> Vec<ChunkMapEntry> {
+        let mut entries: Vec<ChunkMapEntry> = omap
+            .into_iter()
+            .filter_map(|(k, v)| ChunkMapEntry::decode(k, v))
+            .collect();
+        entries.sort_by_key(|e| e.offset);
+        entries
+    }
+}
+
+impl fmt::Display for ChunkMapEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{}..{}) {} cached={} dirty={}",
+            self.offset,
+            self.end(),
+            self.chunk_id
+                .map(|fp| fp.short())
+                .unwrap_or_else(|| "-".into()),
+            self.cached,
+            self.dirty
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let cases = [
+            ChunkMapEntry::new_dirty(0, 32 * 1024),
+            ChunkMapEntry {
+                offset: 7 * 32 * 1024,
+                len: 16 * 1024,
+                chunk_id: Some(Fingerprint::of(b"content")),
+                cached: false,
+                dirty: false,
+            },
+            ChunkMapEntry {
+                offset: u64::MAX / 2,
+                len: 1,
+                chunk_id: Some(Fingerprint::of(b"x")),
+                cached: true,
+                dirty: false,
+            },
+        ];
+        for e in cases {
+            let got = ChunkMapEntry::decode(&e.key(), &e.encode_value()).expect("decode");
+            assert_eq!(got, e);
+        }
+    }
+
+    #[test]
+    fn entry_occupies_exactly_150_bytes() {
+        let e = ChunkMapEntry::new_dirty(32 * 1024, 32 * 1024);
+        assert_eq!(
+            e.key().len() + e.encode_value().len(),
+            CHUNK_MAP_ENTRY_BYTES
+        );
+    }
+
+    #[test]
+    fn non_chunk_keys_rejected() {
+        assert!(ChunkMapEntry::decode("refcount", &[0u8; 64]).is_none());
+        assert!(ChunkMapEntry::decode("chunk.zz", &[0u8; 64]).is_none());
+        assert!(!ChunkMapEntry::is_chunk_key("other"));
+        assert!(ChunkMapEntry::is_chunk_key("chunk.0000000000000000"));
+    }
+
+    #[test]
+    fn truncated_value_rejected() {
+        let e = ChunkMapEntry::new_dirty(0, 4096);
+        assert!(ChunkMapEntry::decode(&e.key(), &e.encode_value()[..20]).is_none());
+    }
+
+    #[test]
+    fn all_from_omap_sorts_and_filters() {
+        let mut omap = std::collections::BTreeMap::new();
+        let e1 = ChunkMapEntry::new_dirty(64 * 1024, 32 * 1024);
+        let e0 = ChunkMapEntry::new_dirty(0, 32 * 1024);
+        omap.insert(e1.key(), e1.encode_value());
+        omap.insert(e0.key(), e0.encode_value());
+        omap.insert("unrelated".to_string(), vec![1, 2, 3]);
+        let entries = ChunkMapEntry::all_from_omap(omap.iter());
+        assert_eq!(entries, vec![e0, e1]);
+    }
+
+    #[test]
+    fn keys_sort_by_offset() {
+        // Hex keys must sort in offset order for omap range scans.
+        let a = ChunkMapEntry::key_for(0x10);
+        let b = ChunkMapEntry::key_for(0x100);
+        assert!(a < b);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_entry_round_trips(
+            offset in 0u64..1 << 48,
+            len in 1u32..1 << 26,
+            lanes in proptest::array::uniform4(any::<u64>()),
+            has_fp in any::<bool>(),
+            cached in any::<bool>(),
+            dirty in any::<bool>(),
+        ) {
+            let entry = ChunkMapEntry {
+                offset,
+                len,
+                chunk_id: has_fp.then_some(Fingerprint(lanes)),
+                cached,
+                dirty,
+            };
+            let decoded = ChunkMapEntry::decode(&entry.key(), &entry.encode_value());
+            prop_assert_eq!(decoded, Some(entry));
+            prop_assert_eq!(
+                entry.key().len() + entry.encode_value().len(),
+                CHUNK_MAP_ENTRY_BYTES
+            );
+        }
+
+        #[test]
+        fn arbitrary_bytes_never_panic_decode(
+            key in "[a-z.0-9]{0,40}",
+            value in proptest::collection::vec(any::<u8>(), 0..200),
+        ) {
+            let _ = ChunkMapEntry::decode(&key, &value); // must not panic
+        }
+    }
+}

@@ -1,0 +1,187 @@
+//! Deduplication configuration.
+
+use dedup_fingerprint::FingerprintCostModel;
+use serde::{Deserialize, Serialize};
+
+/// When deduplication work happens relative to the foreground write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DedupMode {
+    /// Writes land in the metadata pool as cached+dirty chunks; a
+    /// background engine flushes them later (the paper's design).
+    PostProcess,
+    /// Every write is chunked, fingerprinted, and sent to the chunk pool
+    /// synchronously — the baseline whose partial-write penalty Fig. 5a
+    /// shows.
+    Inline,
+}
+
+/// What happens to a chunk's cached copy after it is flushed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CachePolicy {
+    /// Evict unless the hitset says the object is hot (the paper's cache
+    /// manager).
+    HotnessAware,
+    /// Always keep the cached copy (the *Proposed-cache* configuration of
+    /// Fig. 10).
+    KeepAll,
+    /// Always evict (the *Proposed-flush* configuration of Fig. 10).
+    EvictAll,
+}
+
+/// Deduplication rate-control thresholds (paper §4.4.2).
+///
+/// Observed foreground IOPS select how many foreground I/Os must pass
+/// between two background deduplication I/Os.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Watermarks {
+    /// Below this IOPS, dedup I/O is unlimited.
+    pub low_iops: f64,
+    /// Above this IOPS, one dedup I/O per `high_ratio` foreground I/Os.
+    pub high_iops: f64,
+    /// Foreground I/Os per dedup I/O between the watermarks (paper: 100).
+    pub mid_ratio: u64,
+    /// Foreground I/Os per dedup I/O above high watermark (paper: 500).
+    pub high_ratio: u64,
+}
+
+impl Default for Watermarks {
+    fn default() -> Self {
+        Watermarks {
+            low_iops: 1_000.0,
+            high_iops: 10_000.0,
+            mid_ratio: 100,
+            high_ratio: 500,
+        }
+    }
+}
+
+/// Hotness-tracking parameters (the HitSet of paper §5).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HitSetConfig {
+    /// Width of one hitset interval in virtual seconds.
+    pub interval_secs: u64,
+    /// Number of trailing intervals retained.
+    pub intervals: usize,
+    /// Accesses within the retained window at which an object counts as
+    /// hot.
+    pub hit_count: u32,
+    /// Bits per bloom filter.
+    pub bloom_bits: usize,
+}
+
+impl Default for HitSetConfig {
+    fn default() -> Self {
+        HitSetConfig {
+            interval_secs: 1,
+            intervals: 8,
+            hit_count: 2,
+            bloom_bits: 1 << 16,
+        }
+    }
+}
+
+/// Full configuration of the deduplication layer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DedupConfig {
+    /// Fixed chunk size in bytes (paper default: 32 KiB).
+    pub chunk_size: u32,
+    /// Processing mode.
+    pub mode: DedupMode,
+    /// Cache policy after flush.
+    pub cache_policy: CachePolicy,
+    /// Rate-control watermarks.
+    pub watermarks: Watermarks,
+    /// Hotness tracking.
+    pub hitset: HitSetConfig,
+    /// CPU cost of fingerprinting.
+    pub fingerprint_cost: FingerprintCostModel,
+    /// False-positive reference counting (paper §4.6's noted optimisation):
+    /// releasing a reference performs no synchronous I/O; counts
+    /// over-approximate until [`crate::DedupStore::gc_chunk_pool`] validates
+    /// back references and reclaims unreferenced chunks.
+    pub lazy_dereference: bool,
+}
+
+impl Default for DedupConfig {
+    fn default() -> Self {
+        DedupConfig {
+            chunk_size: 32 * 1024,
+            mode: DedupMode::PostProcess,
+            cache_policy: CachePolicy::HotnessAware,
+            watermarks: Watermarks::default(),
+            hitset: HitSetConfig::default(),
+            fingerprint_cost: FingerprintCostModel::default(),
+            lazy_dereference: false,
+        }
+    }
+}
+
+impl DedupConfig {
+    /// Post-processing config with the given chunk size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_size` is zero.
+    pub fn with_chunk_size(chunk_size: u32) -> Self {
+        assert!(chunk_size > 0, "chunk size must be positive");
+        DedupConfig {
+            chunk_size,
+            ..Default::default()
+        }
+    }
+
+    /// Switches to inline processing.
+    pub fn inline(mut self) -> Self {
+        self.mode = DedupMode::Inline;
+        self
+    }
+
+    /// Overrides the cache policy.
+    pub fn cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Overrides the watermarks.
+    pub fn watermarks(mut self, watermarks: Watermarks) -> Self {
+        self.watermarks = watermarks;
+        self
+    }
+
+    /// Enables false-positive reference counting (deferred de-reference +
+    /// garbage collection).
+    pub fn lazy_dereference(mut self) -> Self {
+        self.lazy_dereference = true;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DedupConfig::default();
+        assert_eq!(c.chunk_size, 32 * 1024);
+        assert_eq!(c.mode, DedupMode::PostProcess);
+        assert_eq!(c.watermarks.mid_ratio, 100);
+        assert_eq!(c.watermarks.high_ratio, 500);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let c = DedupConfig::with_chunk_size(16 * 1024)
+            .inline()
+            .cache_policy(CachePolicy::KeepAll);
+        assert_eq!(c.chunk_size, 16 * 1024);
+        assert_eq!(c.mode, DedupMode::Inline);
+        assert_eq!(c.cache_policy, CachePolicy::KeepAll);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk size must be positive")]
+    fn zero_chunk_rejected() {
+        DedupConfig::with_chunk_size(0);
+    }
+}

@@ -1,0 +1,55 @@
+//! Deduplication-layer error type.
+
+use std::error::Error;
+use std::fmt;
+
+use dedup_store::{ObjectName, StoreError};
+
+/// Errors returned by the deduplication layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DedupError {
+    /// The underlying store failed.
+    Store(StoreError),
+    /// A chunk object referenced by a chunk map is missing from the chunk
+    /// pool (would indicate metadata corruption).
+    MissingChunk {
+        /// The metadata object whose map points at the missing chunk.
+        object: ObjectName,
+        /// The missing chunk object's name.
+        chunk: String,
+    },
+    /// A chunk object's reference metadata is malformed.
+    CorruptRefcount {
+        /// The chunk object with bad metadata.
+        chunk: String,
+    },
+}
+
+impl fmt::Display for DedupError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DedupError::Store(e) => write!(f, "store: {e}"),
+            DedupError::MissingChunk { object, chunk } => {
+                write!(f, "chunk {chunk} referenced by {object} is missing")
+            }
+            DedupError::CorruptRefcount { chunk } => {
+                write!(f, "corrupt refcount on chunk {chunk}")
+            }
+        }
+    }
+}
+
+impl Error for DedupError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DedupError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for DedupError {
+    fn from(e: StoreError) -> Self {
+        DedupError::Store(e)
+    }
+}

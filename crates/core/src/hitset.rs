@@ -1,0 +1,270 @@
+//! Hotness tracking: per-interval bloom filters (Ceph's HitSet, paper §5).
+//!
+//! The cache manager asks "has this object been accessed in at least
+//! `hit_count` recent intervals?" — if so it is *hot* and is kept cached in
+//! the metadata pool instead of being deduplicated away.
+
+use dedup_placement::hash::xxh64;
+use dedup_sim::SimTime;
+
+use crate::config::HitSetConfig;
+
+/// A fixed-size bloom filter keyed by object names.
+#[derive(Debug, Clone)]
+pub struct BloomFilter {
+    bits: Vec<u64>,
+    mask: usize,
+    hashes: u32,
+    insertions: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with `bits` bits (rounded up to a power of two) and
+    /// `hashes` hash functions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `hashes` is zero.
+    pub fn new(bits: usize, hashes: u32) -> Self {
+        assert!(bits > 0 && hashes > 0, "bloom parameters must be positive");
+        let bits = bits.next_power_of_two();
+        BloomFilter {
+            bits: vec![0u64; bits / 64 + 1],
+            mask: bits - 1,
+            hashes,
+            insertions: 0,
+        }
+    }
+
+    fn positions(&self, key: &[u8]) -> impl Iterator<Item = usize> + '_ {
+        // Double hashing: h1 + i*h2 over the bit space.
+        let h1 = xxh64(key, 0x9E3779B97F4A7C15);
+        let h2 = xxh64(key, 0xC2B2AE3D27D4EB4F) | 1;
+        let mask = self.mask as u64;
+        (0..self.hashes).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) & mask) as usize)
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: &[u8]) {
+        let positions: Vec<usize> = self.positions(key).collect();
+        for p in positions {
+            self.bits[p / 64] |= 1 << (p % 64);
+        }
+        self.insertions += 1;
+    }
+
+    /// Whether the key *may* have been inserted (false positives possible,
+    /// false negatives impossible).
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.positions(key).all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+    }
+
+    /// Number of insert calls.
+    pub fn insertions(&self) -> u64 {
+        self.insertions
+    }
+
+    /// Clears the filter.
+    pub fn clear(&mut self) {
+        self.bits.fill(0);
+        self.insertions = 0;
+    }
+}
+
+/// Rolling window of per-interval bloom filters.
+#[derive(Debug, Clone)]
+pub struct HitSet {
+    config: HitSetConfig,
+    /// Ring buffer of (interval index, filter).
+    ring: Vec<(u64, BloomFilter)>,
+    head_interval: u64,
+}
+
+impl HitSet {
+    /// Creates a hitset from configuration.
+    pub fn new(config: HitSetConfig) -> Self {
+        let ring = (0..config.intervals)
+            .map(|i| (i as u64, BloomFilter::new(config.bloom_bits, 4)))
+            .collect();
+        HitSet {
+            config,
+            ring,
+            head_interval: 0,
+        }
+    }
+
+    fn interval_of(&self, now: SimTime) -> u64 {
+        now.as_nanos() / (self.config.interval_secs * 1_000_000_000)
+    }
+
+    fn roll_to(&mut self, interval: u64) {
+        while self.head_interval < interval {
+            self.head_interval += 1;
+            let slot = (self.head_interval as usize) % self.ring.len();
+            self.ring[slot].0 = self.head_interval;
+            self.ring[slot].1.clear();
+        }
+    }
+
+    /// Records an access to `key` at `now`.
+    pub fn access(&mut self, key: &[u8], now: SimTime) {
+        let interval = self.interval_of(now);
+        self.roll_to(interval);
+        let slot = (interval as usize) % self.ring.len();
+        self.ring[slot].1.insert(key);
+    }
+
+    /// Number of retained intervals in which `key` was (probably) accessed.
+    pub fn hit_count(&mut self, key: &[u8], now: SimTime) -> u32 {
+        let interval = self.interval_of(now);
+        self.roll_to(interval);
+        let oldest = interval.saturating_sub(self.ring.len() as u64 - 1);
+        self.ring
+            .iter()
+            .filter(|(i, f)| *i >= oldest && *i <= interval && f.contains(key))
+            .count() as u32
+    }
+
+    /// Whether `key` is hot at `now` per the configured threshold.
+    pub fn is_hot(&mut self, key: &[u8], now: SimTime) -> bool {
+        self.hit_count(key, now) >= self.config.hit_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> HitSetConfig {
+        HitSetConfig {
+            interval_secs: 1,
+            intervals: 4,
+            hit_count: 2,
+            bloom_bits: 1 << 12,
+        }
+    }
+
+    #[test]
+    fn bloom_no_false_negatives() {
+        let mut f = BloomFilter::new(1 << 12, 4);
+        for i in 0..100u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        for i in 0..100u32 {
+            assert!(f.contains(&i.to_le_bytes()), "lost {i}");
+        }
+    }
+
+    #[test]
+    fn bloom_few_false_positives_when_sized_right() {
+        let mut f = BloomFilter::new(1 << 14, 4);
+        for i in 0..500u32 {
+            f.insert(&i.to_le_bytes());
+        }
+        let fp = (10_000..20_000u32)
+            .filter(|i| f.contains(&i.to_le_bytes()))
+            .count();
+        assert!(fp < 100, "false positive rate too high: {fp}/10000");
+    }
+
+    #[test]
+    fn bloom_clear_resets() {
+        let mut f = BloomFilter::new(1 << 10, 3);
+        f.insert(b"x");
+        f.clear();
+        assert!(!f.contains(b"x"));
+        assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn single_access_is_not_hot() {
+        let mut h = HitSet::new(config());
+        h.access(b"obj", SimTime::from_secs(0));
+        assert!(!h.is_hot(b"obj", SimTime::from_secs(0)));
+        assert_eq!(h.hit_count(b"obj", SimTime::from_secs(0)), 1);
+    }
+
+    #[test]
+    fn repeated_access_across_intervals_is_hot() {
+        let mut h = HitSet::new(config());
+        h.access(b"obj", SimTime::from_secs(0));
+        h.access(b"obj", SimTime::from_secs(1));
+        assert!(h.is_hot(b"obj", SimTime::from_secs(1)));
+    }
+
+    #[test]
+    fn heat_decays_as_intervals_roll_out() {
+        let mut h = HitSet::new(config());
+        h.access(b"obj", SimTime::from_secs(0));
+        h.access(b"obj", SimTime::from_secs(1));
+        assert!(h.is_hot(b"obj", SimTime::from_secs(2)));
+        // 4 retained intervals: by t=10 both hits rolled out.
+        assert!(!h.is_hot(b"obj", SimTime::from_secs(10)));
+        assert_eq!(h.hit_count(b"obj", SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn accesses_within_one_interval_count_once() {
+        let mut h = HitSet::new(config());
+        for _ in 0..50 {
+            h.access(b"obj", SimTime::from_nanos(100));
+        }
+        assert_eq!(h.hit_count(b"obj", SimTime::from_nanos(200)), 1);
+    }
+
+    #[test]
+    fn distinct_objects_do_not_interfere() {
+        let mut h = HitSet::new(config());
+        h.access(b"a", SimTime::from_secs(0));
+        h.access(b"a", SimTime::from_secs(1));
+        assert!(h.is_hot(b"a", SimTime::from_secs(1)));
+        assert!(!h.is_hot(b"b", SimTime::from_secs(1)));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Bloom filters never produce false negatives for any key set.
+        #[test]
+        fn bloom_no_false_negatives_prop(
+            keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..64),
+        ) {
+            let mut f = BloomFilter::new(1 << 12, 4);
+            for k in &keys {
+                f.insert(k);
+            }
+            for k in &keys {
+                prop_assert!(f.contains(k));
+            }
+        }
+
+        /// HitSet counts never exceed the retained-interval budget and
+        /// decay to zero once the window rolls past.
+        #[test]
+        fn hit_counts_bounded_and_decaying(
+            accesses in proptest::collection::vec(0u64..12, 0..40),
+        ) {
+            let config = HitSetConfig {
+                interval_secs: 1,
+                intervals: 4,
+                hit_count: 2,
+                bloom_bits: 1 << 12,
+            };
+            let mut h = HitSet::new(config);
+            let mut last = 0u64;
+            for t in accesses {
+                let t = last.max(t); // time moves forward
+                h.access(b"k", SimTime::from_secs(t));
+                last = t;
+                let c = h.hit_count(b"k", SimTime::from_secs(t));
+                prop_assert!(c >= 1, "just accessed");
+                prop_assert!(c <= 4, "count exceeds retained intervals");
+            }
+            prop_assert_eq!(h.hit_count(b"k", SimTime::from_secs(last + 100)), 0);
+        }
+    }
+}

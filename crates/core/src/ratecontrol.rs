@@ -1,0 +1,174 @@
+//! Deduplication rate control (paper §4.4.2, evaluated in Fig. 14).
+//!
+//! The controller observes foreground IOPS over a sliding window and admits
+//! background deduplication I/O at a ratio chosen by two watermarks:
+//!
+//! * above the high watermark — 1 dedup I/O per `high_ratio` (500)
+//!   foreground I/Os;
+//! * between the watermarks — 1 per `mid_ratio` (100);
+//! * below the low watermark — unlimited.
+
+use dedup_sim::{SimDuration, SimTime, SlidingWindowCounter};
+
+use crate::config::Watermarks;
+
+/// Admission decision state for background deduplication I/O.
+#[derive(Debug, Clone)]
+pub struct RateController {
+    watermarks: Watermarks,
+    window: SlidingWindowCounter,
+    foreground_since_dedup: u64,
+    foreground_total: u64,
+    dedup_admitted: u64,
+    dedup_denied: u64,
+}
+
+impl RateController {
+    /// Creates a controller observing foreground I/O over a 1-second
+    /// window.
+    pub fn new(watermarks: Watermarks) -> Self {
+        RateController {
+            watermarks,
+            window: SlidingWindowCounter::new(SimDuration::from_secs(1)),
+            foreground_since_dedup: 0,
+            foreground_total: 0,
+            dedup_admitted: 0,
+            dedup_denied: 0,
+        }
+    }
+
+    /// Records one completed foreground I/O at `now`.
+    pub fn record_foreground(&mut self, now: SimTime) {
+        self.window.record(now);
+        self.foreground_since_dedup += 1;
+        self.foreground_total += 1;
+    }
+
+    /// The foreground I/Os currently required between dedup I/Os, or `None`
+    /// for unlimited (below the low watermark).
+    pub fn required_ratio(&mut self, now: SimTime) -> Option<u64> {
+        let iops = self.window.rate_per_sec(now);
+        if iops < self.watermarks.low_iops {
+            None
+        } else if iops < self.watermarks.high_iops {
+            Some(self.watermarks.mid_ratio)
+        } else {
+            Some(self.watermarks.high_ratio)
+        }
+    }
+
+    /// Asks to admit one background dedup I/O at `now`. Admission consumes
+    /// the accumulated foreground budget.
+    pub fn admit_dedup(&mut self, now: SimTime) -> bool {
+        let admitted = match self.required_ratio(now) {
+            None => true,
+            Some(ratio) => self.foreground_since_dedup >= ratio,
+        };
+        if admitted {
+            self.foreground_since_dedup = 0;
+            self.dedup_admitted += 1;
+        } else {
+            self.dedup_denied += 1;
+        }
+        admitted
+    }
+
+    /// Observed foreground IOPS at `now`.
+    pub fn foreground_iops(&mut self, now: SimTime) -> f64 {
+        self.window.rate_per_sec(now)
+    }
+
+    /// Total foreground I/Os recorded.
+    pub fn foreground_total(&self) -> u64 {
+        self.foreground_total
+    }
+
+    /// (admitted, denied) dedup admission counts.
+    pub fn admission_counts(&self) -> (u64, u64) {
+        (self.dedup_admitted, self.dedup_denied)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marks() -> Watermarks {
+        Watermarks {
+            low_iops: 100.0,
+            high_iops: 1_000.0,
+            mid_ratio: 10,
+            high_ratio: 50,
+        }
+    }
+
+    fn load(rc: &mut RateController, ops: u64, start: SimTime, spacing: SimDuration) -> SimTime {
+        let mut t = start;
+        for _ in 0..ops {
+            rc.record_foreground(t);
+            t += spacing;
+        }
+        t
+    }
+
+    #[test]
+    fn idle_system_is_unlimited() {
+        let mut rc = RateController::new(marks());
+        let now = SimTime::from_secs(5);
+        assert_eq!(rc.required_ratio(now), None);
+        assert!(rc.admit_dedup(now));
+        assert!(rc.admit_dedup(now));
+    }
+
+    #[test]
+    fn mid_load_uses_mid_ratio() {
+        let mut rc = RateController::new(marks());
+        // ~500 IOPS: between watermarks.
+        let now = load(&mut rc, 500, SimTime::ZERO, SimDuration::from_millis(2));
+        assert_eq!(rc.required_ratio(now), Some(10));
+    }
+
+    #[test]
+    fn high_load_uses_high_ratio() {
+        let mut rc = RateController::new(marks());
+        // ~5000 IOPS: above high watermark.
+        let now = load(&mut rc, 5_000, SimTime::ZERO, SimDuration::from_micros(200));
+        assert_eq!(rc.required_ratio(now), Some(50));
+    }
+
+    #[test]
+    fn admission_consumes_budget() {
+        let mut rc = RateController::new(marks());
+        let now = load(&mut rc, 500, SimTime::ZERO, SimDuration::from_millis(2));
+        // 500 foreground ops accumulated, ratio 10: first admit passes,
+        // then the budget is spent.
+        assert!(rc.admit_dedup(now));
+        assert!(!rc.admit_dedup(now));
+        // 10 more foreground ops refill exactly one admission.
+        let now = load(&mut rc, 10, now, SimDuration::from_millis(2));
+        assert!(rc.admit_dedup(now));
+        assert!(!rc.admit_dedup(now));
+    }
+
+    #[test]
+    fn load_decay_restores_unlimited() {
+        let mut rc = RateController::new(marks());
+        let now = load(&mut rc, 5_000, SimTime::ZERO, SimDuration::from_micros(200));
+        assert!(rc.required_ratio(now).is_some());
+        // Two idle seconds later the window is empty.
+        let later = now + SimDuration::from_secs(2);
+        assert_eq!(rc.required_ratio(later), None);
+    }
+
+    #[test]
+    fn counters_track_decisions() {
+        let mut rc = RateController::new(marks());
+        let now = load(&mut rc, 500, SimTime::ZERO, SimDuration::from_millis(2));
+        let _ = rc.admit_dedup(now);
+        let _ = rc.admit_dedup(now);
+        let (ok, denied) = rc.admission_counts();
+        assert_eq!(ok, 1);
+        assert_eq!(denied, 1);
+        assert_eq!(rc.foreground_total(), 500);
+    }
+}

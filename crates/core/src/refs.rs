@@ -1,0 +1,165 @@
+//! Chunk-object reference counting (paper §4.1: "chunk object contains
+//! chunk data and its reference count information").
+//!
+//! A chunk object's metadata carries:
+//!
+//! * xattr `dedup.refcount` — number of live references, and
+//! * one omap entry per referencing `(pool, object, offset)` back-pointer,
+//!   sized to the paper's reported 64 bytes each.
+//!
+//! Both ride inside the chunk object itself (self-contained), so the
+//! store's recovery machinery protects them automatically.
+
+use dedup_placement::PoolId;
+use dedup_store::ObjectName;
+
+/// On-storage size of one back-reference omap entry (key + value).
+pub const REF_ENTRY_BYTES: usize = 64;
+
+/// The xattr key holding the reference count.
+pub const REFCOUNT_XATTR: &str = "dedup.refcount";
+
+const KEY_PREFIX: &str = "ref.";
+
+/// A back reference from a chunk object to one metadata-object chunk slot.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BackRef {
+    /// Pool of the referencing metadata object.
+    pub pool: PoolId,
+    /// Name of the referencing metadata object.
+    pub object: ObjectName,
+    /// Chunk offset within the referencing object.
+    pub offset: u64,
+}
+
+impl BackRef {
+    /// Creates a back reference.
+    pub fn new(pool: PoolId, object: ObjectName, offset: u64) -> Self {
+        BackRef {
+            pool,
+            object,
+            offset,
+        }
+    }
+
+    /// The omap key for this back reference.
+    pub fn key(&self) -> String {
+        format!(
+            "{KEY_PREFIX}{:08x}.{:016x}.{}",
+            self.pool.0,
+            self.offset,
+            self.object.as_str()
+        )
+    }
+
+    /// Encodes the omap value, padding so key + value is at least
+    /// [`REF_ENTRY_BYTES`].
+    pub fn encode_value(&self) -> Vec<u8> {
+        let pad = REF_ENTRY_BYTES.saturating_sub(self.key().len()).max(1);
+        vec![0u8; pad]
+    }
+
+    /// Decodes a back reference from its omap key.
+    ///
+    /// Returns `None` for keys that are not back references.
+    pub fn decode_key(key: &str) -> Option<Self> {
+        let rest = key.strip_prefix(KEY_PREFIX)?;
+        let (pool_hex, rest) = rest.split_once('.')?;
+        let (offset_hex, object) = rest.split_once('.')?;
+        if object.is_empty() {
+            return None;
+        }
+        Some(BackRef {
+            pool: PoolId(u32::from_str_radix(pool_hex, 16).ok()?),
+            offset: u64::from_str_radix(offset_hex, 16).ok()?,
+            object: ObjectName::new(object),
+        })
+    }
+
+    /// Whether an omap key names a back reference.
+    pub fn is_ref_key(key: &str) -> bool {
+        key.starts_with(KEY_PREFIX)
+    }
+}
+
+/// Encodes a reference count for the `dedup.refcount` xattr.
+pub fn encode_refcount(count: u64) -> Vec<u8> {
+    count.to_le_bytes().to_vec()
+}
+
+/// Decodes a reference count; `None` if malformed.
+pub fn decode_refcount(value: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(value.try_into().ok()?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn backref() -> BackRef {
+        BackRef::new(PoolId(3), ObjectName::new("vm-image-7"), 0x8000)
+    }
+
+    #[test]
+    fn key_round_trips() {
+        let r = backref();
+        assert_eq!(BackRef::decode_key(&r.key()), Some(r));
+    }
+
+    #[test]
+    fn object_names_with_dots_survive() {
+        let r = BackRef::new(PoolId(1), ObjectName::new("a.b.c"), 42);
+        assert_eq!(BackRef::decode_key(&r.key()), Some(r));
+    }
+
+    #[test]
+    fn entry_is_at_least_64_bytes() {
+        let r = backref();
+        assert!(r.key().len() + r.encode_value().len() >= REF_ENTRY_BYTES);
+    }
+
+    #[test]
+    fn foreign_keys_rejected() {
+        assert!(BackRef::decode_key("chunk.0").is_none());
+        assert!(BackRef::decode_key("ref.").is_none());
+        assert!(BackRef::decode_key("ref.zz.00.x").is_none());
+        assert!(!BackRef::is_ref_key("chunk.0"));
+        assert!(BackRef::is_ref_key(&backref().key()));
+    }
+
+    #[test]
+    fn refcount_round_trips() {
+        for c in [0u64, 1, 42, u64::MAX] {
+            assert_eq!(decode_refcount(&encode_refcount(c)), Some(c));
+        }
+        assert_eq!(decode_refcount(&[1, 2, 3]), None);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #[test]
+        fn any_backref_round_trips(
+            pool in any::<u32>(),
+            offset in any::<u64>(),
+            object in "[a-zA-Z0-9._-]{1,64}",
+        ) {
+            let r = BackRef::new(PoolId(pool), ObjectName::new(object), offset);
+            prop_assert_eq!(BackRef::decode_key(&r.key()), Some(r));
+        }
+
+        #[test]
+        fn arbitrary_keys_never_panic(key in "[ -~]{0,80}") {
+            let _ = BackRef::decode_key(&key); // must not panic
+        }
+
+        #[test]
+        fn refcounts_round_trip(count in any::<u64>()) {
+            prop_assert_eq!(decode_refcount(&encode_refcount(count)), Some(count));
+        }
+    }
+}

@@ -1,0 +1,308 @@
+//! A thread-safe service wrapper around [`DedupStore`] with a background
+//! deduplication worker — the embedding surface a real deployment uses.
+//!
+//! [`DedupStore`] itself is single-threaded (`&mut self` everywhere), which
+//! keeps the engine logic simple and deterministic. [`DedupService`] shares
+//! one store between any number of client threads behind a
+//! [`parking_lot::Mutex`], and runs the paper's background engine on a
+//! dedicated worker thread fed virtual-time ticks over a
+//! [`crossbeam::channel`]. Rate control and hotness still apply: the worker
+//! simply calls [`DedupStore::dedup_tick`].
+//!
+//! # Example
+//!
+//! ```
+//! use dedup_core::{DedupConfig, DedupService};
+//! use dedup_store::{ClientId, ClusterBuilder, ObjectName};
+//! use dedup_sim::SimTime;
+//!
+//! # fn main() -> Result<(), dedup_core::DedupError> {
+//! let cluster = ClusterBuilder::new().build();
+//! let store = dedup_core::DedupStore::with_default_pools(cluster, DedupConfig::default());
+//! let service = DedupService::start(store);
+//!
+//! service.write(ClientId(0), &ObjectName::new("x"), 0, &[7u8; 1024], SimTime::ZERO)?;
+//! service.tick(SimTime::from_secs(60)); // drive the background worker
+//! service.drain();                      // wait for it to go idle
+//! let store = service.shutdown();       // recover exclusive ownership
+//! assert_eq!(store.dirty_len(), 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use dedup_sim::SimTime;
+use dedup_store::{ClientId, ObjectName, Timed};
+use parking_lot::Mutex;
+
+use crate::engine::DedupStore;
+use crate::error::DedupError;
+
+enum Command {
+    /// Run background deduplication ticks at this virtual time until the
+    /// engine reports idle/throttled.
+    Tick(SimTime),
+    /// Acknowledge that all previously sent ticks were processed.
+    Sync(Sender<()>),
+    /// Stop the worker.
+    Shutdown,
+}
+
+/// Shared, thread-safe deduplication service. Cloning the handle is cheap;
+/// all clones talk to the same store and worker.
+pub struct DedupService {
+    /// `None` only transiently during [`DedupService::shutdown`].
+    store: Option<Arc<Mutex<DedupStore>>>,
+    commands: Sender<Command>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl DedupService {
+    /// Wraps `store` and spawns the background deduplication worker.
+    pub fn start(store: DedupStore) -> Self {
+        let store = Arc::new(Mutex::new(store));
+        let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let worker_store = Arc::clone(&store);
+        let worker = std::thread::Builder::new()
+            .name("dedup-worker".into())
+            .spawn(move || {
+                while let Ok(cmd) = rx.recv() {
+                    match cmd {
+                        Command::Tick(now) => {
+                            // Drain as much as rate control admits at this
+                            // instant; release the lock between flushes so
+                            // foreground threads interleave.
+                            loop {
+                                let flushed = {
+                                    let mut s = worker_store.lock();
+                                    s.dedup_tick(now)
+                                };
+                                match flushed {
+                                    Ok(Some(_)) => continue,
+                                    Ok(None) | Err(_) => break,
+                                }
+                            }
+                        }
+                        Command::Sync(ack) => {
+                            let _ = ack.send(());
+                        }
+                        Command::Shutdown => break,
+                    }
+                }
+            })
+            .expect("spawn dedup worker");
+        DedupService {
+            store: Some(store),
+            commands: tx,
+            worker: Some(worker),
+        }
+    }
+
+    fn store(&self) -> &Arc<Mutex<DedupStore>> {
+        self.store.as_ref().expect("store present until shutdown")
+    }
+
+    /// Writes through the shared store (foreground path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn write(
+        &self,
+        client: ClientId,
+        name: &ObjectName,
+        offset: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<Timed<()>, DedupError> {
+        self.store().lock().write(client, name, offset, data, now)
+    }
+
+    /// Reads through the shared store (foreground path).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn read(
+        &self,
+        client: ClientId,
+        name: &ObjectName,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> Result<Timed<Vec<u8>>, DedupError> {
+        self.store().lock().read(client, name, offset, len, now)
+    }
+
+    /// Asks the background worker to run deduplication at virtual time
+    /// `now` (non-blocking).
+    pub fn tick(&self, now: SimTime) {
+        let _ = self.commands.send(Command::Tick(now));
+    }
+
+    /// Blocks until the worker has processed every command sent so far.
+    pub fn drain(&self) {
+        let (ack_tx, ack_rx) = unbounded();
+        if self.commands.send(Command::Sync(ack_tx)).is_ok() {
+            let _ = ack_rx.recv();
+        }
+    }
+
+    /// Runs a closure with exclusive access to the store (reports,
+    /// snapshots, administration).
+    pub fn with_store<R>(&self, f: impl FnOnce(&mut DedupStore) -> R) -> R {
+        f(&mut self.store().lock())
+    }
+
+    /// Stops the worker and returns the store.
+    ///
+    /// # Panics
+    ///
+    /// Panics if another handle still holds the store (shut down last).
+    pub fn shutdown(mut self) -> DedupStore {
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+        let arc = self.store.take().expect("store present until shutdown");
+        let store = Arc::try_unwrap(arc)
+            .unwrap_or_else(|_| panic!("other references to the store still alive"));
+        store.into_inner()
+    }
+}
+
+impl Drop for DedupService {
+    fn drop(&mut self) {
+        let _ = self.commands.send(Command::Shutdown);
+        if let Some(w) = self.worker.take() {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CachePolicy, DedupConfig};
+    use dedup_store::ClusterBuilder;
+
+    fn service() -> DedupService {
+        let cluster = ClusterBuilder::new().build();
+        DedupService::start(DedupStore::with_default_pools(
+            cluster,
+            DedupConfig::with_chunk_size(8 * 1024).cache_policy(CachePolicy::EvictAll),
+        ))
+    }
+
+    #[test]
+    fn concurrent_writers_then_background_flush() {
+        let svc = Arc::new(service());
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let svc = Arc::clone(&svc);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..8 {
+                    let data = vec![(t * 8 + i) as u8; 8 * 1024];
+                    let _ = svc.write(
+                        ClientId(t),
+                        &ObjectName::new(format!("obj-{t}-{i}")),
+                        0,
+                        &data,
+                        SimTime::from_secs(1),
+                    )
+                    .expect("write");
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("writer thread");
+        }
+        // Idle virtual time: rate control is unlimited, one tick drains all.
+        svc.tick(SimTime::from_secs(100));
+        svc.drain();
+        svc.with_store(|s| {
+            assert_eq!(s.dirty_len(), 0, "worker flushed everything");
+            assert_eq!(
+                s.space_report().expect("report").chunk_objects,
+                32,
+                "32 distinct contents"
+            );
+        });
+        // Reads from any thread see the data.
+        let r = svc
+            .read(
+                ClientId(0),
+                &ObjectName::new("obj-2-3"),
+                0,
+                8 * 1024,
+                SimTime::from_secs(200),
+            )
+            .expect("read");
+        assert_eq!(r.value, vec![(2 * 8 + 3) as u8; 8 * 1024]);
+        let store = Arc::try_unwrap(svc)
+            .unwrap_or_else(|_| panic!("handles leaked"))
+            .shutdown();
+        assert_eq!(store.stats().writes, 32);
+    }
+
+    #[test]
+    fn readers_and_flusher_interleave() {
+        let svc = Arc::new(service());
+        let data = vec![9u8; 32 * 1024];
+        for i in 0..16 {
+            let _ = svc.write(
+                ClientId(0),
+                &ObjectName::new(format!("o{i}")),
+                0,
+                &data,
+                SimTime::from_secs(1),
+            )
+            .expect("write");
+        }
+        // Background flushing races with reader threads.
+        svc.tick(SimTime::from_secs(50));
+        let mut handles = Vec::new();
+        for t in 0..4u64 {
+            let svc = Arc::clone(&svc);
+            let expect = data.clone();
+            handles.push(std::thread::spawn(move || {
+                for i in 0..16 {
+                    let r = svc
+                        .read(
+                            ClientId(t as u32),
+                            &ObjectName::new(format!("o{i}")),
+                            0,
+                            expect.len() as u64,
+                            SimTime::from_secs(60 + t),
+                        )
+                        .expect("read");
+                    assert_eq!(r.value, expect);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().expect("reader thread");
+        }
+        svc.drain();
+        let store = Arc::try_unwrap(svc)
+            .unwrap_or_else(|_| panic!("handles leaked"))
+            .shutdown();
+        assert_eq!(store.dirty_len(), 0);
+    }
+
+    #[test]
+    fn shutdown_is_clean_without_ticks() {
+        let svc = service();
+        let store = svc.shutdown();
+        assert_eq!(store.stats().writes, 0);
+    }
+
+    #[test]
+    fn service_types_are_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DedupService>();
+    }
+}

@@ -1,0 +1,184 @@
+//! Space accounting: deduplication ratios with and without metadata
+//! overhead (the paper's Table 2 distinction between *ideal* and *actual*
+//! ratios).
+
+use serde::{Deserialize, Serialize};
+
+use crate::engine::DedupStore;
+use crate::error::DedupError;
+
+/// A capacity snapshot of the dedup layer, normalised to a single copy
+/// (redundancy excluded, as the paper's §6.3 reports ratios "excluding the
+/// redundancy caused by replication").
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SpaceReport {
+    /// User-visible logical bytes across all metadata objects.
+    pub logical_bytes: u64,
+    /// Resident cached data in the metadata pool (per copy).
+    pub cached_bytes: u64,
+    /// Unique chunk payload in the chunk pool (per copy).
+    pub chunk_bytes: u64,
+    /// Dedup metadata: chunk maps, refcounts, back references (per copy).
+    pub metadata_bytes: u64,
+    /// Fixed per-object overhead across both pools (per copy).
+    pub object_overhead_bytes: u64,
+    /// Raw physical bytes including redundancy, both pools.
+    pub raw_bytes: u64,
+    /// Number of unique chunk objects.
+    pub chunk_objects: u64,
+    /// Number of metadata (user) objects.
+    pub metadata_objects: u64,
+}
+
+impl SpaceReport {
+    /// Stored data bytes per copy: cached + unique chunks.
+    pub fn stored_data_bytes(&self) -> u64 {
+        self.cached_bytes + self.chunk_bytes
+    }
+
+    /// Total stored bytes per copy including metadata and overhead.
+    pub fn stored_total_bytes(&self) -> u64 {
+        self.stored_data_bytes() + self.metadata_bytes + self.object_overhead_bytes
+    }
+
+    /// *Ideal* deduplication ratio (data only), in percent:
+    /// `1 - unique_data / logical`.
+    pub fn ideal_ratio_percent(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.stored_data_bytes() as f64 / self.logical_bytes as f64) * 100.0
+    }
+
+    /// *Actual* deduplication ratio including metadata overhead, in
+    /// percent: `1 - (unique_data + metadata) / logical`.
+    pub fn actual_ratio_percent(&self) -> f64 {
+        if self.logical_bytes == 0 {
+            return 0.0;
+        }
+        (1.0 - self.stored_total_bytes() as f64 / self.logical_bytes as f64) * 100.0
+    }
+}
+
+impl DedupStore {
+    /// Takes a capacity snapshot.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pools cannot be inspected.
+    pub fn space_report(&self) -> Result<SpaceReport, DedupError> {
+        let mu = self.cluster().usage(self.metadata_pool())?;
+        let cu = self.cluster().usage(self.chunk_pool())?;
+        let mf = self
+            .cluster()
+            .pool_config(self.metadata_pool())?
+            .redundancy
+            .overhead_factor();
+        let cf = self
+            .cluster()
+            .pool_config(self.chunk_pool())?
+            .redundancy
+            .overhead_factor();
+        Ok(SpaceReport {
+            logical_bytes: mu.logical_bytes,
+            cached_bytes: (mu.stored_bytes as f64 / mf) as u64,
+            chunk_bytes: (cu.stored_bytes as f64 / cf) as u64,
+            metadata_bytes: ((mu.metadata_bytes as f64 / mf) + (cu.metadata_bytes as f64 / cf))
+                as u64,
+            object_overhead_bytes: ((mu.overhead_bytes as f64 / mf)
+                + (cu.overhead_bytes as f64 / cf)) as u64,
+            raw_bytes: mu.total_bytes() + cu.total_bytes(),
+            chunk_objects: cu.objects,
+            metadata_objects: mu.objects,
+        })
+    }
+}
+
+impl DedupStore {
+    /// Distribution of chunk reference counts: `count → number of chunk
+    /// objects with that many referrers`. The shape of this histogram is
+    /// the capacity story of a dedup system — mass at 1 means unique data,
+    /// a long tail means a few chunks (OS images, zero blocks) carry most
+    /// of the saving.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn refcount_histogram(
+        &mut self,
+    ) -> Result<std::collections::BTreeMap<u64, u64>, DedupError> {
+        use crate::refs::{decode_refcount, REFCOUNT_XATTR};
+        use dedup_store::IoCtx;
+        let mut hist = std::collections::BTreeMap::new();
+        let chunk_pool = self.chunk_pool();
+        let cctx = IoCtx::new(chunk_pool);
+        for name in self.cluster().list_objects(chunk_pool)? {
+            let count = self
+                .cluster_mut()
+                .get_xattr(&cctx, &name, REFCOUNT_XATTR)?
+                .value
+                .and_then(|v| decode_refcount(&v))
+                .unwrap_or(0);
+            *hist.entry(count).or_insert(0) += 1;
+        }
+        Ok(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_from_components() {
+        let r = SpaceReport {
+            logical_bytes: 1000,
+            cached_bytes: 0,
+            chunk_bytes: 400,
+            metadata_bytes: 50,
+            object_overhead_bytes: 50,
+            raw_bytes: 1000,
+            chunk_objects: 10,
+            metadata_objects: 2,
+        };
+        assert!((r.ideal_ratio_percent() - 60.0).abs() < 1e-9);
+        assert!((r.actual_ratio_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(r.stored_total_bytes(), 500);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let r = SpaceReport::default();
+        assert_eq!(r.ideal_ratio_percent(), 0.0);
+        assert_eq!(r.actual_ratio_percent(), 0.0);
+    }
+
+    #[test]
+    fn refcount_histogram_shapes() {
+        use crate::config::{CachePolicy, DedupConfig};
+        use dedup_sim::SimTime;
+        use dedup_store::{ClientId, ClusterBuilder, ObjectName};
+
+        let cluster = ClusterBuilder::new().build();
+        let mut s = crate::engine::DedupStore::with_default_pools(
+            cluster,
+            DedupConfig::with_chunk_size(8 * 1024).cache_policy(CachePolicy::EvictAll),
+        );
+        // One block shared by 5 objects, one unique block.
+        let shared = vec![1u8; 8 * 1024];
+        for i in 0..5 {
+            let _ = s
+                .write(ClientId(0), &ObjectName::new(format!("s{i}")), 0, &shared, SimTime::ZERO)
+                .expect("write");
+        }
+        let unique: Vec<u8> = (0..8 * 1024).map(|i| (i % 251) as u8).collect();
+        let _ = s
+            .write(ClientId(0), &ObjectName::new("u"), 0, &unique, SimTime::ZERO)
+            .expect("write");
+        let _ = s.flush_all(SimTime::from_secs(10)).expect("flush");
+        let hist = s.refcount_histogram().expect("hist");
+        assert_eq!(hist.get(&5), Some(&1), "one chunk with 5 referrers");
+        assert_eq!(hist.get(&1), Some(&1), "one unique chunk");
+        assert_eq!(hist.values().sum::<u64>(), 2);
+    }
+}

@@ -1,0 +1,32 @@
+//! Reed–Solomon erasure coding over GF(2⁸).
+//!
+//! The store's erasure-coded pools (paper §6.4: EC `k=2, m=1`) stripe each
+//! object into `k` data shards and `m` parity shards; any `k` of the `k+m`
+//! shards reconstruct the object. The code is *systematic*: data shards are
+//! plain slices of the original object, so reads that find all data shards
+//! intact never touch parity.
+//!
+//! # Example
+//!
+//! ```
+//! use dedup_erasure::ReedSolomon;
+//!
+//! let rs = ReedSolomon::new(2, 1)?;
+//! let shards = rs.encode_object(b"hello erasure world")?;
+//! let mut partial: Vec<Option<Vec<u8>>> = shards.into_iter().map(Some).collect();
+//! partial[0] = None; // lose a data shard
+//! let recovered = rs.decode_object(partial, 19)?;
+//! assert_eq!(recovered, b"hello erasure world");
+//! # Ok::<(), dedup_erasure::ErasureError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod gf256;
+mod matrix;
+mod rs;
+
+pub use gf256::Gf256;
+pub use matrix::Matrix;
+pub use rs::{ErasureError, ReedSolomon};

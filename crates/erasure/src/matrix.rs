@@ -1,0 +1,258 @@
+//! Dense matrices over GF(2⁸) with Gauss–Jordan inversion.
+
+use std::fmt;
+
+use crate::gf256::Gf256;
+
+/// A row-major dense matrix over GF(2⁸).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<Gf256>,
+}
+
+impl Matrix {
+    /// Creates a zero matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn zero(rows: usize, cols: usize) -> Self {
+        assert!(rows > 0 && cols > 0, "matrix dimensions must be positive");
+        Matrix {
+            rows,
+            cols,
+            data: vec![Gf256::ZERO; rows * cols],
+        }
+    }
+
+    /// Creates the identity matrix of the given size.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zero(n, n);
+        for i in 0..n {
+            m.set(i, i, Gf256::ONE);
+        }
+        m
+    }
+
+    /// Creates a Vandermonde matrix: `m[r][c] = r^c` (rows indexed from 0).
+    ///
+    /// Any square submatrix formed from distinct rows is invertible, which
+    /// is the property Reed–Solomon relies on.
+    pub fn vandermonde(rows: usize, cols: usize) -> Self {
+        let mut m = Matrix::zero(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                m.set(r, c, Gf256(r as u8).pow(c));
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, r: usize, c: usize) -> Gf256 {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c]
+    }
+
+    /// Writes one element.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, r: usize, c: usize, v: Gf256) {
+        assert!(r < self.rows && c < self.cols, "index out of bounds");
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// One row as a slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn row(&self, r: usize) -> &[Gf256] {
+        assert!(r < self.rows, "row out of bounds");
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if inner dimensions disagree.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zero(self.rows, rhs.cols);
+        for r in 0..self.rows {
+            for c in 0..rhs.cols {
+                let mut acc = Gf256::ZERO;
+                for k in 0..self.cols {
+                    acc = acc.add(self.get(r, k).mul(rhs.get(k, c)));
+                }
+                out.set(r, c, acc);
+            }
+        }
+        out
+    }
+
+    /// Builds a new matrix from a subset of this one's rows (used to select
+    /// the surviving shards' rows during reconstruction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of bounds.
+    pub fn select_rows(&self, indices: &[usize]) -> Matrix {
+        let mut out = Matrix::zero(indices.len(), self.cols);
+        for (new_r, &r) in indices.iter().enumerate() {
+            for c in 0..self.cols {
+                out.set(new_r, c, self.get(r, c));
+            }
+        }
+        out
+    }
+
+    /// Inverts a square matrix by Gauss–Jordan elimination, or returns
+    /// `None` if singular.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the matrix is not square.
+    pub fn inverse(&self) -> Option<Matrix> {
+        assert_eq!(self.rows, self.cols, "only square matrices invert");
+        let n = self.rows;
+        let mut work = self.clone();
+        let mut inv = Matrix::identity(n);
+        for col in 0..n {
+            // Find a pivot.
+            let pivot = (col..n).find(|&r| work.get(r, col) != Gf256::ZERO)?;
+            if pivot != col {
+                work.swap_rows(pivot, col);
+                inv.swap_rows(pivot, col);
+            }
+            // Normalize the pivot row.
+            let scale = work.get(col, col).inv();
+            work.scale_row(col, scale);
+            inv.scale_row(col, scale);
+            // Eliminate the column elsewhere.
+            for r in 0..n {
+                if r != col {
+                    let factor = work.get(r, col);
+                    if factor != Gf256::ZERO {
+                        work.add_scaled_row(r, col, factor);
+                        inv.add_scaled_row(r, col, factor);
+                    }
+                }
+            }
+        }
+        Some(inv)
+    }
+
+    fn swap_rows(&mut self, a: usize, b: usize) {
+        for c in 0..self.cols {
+            let t = self.get(a, c);
+            self.set(a, c, self.get(b, c));
+            self.set(b, c, t);
+        }
+    }
+
+    fn scale_row(&mut self, r: usize, s: Gf256) {
+        for c in 0..self.cols {
+            let v = self.get(r, c);
+            self.set(r, c, v.mul(s));
+        }
+    }
+
+    /// `row[target] += factor * row[source]` (XOR accumulate in GF(2⁸)).
+    fn add_scaled_row(&mut self, target: usize, source: usize, factor: Gf256) {
+        for c in 0..self.cols {
+            let v = self.get(target, c).add(self.get(source, c).mul(factor));
+            self.set(target, c, v);
+        }
+    }
+}
+
+impl fmt::Display for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                write!(f, "{:02x} ", self.get(r, c).0)?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_times_anything_is_identity_op() {
+        let v = Matrix::vandermonde(3, 3);
+        assert_eq!(Matrix::identity(3).mul(&v), v);
+        assert_eq!(v.mul(&Matrix::identity(3)), v);
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        // Vandermonde rows 1.. are distinct and nonzero → invertible.
+        let m = Matrix::vandermonde(5, 4).select_rows(&[1, 2, 3, 4]);
+        let inv = m.inverse().expect("invertible");
+        assert_eq!(m.mul(&inv), Matrix::identity(4));
+        assert_eq!(inv.mul(&m), Matrix::identity(4));
+    }
+
+    #[test]
+    fn singular_matrix_returns_none() {
+        let mut m = Matrix::zero(2, 2);
+        m.set(0, 0, Gf256(3));
+        m.set(0, 1, Gf256(5));
+        m.set(1, 0, Gf256(3));
+        m.set(1, 1, Gf256(5));
+        assert!(m.inverse().is_none());
+    }
+
+    #[test]
+    fn select_rows_picks_in_order() {
+        let v = Matrix::vandermonde(4, 2);
+        let s = v.select_rows(&[3, 1]);
+        assert_eq!(s.row(0), v.row(3));
+        assert_eq!(s.row(1), v.row(1));
+    }
+
+    #[test]
+    fn vandermonde_square_submatrices_invert() {
+        let v = Matrix::vandermonde(6, 3);
+        // Every 3-row selection of distinct rows must be invertible.
+        for a in 0..6 {
+            for b in (a + 1)..6 {
+                for c in (b + 1)..6 {
+                    let sub = v.select_rows(&[a, b, c]);
+                    assert!(sub.inverse().is_some(), "rows {a},{b},{c} singular");
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn mul_checks_dims() {
+        let _ = Matrix::zero(2, 3).mul(&Matrix::zero(2, 3));
+    }
+}

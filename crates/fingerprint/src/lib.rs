@@ -1,0 +1,190 @@
+//! Content fingerprints — the first level of the paper's *double hashing*.
+//!
+//! A chunk's fingerprint **is** its object ID in the chunk pool: two chunks
+//! with identical contents hash to the same ID, so the underlying placement
+//! hash (the second level) sends them to the same device, and the store's
+//! ordinary name-collision handling deduplicates them. No fingerprint index
+//! exists anywhere.
+//!
+//! The fingerprint here is 256 bits built from four independently-seeded
+//! xxHash64 lanes. It is not cryptographic — the simulation does not face
+//! adversarial inputs — but it is wide enough that accidental collisions are
+//! effectively impossible at any simulated scale, mirroring the role SHA-1 /
+//! SHA-256 plays in production dedup systems.
+//!
+//! # Example
+//!
+//! ```
+//! use dedup_fingerprint::Fingerprint;
+//!
+//! let a = Fingerprint::of(b"same bytes");
+//! let b = Fingerprint::of(b"same bytes");
+//! assert_eq!(a, b);
+//! assert_eq!(a.to_object_name(), b.to_object_name());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use dedup_placement::hash::xxh64;
+use serde::{Deserialize, Serialize};
+
+/// Per-lane seeds; arbitrary distinct odd constants.
+const LANE_SEEDS: [u64; 4] = [
+    0x0000_0000_0000_0000,
+    0x9E37_79B9_7F4A_7C15,
+    0xC2B2_AE3D_27D4_EB4F,
+    0x1656_67B1_9E37_79F9,
+];
+
+/// A 256-bit content fingerprint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Fingerprint(pub [u64; 4]);
+
+impl Fingerprint {
+    /// Fingerprints `data`.
+    pub fn of(data: &[u8]) -> Self {
+        Fingerprint([
+            xxh64(data, LANE_SEEDS[0]),
+            xxh64(data, LANE_SEEDS[1]),
+            xxh64(data, LANE_SEEDS[2]),
+            xxh64(data, LANE_SEEDS[3]),
+        ])
+    }
+
+    /// Renders the chunk-pool object name for this fingerprint.
+    ///
+    /// The name embeds the full digest, so equality of names is equality of
+    /// fingerprints — this is the content-addressed object ID of the paper's
+    /// Fig. 6(c).
+    pub fn to_object_name(self) -> String {
+        format!(
+            "chunk-{:016x}{:016x}{:016x}{:016x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+
+    /// Parses a name produced by [`Fingerprint::to_object_name`].
+    pub fn from_object_name(name: &str) -> Option<Self> {
+        let hex = name.strip_prefix("chunk-")?;
+        if hex.len() != 64 {
+            return None;
+        }
+        let mut lanes = [0u64; 4];
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            *lane = u64::from_str_radix(&hex[i * 16..(i + 1) * 16], 16).ok()?;
+        }
+        Some(Fingerprint(lanes))
+    }
+
+    /// A short prefix for logs and debugging.
+    pub fn short(&self) -> String {
+        format!("{:08x}", (self.0[0] >> 32) as u32)
+    }
+}
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:016x}{:016x}{:016x}{:016x}",
+            self.0[0], self.0[1], self.0[2], self.0[3]
+        )
+    }
+}
+
+/// CPU cost model for fingerprinting, used by the timing plane to charge a
+/// node's CPU when the dedup engine hashes a chunk (paper Fig. 10's CPU
+/// overhead).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FingerprintCostModel {
+    /// Hashing throughput of one core in bytes per second.
+    pub bytes_per_sec: u64,
+}
+
+impl Default for FingerprintCostModel {
+    /// Roughly SHA-256 software throughput on one 2.6 GHz core.
+    fn default() -> Self {
+        FingerprintCostModel {
+            bytes_per_sec: 400 * 1024 * 1024,
+        }
+    }
+}
+
+impl FingerprintCostModel {
+    /// Virtual CPU nanoseconds to fingerprint `bytes`.
+    pub fn nanos_for(&self, bytes: u64) -> u64 {
+        if self.bytes_per_sec == 0 {
+            return 0;
+        }
+        ((bytes as u128 * 1_000_000_000) / self.bytes_per_sec as u128) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_content_equal_fingerprint() {
+        assert_eq!(Fingerprint::of(b"abc"), Fingerprint::of(b"abc"));
+    }
+
+    #[test]
+    fn different_content_different_fingerprint() {
+        assert_ne!(Fingerprint::of(b"abc"), Fingerprint::of(b"abd"));
+        assert_ne!(Fingerprint::of(b""), Fingerprint::of(b"\0"));
+    }
+
+    #[test]
+    fn lanes_are_independent() {
+        let fp = Fingerprint::of(b"lane check");
+        let mut lanes = fp.0.to_vec();
+        lanes.dedup();
+        assert_eq!(lanes.len(), 4, "lanes collided: {fp}");
+    }
+
+    #[test]
+    fn object_name_round_trips() {
+        let fp = Fingerprint::of(b"round trip me");
+        let name = fp.to_object_name();
+        assert!(name.starts_with("chunk-"));
+        assert_eq!(Fingerprint::from_object_name(&name), Some(fp));
+    }
+
+    #[test]
+    fn object_name_rejects_garbage() {
+        assert_eq!(Fingerprint::from_object_name("not-a-chunk"), None);
+        assert_eq!(Fingerprint::from_object_name("chunk-zz"), None);
+        assert_eq!(Fingerprint::from_object_name("chunk-"), None);
+    }
+
+    #[test]
+    fn no_collisions_across_many_inputs() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..100_000u32 {
+            let data = i.to_le_bytes();
+            assert!(seen.insert(Fingerprint::of(&data)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn display_is_64_hex_chars() {
+        let s = Fingerprint::of(b"x").to_string();
+        assert_eq!(s.len(), 64);
+        assert!(s.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+
+    #[test]
+    fn cost_model_scales_linearly() {
+        let m = FingerprintCostModel {
+            bytes_per_sec: 1_000_000_000,
+        };
+        assert_eq!(m.nanos_for(1_000_000_000), 1_000_000_000);
+        assert_eq!(m.nanos_for(1), 1);
+        let free = FingerprintCostModel { bytes_per_sec: 0 };
+        assert_eq!(free.nanos_for(12345), 0);
+    }
+}

@@ -1,0 +1,188 @@
+//! Stable 64-bit hashing (xxHash64) used for all placement decisions.
+//!
+//! Placement must be identical across processes and runs, so we cannot use
+//! `std::hash` (seeded per-process). xxHash64 is implemented here from the
+//! reference specification and pinned by known-answer tests.
+
+const PRIME1: u64 = 0x9E3779B185EBCA87;
+const PRIME2: u64 = 0xC2B2AE3D27D4EB4F;
+const PRIME3: u64 = 0x165667B19E3779F9;
+const PRIME4: u64 = 0x85EBCA77C2B2AE63;
+const PRIME5: u64 = 0x27D4EB2F165667C5;
+
+#[inline]
+fn round(acc: u64, input: u64) -> u64 {
+    acc.wrapping_add(input.wrapping_mul(PRIME2))
+        .rotate_left(31)
+        .wrapping_mul(PRIME1)
+}
+
+#[inline]
+fn merge_round(acc: u64, val: u64) -> u64 {
+    (acc ^ round(0, val))
+        .wrapping_mul(PRIME1)
+        .wrapping_add(PRIME4)
+}
+
+#[inline]
+fn read_u64(data: &[u8], i: usize) -> u64 {
+    u64::from_le_bytes(data[i..i + 8].try_into().expect("8 bytes"))
+}
+
+#[inline]
+fn read_u32(data: &[u8], i: usize) -> u32 {
+    u32::from_le_bytes(data[i..i + 4].try_into().expect("4 bytes"))
+}
+
+/// Computes xxHash64 of `data` with the given `seed`.
+///
+/// # Example
+///
+/// ```
+/// assert_eq!(dedup_placement::hash::xxh64(b"", 0), 0xEF46DB3751D8E999);
+/// ```
+pub fn xxh64(data: &[u8], seed: u64) -> u64 {
+    let len = data.len();
+    let mut h: u64;
+    let mut i = 0usize;
+
+    if len >= 32 {
+        let mut v1 = seed.wrapping_add(PRIME1).wrapping_add(PRIME2);
+        let mut v2 = seed.wrapping_add(PRIME2);
+        let mut v3 = seed;
+        let mut v4 = seed.wrapping_sub(PRIME1);
+        while i + 32 <= len {
+            v1 = round(v1, read_u64(data, i));
+            v2 = round(v2, read_u64(data, i + 8));
+            v3 = round(v3, read_u64(data, i + 16));
+            v4 = round(v4, read_u64(data, i + 24));
+            i += 32;
+        }
+        h = v1
+            .rotate_left(1)
+            .wrapping_add(v2.rotate_left(7))
+            .wrapping_add(v3.rotate_left(12))
+            .wrapping_add(v4.rotate_left(18));
+        h = merge_round(h, v1);
+        h = merge_round(h, v2);
+        h = merge_round(h, v3);
+        h = merge_round(h, v4);
+    } else {
+        h = seed.wrapping_add(PRIME5);
+    }
+
+    h = h.wrapping_add(len as u64);
+
+    while i + 8 <= len {
+        h ^= round(0, read_u64(data, i));
+        h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+        i += 8;
+    }
+    if i + 4 <= len {
+        h ^= (read_u32(data, i) as u64).wrapping_mul(PRIME1);
+        h = h.rotate_left(23).wrapping_mul(PRIME2).wrapping_add(PRIME3);
+        i += 4;
+    }
+    while i < len {
+        h ^= (data[i] as u64).wrapping_mul(PRIME5);
+        h = h.rotate_left(11).wrapping_mul(PRIME1);
+        i += 1;
+    }
+
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// Hashes a sequence of 64-bit words (cheap composite keys such as
+/// `(pg, osd, attempt)`), avalanche-mixing each word.
+pub fn hash_words(words: &[u64], seed: u64) -> u64 {
+    let mut h = seed.wrapping_add(PRIME5);
+    for &w in words {
+        h ^= round(0, w);
+        h = h.rotate_left(27).wrapping_mul(PRIME1).wrapping_add(PRIME4);
+    }
+    h ^= h >> 33;
+    h = h.wrapping_mul(PRIME2);
+    h ^= h >> 29;
+    h = h.wrapping_mul(PRIME3);
+    h ^= h >> 32;
+    h
+}
+
+/// Maps a 64-bit hash to a uniform float in the open interval `(0, 1]`.
+///
+/// Used by straw2 draws, which take `ln` of the result; the interval
+/// excludes zero so the logarithm is always finite.
+pub fn to_unit_interval(h: u64) -> f64 {
+    // 53 significant bits, then shift into (0, 1].
+    (((h >> 11) + 1) as f64) / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Known-answer vectors from the reference xxHash implementation.
+    #[test]
+    fn xxh64_known_vectors() {
+        assert_eq!(xxh64(b"", 0), 0xEF46DB3751D8E999);
+        assert_eq!(xxh64(b"a", 0), 0xD24EC4F1A98C6E5B);
+        assert_eq!(xxh64(b"abc", 0), 0x44BC2CF5AD770999);
+    }
+
+    #[test]
+    fn seed_changes_output() {
+        assert_ne!(xxh64(b"abc", 0), xxh64(b"abc", 1));
+    }
+
+    #[test]
+    fn long_input_uses_lane_path() {
+        // > 32 bytes exercises the v1..v4 accumulator path; check stability
+        // against itself and sensitivity to single-byte change.
+        let data = [7u8; 100];
+        let mut tweaked = data;
+        tweaked[50] ^= 1;
+        assert_eq!(xxh64(&data, 42), xxh64(&data, 42));
+        assert_ne!(xxh64(&data, 42), xxh64(&tweaked, 42));
+    }
+
+    #[test]
+    fn all_tail_paths_are_distinct() {
+        // Lengths exercising the 8-byte, 4-byte, and 1-byte tail loops.
+        let data = b"0123456789abcdef0123456789abcdef0123456";
+        let mut seen = std::collections::HashSet::new();
+        for len in 0..data.len() {
+            assert!(seen.insert(xxh64(&data[..len], 0)), "collision at {len}");
+        }
+    }
+
+    #[test]
+    fn hash_words_mixes_positionally() {
+        assert_ne!(hash_words(&[1, 2], 0), hash_words(&[2, 1], 0));
+        assert_ne!(hash_words(&[1], 0), hash_words(&[1, 0], 0));
+    }
+
+    #[test]
+    fn unit_interval_bounds() {
+        assert!(to_unit_interval(0) > 0.0);
+        assert!(to_unit_interval(u64::MAX) <= 1.0);
+        for i in 0..1000u64 {
+            let u = to_unit_interval(hash_words(&[i], 9));
+            assert!(u > 0.0 && u <= 1.0);
+        }
+    }
+
+    #[test]
+    fn unit_interval_is_roughly_uniform() {
+        let n = 100_000u64;
+        let mean: f64 = (0..n)
+            .map(|i| to_unit_interval(hash_words(&[i], 1)))
+            .sum::<f64>()
+            / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,48 @@
+//! Decentralized, CRUSH-style data placement for a shared-nothing scale-out
+//! store.
+//!
+//! The paper's *double hashing* idea relies on one property of the underlying
+//! storage system: **any object name deterministically maps to a set of
+//! storage devices through a hash algorithm**, with no metadata server. This
+//! crate supplies that algorithm:
+//!
+//! * [`hash::xxh64`] — a stable 64-bit content/name hash (xxHash64).
+//! * [`straw2_draw`] — weighted straw2 draws (as in Ceph's CRUSH), giving each
+//!   candidate device an independent pseudo-random "straw" scaled by weight;
+//!   the longest straw wins. Selection is stable under device add/remove:
+//!   only data mapped to the affected device moves.
+//! * [`ClusterMap`] — devices (OSDs) grouped into failure-domain nodes, with
+//!   weights and up/down state, versioned by an epoch.
+//! * [`PgMap`] — object → placement group → acting set of OSDs.
+//!
+//! # Example
+//!
+//! ```
+//! use dedup_placement::{ClusterMap, PlacementRule, FailureDomain, PgMap, PoolId};
+//!
+//! let mut map = ClusterMap::new();
+//! for node in 0..4 {
+//!     let n = map.add_node();
+//!     for _ in 0..4 {
+//!         map.add_osd(n, 1.0);
+//!     }
+//! }
+//! let rule = PlacementRule { replicas: 3, failure_domain: FailureDomain::Node };
+//! let pgs = PgMap::new(PoolId(1), 128);
+//! let pg = pgs.pg_of(b"my-object");
+//! let acting = map.acting_set(pg, &rule);
+//! assert_eq!(acting.len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod hash;
+
+mod map;
+mod pg;
+mod straw;
+
+pub use map::{moved_pgs, ClusterMap, FailureDomain, NodeId, OsdId, OsdInfo, PgMove, PlacementRule, RackId};
+pub use pg::{PgId, PgMap, PoolId};
+pub use straw::{straw2_draw, straw2_select};

@@ -1,0 +1,151 @@
+//! Pools and placement groups.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::hash::xxh64;
+
+/// Identifier of a storage pool (e.g. the metadata pool or the chunk pool).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PoolId(pub u32);
+
+impl fmt::Display for PoolId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pool.{}", self.0)
+    }
+}
+
+/// Identifier of one placement group within a pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PgId {
+    /// Owning pool.
+    pub pool: PoolId,
+    /// PG index in `[0, pg_count)`.
+    pub index: u32,
+}
+
+impl fmt::Display for PgId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}.pg{}", self.pool, self.index)
+    }
+}
+
+/// Object-name → placement-group mapping for one pool.
+///
+/// An object name is hashed (stable xxHash64) and folded modulo the pool's
+/// PG count, exactly the first of the paper's two hash levels: the second
+/// level ([`crate::ClusterMap::acting_set`]) maps the PG onto devices.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PgMap {
+    pool: PoolId,
+    pg_count: u32,
+}
+
+impl PgMap {
+    /// Creates the mapping for `pool` with `pg_count` placement groups.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pg_count` is zero.
+    pub fn new(pool: PoolId, pg_count: u32) -> Self {
+        assert!(pg_count > 0, "pg_count must be positive");
+        PgMap { pool, pg_count }
+    }
+
+    /// The owning pool.
+    pub fn pool(&self) -> PoolId {
+        self.pool
+    }
+
+    /// Number of placement groups.
+    pub fn pg_count(&self) -> u32 {
+        self.pg_count
+    }
+
+    /// Maps an object name to its placement group.
+    pub fn pg_of(&self, object_name: &[u8]) -> PgId {
+        let h = xxh64(object_name, self.pool.0 as u64);
+        PgId {
+            pool: self.pool,
+            index: (h % self.pg_count as u64) as u32,
+        }
+    }
+
+    /// The PG with the given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= pg_count`.
+    pub fn pg(&self, index: u32) -> PgId {
+        assert!(index < self.pg_count, "pg index {index} out of range");
+        PgId {
+            pool: self.pool,
+            index,
+        }
+    }
+
+    /// Iterates over every PG in the pool.
+    pub fn iter(&self) -> impl Iterator<Item = PgId> + '_ {
+        (0..self.pg_count).map(move |index| PgId {
+            pool: self.pool,
+            index,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pg_of_is_stable_and_in_range() {
+        let pgs = PgMap::new(PoolId(2), 64);
+        for i in 0..1000 {
+            let name = format!("obj-{i}");
+            let pg = pgs.pg_of(name.as_bytes());
+            assert_eq!(pg, pgs.pg_of(name.as_bytes()));
+            assert!(pg.index < 64);
+            assert_eq!(pg.pool, PoolId(2));
+        }
+    }
+
+    #[test]
+    fn distribution_is_roughly_uniform() {
+        let pgs = PgMap::new(PoolId(1), 32);
+        let mut counts = [0u32; 32];
+        for i in 0..32_000 {
+            counts[pgs.pg_of(format!("o{i}").as_bytes()).index as usize] += 1;
+        }
+        for &c in &counts {
+            assert!((600..=1400).contains(&c), "skewed bucket: {c}");
+        }
+    }
+
+    #[test]
+    fn pools_hash_independently() {
+        let a = PgMap::new(PoolId(1), 64);
+        let b = PgMap::new(PoolId(2), 64);
+        let diff = (0..100)
+            .filter(|i| {
+                a.pg_of(format!("x{i}").as_bytes()).index
+                    != b.pg_of(format!("x{i}").as_bytes()).index
+            })
+            .count();
+        assert!(diff > 50, "pool seed not mixed: only {diff} differ");
+    }
+
+    #[test]
+    fn iter_covers_all_pgs() {
+        let pgs = PgMap::new(PoolId(0), 16);
+        let all: Vec<_> = pgs.iter().collect();
+        assert_eq!(all.len(), 16);
+        assert_eq!(all[15].index, 15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pg_index_bounds_checked() {
+        PgMap::new(PoolId(0), 4).pg(4);
+    }
+}

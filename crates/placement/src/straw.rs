@@ -1,0 +1,99 @@
+//! Straw2 draws (weighted rendezvous hashing), as used by Ceph CRUSH.
+//!
+//! Each candidate receives an independent pseudo-random straw whose length is
+//! `ln(u) / weight` with `u` uniform in `(0, 1]`; the candidate with the
+//! *largest* (least negative) straw wins. The winner follows a weighted
+//! multinomial distribution, and — crucially for rebalancing — changing one
+//! candidate's weight only moves data to or from that candidate.
+
+use crate::hash::{hash_words, to_unit_interval};
+
+/// Computes the straw2 draw for a candidate.
+///
+/// `key` identifies what is being placed (e.g. a placement-group seed),
+/// `item` identifies the candidate (device or node id mixed with an attempt
+/// counter), and `weight` is the candidate's relative capacity. A weight of
+/// zero (or below) yields `f64::NEG_INFINITY`, i.e. never selected unless
+/// every candidate has zero weight.
+pub fn straw2_draw(key: u64, item: u64, weight: f64) -> f64 {
+    if weight <= 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    let u = to_unit_interval(hash_words(&[key, item], 0x5ca1ab1e));
+    u.ln() / weight
+}
+
+/// Selects the index of the winning candidate among `(item, weight)` pairs,
+/// or `None` if the slice is empty or all weights are non-positive.
+pub fn straw2_select(key: u64, candidates: &[(u64, f64)]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (idx, &(item, weight)) in candidates.iter().enumerate() {
+        let draw = straw2_draw(key, item, weight);
+        if draw == f64::NEG_INFINITY {
+            continue;
+        }
+        match best {
+            Some((_, b)) if b >= draw => {}
+            _ => best = Some((idx, draw)),
+        }
+    }
+    best.map(|(idx, _)| idx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_weight_never_wins() {
+        let candidates = [(1u64, 0.0), (2, 1.0)];
+        for key in 0..200u64 {
+            assert_eq!(straw2_select(key, &candidates), Some(1));
+        }
+    }
+
+    #[test]
+    fn empty_or_all_zero_is_none() {
+        assert_eq!(straw2_select(7, &[]), None);
+        assert_eq!(straw2_select(7, &[(1, 0.0), (2, -1.0)]), None);
+    }
+
+    #[test]
+    fn selection_tracks_weights() {
+        // 2:1 weights should win roughly 2:1 over many keys.
+        let candidates = [(10u64, 2.0), (20, 1.0)];
+        let mut wins = [0u32; 2];
+        let trials = 30_000;
+        for key in 0..trials {
+            wins[straw2_select(key, &candidates).expect("non-empty")] += 1;
+        }
+        let frac = wins[0] as f64 / trials as f64;
+        assert!((frac - 2.0 / 3.0).abs() < 0.02, "weighted fraction {frac}");
+    }
+
+    #[test]
+    fn removing_loser_does_not_move_winner() {
+        // Rendezvous property: drop a non-winning candidate and the winner
+        // among the rest is unchanged.
+        let full = [(1u64, 1.0), (2, 1.0), (3, 1.0)];
+        for key in 0..500u64 {
+            let win = straw2_select(key, &full).expect("non-empty");
+            let dropped = (win + 1) % 3; // drop some loser
+            let reduced: Vec<_> = full
+                .iter()
+                .copied()
+                .enumerate()
+                .filter(|&(i, _)| i != dropped)
+                .map(|(_, c)| c)
+                .collect();
+            let new_win = straw2_select(key, &reduced).expect("non-empty");
+            assert_eq!(reduced[new_win].0, full[win].0);
+        }
+    }
+
+    #[test]
+    fn draws_are_deterministic() {
+        assert_eq!(straw2_draw(1, 2, 1.5), straw2_draw(1, 2, 1.5));
+        assert_ne!(straw2_draw(1, 2, 1.0), straw2_draw(1, 3, 1.0));
+    }
+}

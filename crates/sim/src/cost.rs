@@ -1,0 +1,244 @@
+//! Cost expressions: how an operation uses cluster resources.
+//!
+//! A storage operation in the data plane (e.g. a replicated write) is
+//! described as a tree: transfer over the client NIC, **then** in parallel
+//! for each replica (transfer over the server NIC, **then** a disk write).
+//! Executing the tree against a [`ResourcePool`] threads virtual time through
+//! the resources, queueing where they are already busy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::resource::{ResourceId, ResourcePool};
+use crate::time::{SimDuration, SimTime};
+
+/// A tree describing resource usage of one logical operation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CostExpr {
+    /// No cost; completes immediately.
+    Nop,
+    /// Move `bytes` through a resource (queues on its bandwidth, pays its
+    /// fixed latency).
+    Transfer {
+        /// The device the bytes move through.
+        resource: ResourceId,
+        /// Payload size in bytes.
+        bytes: u64,
+    },
+    /// Occupy a resource for a fixed duration (e.g. CPU work of known cost).
+    Busy {
+        /// The device that is occupied.
+        resource: ResourceId,
+        /// How long it is occupied, in nanoseconds.
+        nanos: u64,
+    },
+    /// Pure delay not tied to any resource (e.g. a configured think time).
+    Delay(
+        /// Length of the delay in nanoseconds.
+        u64,
+    ),
+    /// Children run one after another.
+    Seq(Vec<CostExpr>),
+    /// Children start together; the expression completes when all complete
+    /// (fan-out to replicas, EC shards, ...).
+    Par(Vec<CostExpr>),
+}
+
+impl CostExpr {
+    /// A transfer of `bytes` through `resource`.
+    pub fn transfer(resource: ResourceId, bytes: u64) -> Self {
+        CostExpr::Transfer { resource, bytes }
+    }
+
+    /// Occupies `resource` for `duration`.
+    pub fn busy(resource: ResourceId, duration: SimDuration) -> Self {
+        CostExpr::Busy {
+            resource,
+            nanos: duration.as_nanos(),
+        }
+    }
+
+    /// A pure delay of `duration`.
+    pub fn delay(duration: SimDuration) -> Self {
+        CostExpr::Delay(duration.as_nanos())
+    }
+
+    /// Sequential composition, flattening nested sequences and dropping
+    /// no-ops.
+    pub fn seq(parts: impl IntoIterator<Item = CostExpr>) -> Self {
+        let mut out = Vec::new();
+        for p in parts {
+            match p {
+                CostExpr::Nop => {}
+                CostExpr::Seq(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => CostExpr::Nop,
+            1 => out.into_iter().next().expect("len checked"),
+            _ => CostExpr::Seq(out),
+        }
+    }
+
+    /// Parallel composition (join-all), dropping no-ops.
+    pub fn par(parts: impl IntoIterator<Item = CostExpr>) -> Self {
+        let mut out: Vec<CostExpr> = parts
+            .into_iter()
+            .filter(|p| !matches!(p, CostExpr::Nop))
+            .collect();
+        match out.len() {
+            0 => CostExpr::Nop,
+            1 => out.pop().expect("len checked"),
+            _ => CostExpr::Par(out),
+        }
+    }
+
+    /// Appends `next` to run after `self`.
+    pub fn then(self, next: CostExpr) -> Self {
+        CostExpr::seq([self, next])
+    }
+
+    /// Total bytes transferred anywhere in the tree (for accounting).
+    pub fn total_bytes(&self) -> u64 {
+        match self {
+            CostExpr::Transfer { bytes, .. } => *bytes,
+            CostExpr::Seq(parts) | CostExpr::Par(parts) => {
+                parts.iter().map(CostExpr::total_bytes).sum()
+            }
+            _ => 0,
+        }
+    }
+
+    /// Whether the tree performs no work at all.
+    pub fn is_nop(&self) -> bool {
+        match self {
+            CostExpr::Nop => true,
+            CostExpr::Seq(parts) | CostExpr::Par(parts) => parts.iter().all(CostExpr::is_nop),
+            _ => false,
+        }
+    }
+}
+
+#[allow(clippy::derivable_impls)] // keep explicit: Nop-as-default is a semantic choice
+impl Default for CostExpr {
+    fn default() -> Self {
+        CostExpr::Nop
+    }
+}
+
+impl ResourcePool {
+    /// Executes `cost` starting at `now`; returns the virtual completion
+    /// time. Resource queue state advances as a side effect, so concurrent
+    /// operations executed in issue order contend realistically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the expression references a resource not in this pool.
+    pub fn execute(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {
+        match cost {
+            CostExpr::Nop => now,
+            CostExpr::Transfer { resource, bytes } => self.get_mut(*resource).serve(now, *bytes),
+            CostExpr::Busy { resource, nanos } => self
+                .get_mut(*resource)
+                .serve_for(now, SimDuration::from_nanos(*nanos)),
+            CostExpr::Delay(nanos) => now + SimDuration::from_nanos(*nanos),
+            CostExpr::Seq(parts) => {
+                let mut t = now;
+                for p in parts {
+                    t = self.execute(t, p);
+                }
+                t
+            }
+            CostExpr::Par(parts) => parts
+                .iter()
+                .map(|p| self.execute(now, p))
+                .fold(now, SimTime::max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resource::ResourceSpec;
+
+    fn pool_with_two() -> (ResourcePool, ResourceId, ResourceId) {
+        let mut pool = ResourcePool::new();
+        // 1 MiB/s, no latency: 1 MiB takes exactly 1 s.
+        let a = pool.register(ResourceSpec::disk("a", 1 << 20, 0));
+        let b = pool.register(ResourceSpec::disk("b", 1 << 20, 0));
+        (pool, a, b)
+    }
+
+    #[test]
+    fn seq_adds_durations() {
+        let (mut pool, a, b) = pool_with_two();
+        let cost = CostExpr::seq([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(b, 1 << 20)]);
+        assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn par_takes_max_across_resources() {
+        let (mut pool, a, b) = pool_with_two();
+        let cost = CostExpr::par([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(b, 2 << 20)]);
+        assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn par_on_same_resource_serializes() {
+        let (mut pool, a, _) = pool_with_two();
+        let cost = CostExpr::par([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(a, 1 << 20)]);
+        // Same device: bandwidth serializes even "parallel" branches.
+        assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
+    }
+
+    #[test]
+    fn delay_is_resource_free() {
+        let mut pool = ResourcePool::new();
+        let cost = CostExpr::delay(SimDuration::from_millis(5));
+        assert_eq!(
+            pool.execute(SimTime::ZERO, &cost),
+            SimTime::from_nanos(5_000_000)
+        );
+    }
+
+    #[test]
+    fn seq_flattens_and_drops_nops() {
+        let (_, a, b) = pool_with_two();
+        let inner = CostExpr::seq([CostExpr::transfer(a, 1), CostExpr::Nop]);
+        let outer = CostExpr::seq([inner, CostExpr::transfer(b, 2)]);
+        match outer {
+            CostExpr::Seq(parts) => assert_eq!(parts.len(), 2),
+            other => panic!("expected flattened Seq, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn single_child_collapses() {
+        let (_, a, _) = pool_with_two();
+        let c = CostExpr::par([CostExpr::transfer(a, 1)]);
+        assert!(matches!(c, CostExpr::Transfer { .. }));
+        assert!(CostExpr::seq([]).is_nop());
+    }
+
+    #[test]
+    fn total_bytes_counts_all_transfers() {
+        let (_, a, b) = pool_with_two();
+        let cost = CostExpr::seq([
+            CostExpr::transfer(a, 100),
+            CostExpr::par([CostExpr::transfer(b, 50), CostExpr::transfer(a, 25)]),
+        ]);
+        assert_eq!(cost.total_bytes(), 175);
+    }
+
+    #[test]
+    fn interleaved_operations_contend() {
+        let (mut pool, a, _) = pool_with_two();
+        // Foreground op at t=0 and background op at t=0 on the same disk:
+        // whichever executes second queues behind the first.
+        let fg = pool.execute(SimTime::ZERO, &CostExpr::transfer(a, 1 << 20));
+        let bg = pool.execute(SimTime::ZERO, &CostExpr::transfer(a, 1 << 20));
+        assert_eq!(fg, SimTime::from_secs(1));
+        assert_eq!(bg, SimTime::from_secs(2));
+    }
+}

@@ -1,0 +1,373 @@
+//! FIFO queueing resources: disks, NICs, CPU cores.
+//!
+//! Each [`Resource`] models a device with a *serial* section (bandwidth-bound
+//! transfer that occupies the device) followed by a *pipelined* fixed latency
+//! (paid by the request but not occupying the device). This captures the
+//! first-order behaviour of SSDs and network links: throughput saturates at
+//! the device rate while independent requests overlap their latencies.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Handle to a resource registered in a [`ResourcePool`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ResourceId(pub(crate) u32);
+
+impl ResourceId {
+    /// The raw index of this resource in its pool.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Static description of a device used to construct a [`Resource`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceSpec {
+    /// Human-readable name, e.g. `"osd.3/disk"`.
+    pub name: String,
+    /// Serial transfer rate in bytes per second; `0` means unlimited.
+    pub bytes_per_sec: u64,
+    /// Fixed pipelined latency added to every request, in nanoseconds.
+    pub latency_nanos: u64,
+}
+
+impl ResourceSpec {
+    /// A disk-like device: bandwidth-bound with per-op access latency.
+    pub fn disk(name: impl Into<String>, bytes_per_sec: u64, latency_nanos: u64) -> Self {
+        ResourceSpec {
+            name: name.into(),
+            bytes_per_sec,
+            latency_nanos,
+        }
+    }
+
+    /// A network link: bandwidth plus one-way propagation latency.
+    pub fn nic(name: impl Into<String>, bytes_per_sec: u64, latency_nanos: u64) -> Self {
+        ResourceSpec {
+            name: name.into(),
+            bytes_per_sec,
+            latency_nanos,
+        }
+    }
+
+    /// A CPU modelled as a byte-processing engine (e.g. fingerprinting at
+    /// `bytes_per_sec`), with no fixed latency.
+    pub fn cpu(name: impl Into<String>, bytes_per_sec: u64) -> Self {
+        ResourceSpec {
+            name: name.into(),
+            bytes_per_sec,
+            latency_nanos: 0,
+        }
+    }
+}
+
+/// Runtime state of a queueing resource.
+#[derive(Debug, Clone)]
+pub struct Resource {
+    spec: ResourceSpec,
+    /// Virtual time at which the serial section becomes free.
+    next_free: SimTime,
+    /// Accumulated busy time of the serial section.
+    busy: SimDuration,
+    /// Total bytes moved through the serial section.
+    bytes_served: u64,
+    /// Total requests served.
+    requests: u64,
+    /// Maximum queueing delay observed (start - arrival).
+    max_wait: SimDuration,
+    /// Sum of queueing delays (for mean wait).
+    total_wait: SimDuration,
+}
+
+impl Resource {
+    fn new(spec: ResourceSpec) -> Self {
+        Resource {
+            spec,
+            next_free: SimTime::ZERO,
+            busy: SimDuration::ZERO,
+            bytes_served: 0,
+            requests: 0,
+            max_wait: SimDuration::ZERO,
+            total_wait: SimDuration::ZERO,
+        }
+    }
+
+    /// The spec this resource was built from.
+    pub fn spec(&self) -> &ResourceSpec {
+        &self.spec
+    }
+
+    /// Serves a request of `bytes` arriving at `now`; returns its completion
+    /// time. The serial (bandwidth) section queues FIFO behind earlier
+    /// requests; the fixed latency is pipelined.
+    pub fn serve(&mut self, now: SimTime, bytes: u64) -> SimTime {
+        let start = now.max(self.next_free);
+        let wait = start.saturating_since(now);
+        self.max_wait = self.max_wait.max(wait);
+        self.total_wait += wait;
+        let transfer = SimDuration::for_transfer(bytes, self.spec.bytes_per_sec);
+        self.next_free = start + transfer;
+        self.busy += transfer;
+        self.bytes_served += bytes;
+        self.requests += 1;
+        self.next_free + SimDuration::from_nanos(self.spec.latency_nanos)
+    }
+
+    /// Serves a request that occupies the device for a fixed `duration`
+    /// (e.g. a CPU work item with known cost) arriving at `now`.
+    pub fn serve_for(&mut self, now: SimTime, duration: SimDuration) -> SimTime {
+        let start = now.max(self.next_free);
+        let wait = start.saturating_since(now);
+        self.max_wait = self.max_wait.max(wait);
+        self.total_wait += wait;
+        self.next_free = start + duration;
+        self.busy += duration;
+        self.requests += 1;
+        self.next_free
+    }
+
+    /// Accumulated busy time of the serial section.
+    pub fn busy_time(&self) -> SimDuration {
+        self.busy
+    }
+
+    /// Utilisation of the serial section over `[SimTime::ZERO, until]`.
+    pub fn utilization(&self, until: SimTime) -> f64 {
+        if until == SimTime::ZERO {
+            return 0.0;
+        }
+        (self.busy.as_secs_f64() / until.as_secs_f64()).min(1.0)
+    }
+
+    /// Total bytes moved through the serial section.
+    pub fn bytes_served(&self) -> u64 {
+        self.bytes_served
+    }
+
+    /// Total requests served.
+    pub fn requests(&self) -> u64 {
+        self.requests
+    }
+
+    /// Maximum queueing delay any request experienced.
+    pub fn max_wait(&self) -> SimDuration {
+        self.max_wait
+    }
+
+    /// Mean queueing delay across requests.
+    pub fn mean_wait(&self) -> SimDuration {
+        if self.requests == 0 {
+            return SimDuration::ZERO;
+        }
+        self.total_wait / self.requests
+    }
+
+    /// Forgets queue state and statistics, as if freshly constructed.
+    pub fn reset(&mut self) {
+        self.next_free = SimTime::ZERO;
+        self.busy = SimDuration::ZERO;
+        self.bytes_served = 0;
+        self.requests = 0;
+        self.max_wait = SimDuration::ZERO;
+        self.total_wait = SimDuration::ZERO;
+    }
+}
+
+impl fmt::Display for Resource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} reqs, {} busy",
+            self.spec.name, self.requests, self.busy
+        )
+    }
+}
+
+/// Registry of every resource in the simulated cluster.
+///
+/// Operations are charged against the pool via [`ResourcePool::execute`]
+/// with a [`crate::CostExpr`] describing the resources they touch.
+#[derive(Debug, Clone, Default)]
+pub struct ResourcePool {
+    resources: Vec<Resource>,
+}
+
+impl ResourcePool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a device and returns its handle.
+    pub fn register(&mut self, spec: ResourceSpec) -> ResourceId {
+        let id = ResourceId(u32::try_from(self.resources.len()).expect("too many resources"));
+        self.resources.push(Resource::new(spec));
+        id
+    }
+
+    /// Borrows a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this pool.
+    pub fn get(&self, id: ResourceId) -> &Resource {
+        &self.resources[id.index()]
+    }
+
+    /// Mutably borrows a resource.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not issued by this pool.
+    pub fn get_mut(&mut self, id: ResourceId) -> &mut Resource {
+        &mut self.resources[id.index()]
+    }
+
+    /// Iterates over all registered resources.
+    pub fn iter(&self) -> impl Iterator<Item = (ResourceId, &Resource)> {
+        self.resources
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (ResourceId(i as u32), r))
+    }
+
+    /// Number of registered resources.
+    pub fn len(&self) -> usize {
+        self.resources.len()
+    }
+
+    /// Whether the pool has no resources.
+    pub fn is_empty(&self) -> bool {
+        self.resources.is_empty()
+    }
+
+    /// Resets queue state and statistics on every resource.
+    pub fn reset_all(&mut self) {
+        for r in &mut self.resources {
+            r.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn disk_1mbps() -> ResourceSpec {
+        ResourceSpec::disk("d", 1 << 20, 1_000_000) // 1 MiB/s, 1 ms latency
+    }
+
+    #[test]
+    fn single_request_pays_transfer_plus_latency() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(disk_1mbps());
+        let done = pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        assert_eq!(done, SimTime::from_nanos(1_000_000_000 + 1_000_000));
+    }
+
+    #[test]
+    fn requests_queue_fifo_on_bandwidth() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(disk_1mbps());
+        let first = pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        let second = pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        // Second transfer starts only after the first's serial section.
+        assert_eq!(second.as_nanos() - first.as_nanos(), 1_000_000_000);
+    }
+
+    #[test]
+    fn latency_is_pipelined_not_serialized() {
+        let mut pool = ResourcePool::new();
+        // Unlimited bandwidth: only latency matters, and it overlaps.
+        let d = pool.register(ResourceSpec::disk("d", 0, 5_000_000));
+        let a = pool.get_mut(d).serve(SimTime::ZERO, 4096);
+        let b = pool.get_mut(d).serve(SimTime::ZERO, 4096);
+        assert_eq!(a, b, "independent latencies overlap");
+    }
+
+    #[test]
+    fn idle_gap_does_not_accumulate_busy_time() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(disk_1mbps());
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        pool.get_mut(d).serve(SimTime::from_secs(100), 1 << 20);
+        assert_eq!(pool.get(d).busy_time(), SimDuration::from_secs(2));
+        let util = pool.get(d).utilization(SimTime::from_secs(200));
+        assert!((util - 0.01).abs() < 1e-9, "2s busy over 200s");
+    }
+
+    #[test]
+    fn serve_for_occupies_duration() {
+        let mut pool = ResourcePool::new();
+        let c = pool.register(ResourceSpec::cpu("cpu", 0));
+        let t1 = pool
+            .get_mut(c)
+            .serve_for(SimTime::ZERO, SimDuration::from_millis(10));
+        let t2 = pool
+            .get_mut(c)
+            .serve_for(SimTime::ZERO, SimDuration::from_millis(10));
+        assert_eq!(t1, SimTime::from_nanos(10_000_000));
+        assert_eq!(t2, SimTime::from_nanos(20_000_000));
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(disk_1mbps());
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        pool.reset_all();
+        assert_eq!(pool.get(d).requests(), 0);
+        assert_eq!(pool.get(d).busy_time(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(disk_1mbps());
+        pool.get_mut(d).serve(SimTime::ZERO, 100);
+        pool.get_mut(d).serve(SimTime::ZERO, 200);
+        assert_eq!(pool.get(d).bytes_served(), 300);
+        assert_eq!(pool.get(d).requests(), 2);
+    }
+}
+
+#[cfg(test)]
+mod wait_tests {
+    use super::*;
+
+    #[test]
+    fn waits_are_tracked() {
+        let mut pool = ResourcePool::new();
+        // 1 MiB/s: each 1 MiB transfer holds the device 1 s.
+        let d = pool.register(ResourceSpec::disk("d", 1 << 20, 0));
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20); // waits 1 s
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20); // waits 2 s
+        assert_eq!(pool.get(d).max_wait(), SimDuration::from_secs(2));
+        assert_eq!(pool.get(d).mean_wait(), SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn no_wait_when_idle() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(ResourceSpec::disk("d", 1 << 20, 0));
+        pool.get_mut(d).serve(SimTime::ZERO, 1024);
+        pool.get_mut(d).serve(SimTime::from_secs(10), 1024);
+        assert_eq!(pool.get(d).max_wait(), SimDuration::ZERO);
+        assert_eq!(pool.get(d).mean_wait(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn reset_clears_wait_stats() {
+        let mut pool = ResourcePool::new();
+        let d = pool.register(ResourceSpec::disk("d", 1 << 20, 0));
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        pool.get_mut(d).serve(SimTime::ZERO, 1 << 20);
+        pool.reset_all();
+        assert_eq!(pool.get(d).max_wait(), SimDuration::ZERO);
+        assert_eq!(pool.get(d).mean_wait(), SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,159 @@
+//! Time-binned series for throughput/IOPS timelines (paper Figs. 5b & 14).
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// One bin of a [`TimeSeries`].
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct TimeBin {
+    /// Operations completed in this bin.
+    pub ops: u64,
+    /// Payload bytes completed in this bin.
+    pub bytes: u64,
+}
+
+impl TimeBin {
+    /// Throughput over the bin in MB/s given the bin width in seconds.
+    pub fn mb_per_sec(&self, bin_secs: f64) -> f64 {
+        self.bytes as f64 / 1e6 / bin_secs
+    }
+
+    /// Operation rate over the bin given the bin width in seconds.
+    pub fn ops_per_sec(&self, bin_secs: f64) -> f64 {
+        self.ops as f64 / bin_secs
+    }
+}
+
+/// Completion events bucketed into fixed-width virtual-time bins.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TimeSeries {
+    bin_nanos: u64,
+    bins: Vec<TimeBin>,
+}
+
+impl TimeSeries {
+    /// Creates a series with the given bin width in virtual seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bin_secs` is zero.
+    pub fn with_bin_secs(bin_secs: u64) -> Self {
+        assert!(bin_secs > 0, "bin width must be positive");
+        TimeSeries {
+            bin_nanos: bin_secs * 1_000_000_000,
+            bins: Vec::new(),
+        }
+    }
+
+    /// Records an operation of `bytes` completing at `at`.
+    pub fn record(&mut self, at: SimTime, bytes: u64) {
+        let idx = (at.as_nanos() / self.bin_nanos) as usize;
+        if idx >= self.bins.len() {
+            self.bins.resize(idx + 1, TimeBin::default());
+        }
+        self.bins[idx].ops += 1;
+        self.bins[idx].bytes += bytes;
+    }
+
+    /// Bin width in seconds.
+    pub fn bin_secs(&self) -> f64 {
+        self.bin_nanos as f64 / 1e9
+    }
+
+    /// All bins, index 0 covering `[0, bin)`.
+    pub fn bins(&self) -> &[TimeBin] {
+        &self.bins
+    }
+
+    /// Number of bins (i.e. the covered horizon).
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Throughput per bin in MB/s.
+    pub fn throughput_mbps(&self) -> Vec<f64> {
+        let w = self.bin_secs();
+        self.bins.iter().map(|b| b.mb_per_sec(w)).collect()
+    }
+
+    /// IOPS per bin.
+    pub fn iops(&self) -> Vec<f64> {
+        let w = self.bin_secs();
+        self.bins.iter().map(|b| b.ops_per_sec(w)).collect()
+    }
+
+    /// Mean throughput in MB/s over bins `[from, to)`, clamped to the data.
+    pub fn mean_throughput_mbps(&self, from: usize, to: usize) -> f64 {
+        let to = to.min(self.bins.len());
+        if from >= to {
+            return 0.0;
+        }
+        let bytes: u64 = self.bins[from..to].iter().map(|b| b.bytes).sum();
+        bytes as f64 / 1e6 / ((to - from) as f64 * self.bin_secs())
+    }
+
+    /// Total bytes recorded.
+    pub fn total_bytes(&self) -> u64 {
+        self.bins.iter().map(|b| b.bytes).sum()
+    }
+
+    /// Total operations recorded.
+    pub fn total_ops(&self) -> u64 {
+        self.bins.iter().map(|b| b.ops).sum()
+    }
+}
+
+impl Default for TimeSeries {
+    fn default() -> Self {
+        TimeSeries::with_bin_secs(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_land_in_correct_bins() {
+        let mut s = TimeSeries::with_bin_secs(1);
+        s.record(SimTime::from_nanos(10), 100);
+        s.record(SimTime::from_secs(2), 300);
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.bins()[0].bytes, 100);
+        assert_eq!(s.bins()[1].bytes, 0);
+        assert_eq!(s.bins()[2].bytes, 300);
+    }
+
+    #[test]
+    fn throughput_is_bytes_over_width() {
+        let mut s = TimeSeries::with_bin_secs(2);
+        s.record(SimTime::from_secs(1), 4_000_000);
+        let t = s.throughput_mbps();
+        assert!((t[0] - 2.0).abs() < 1e-9, "4 MB over 2 s = 2 MB/s");
+    }
+
+    #[test]
+    fn mean_throughput_window_clamps() {
+        let mut s = TimeSeries::with_bin_secs(1);
+        s.record(SimTime::from_secs(0), 1_000_000);
+        s.record(SimTime::from_secs(1), 3_000_000);
+        assert!((s.mean_throughput_mbps(0, 10) - 2.0).abs() < 1e-9);
+        assert_eq!(s.mean_throughput_mbps(5, 3), 0.0);
+    }
+
+    #[test]
+    fn totals() {
+        let mut s = TimeSeries::default();
+        s.record(SimTime::ZERO, 10);
+        s.record(SimTime::ZERO, 20);
+        assert_eq!(s.total_bytes(), 30);
+        assert_eq!(s.total_ops(), 2);
+        assert!(!s.is_empty());
+    }
+}

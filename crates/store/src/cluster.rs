@@ -1,0 +1,1466 @@
+//! The cluster: pools, I/O paths, transactions, and capacity accounting.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use dedup_erasure::ReedSolomon;
+use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
+use dedup_sim::{CostExpr, SimTime};
+
+use crate::error::StoreError;
+use crate::object::{ObjectName, Payload, RangeSet, StoredObject, PER_OBJECT_OVERHEAD};
+use crate::osd::Osd;
+use crate::perf::{ClientId, PerfConfig, PerfTopology};
+use crate::pool::{PoolConfig, PoolUsage, Redundancy};
+
+/// A value produced by a cluster operation together with the virtual-time
+/// cost of producing it. Callers execute the cost against the cluster's
+/// [`PerfTopology`] (or discard it for control-plane work).
+#[derive(Debug, Clone)]
+#[must_use = "execute or explicitly discard the operation's cost"]
+pub struct Timed<T> {
+    /// The operation's result.
+    pub value: T,
+    /// Resource usage to charge to the timing plane.
+    pub cost: CostExpr,
+}
+
+impl<T> Timed<T> {
+    /// Wraps a value with its cost.
+    pub fn new(value: T, cost: CostExpr) -> Self {
+        Timed { value, cost }
+    }
+
+    /// Transforms the value, keeping the cost.
+    pub fn map<U>(self, f: impl FnOnce(T) -> U) -> Timed<U> {
+        Timed {
+            value: f(self.value),
+            cost: self.cost,
+        }
+    }
+}
+
+/// An I/O context: which pool to address and which client host issues the
+/// request (chooses the client-side NIC), mirroring a RADOS `ioctx`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IoCtx {
+    /// Target pool.
+    pub pool: PoolId,
+    /// Issuing client host.
+    pub client: ClientId,
+}
+
+impl IoCtx {
+    /// Creates a context for `pool` from client 0.
+    pub fn new(pool: PoolId) -> Self {
+        IoCtx {
+            pool,
+            client: ClientId(0),
+        }
+    }
+
+    /// Uses a specific client host.
+    pub fn with_client(mut self, client: ClientId) -> Self {
+        self.client = client;
+        self
+    }
+}
+
+/// One operation inside an object transaction (applied atomically).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TxOp {
+    /// Replaces the whole data payload.
+    WriteFull(Vec<u8>),
+    /// Writes at an offset, zero-filling any gap.
+    Write {
+        /// Byte offset of the write.
+        offset: u64,
+        /// Bytes to write.
+        data: Vec<u8>,
+    },
+    /// Truncates (or zero-extends) the payload.
+    Truncate(u64),
+    /// Sets one extended attribute.
+    SetXattr(String, Vec<u8>),
+    /// Removes one extended attribute.
+    RemoveXattr(String),
+    /// Sets one omap entry.
+    SetOmap(String, Vec<u8>),
+    /// Removes one omap entry.
+    RemoveOmap(String),
+    /// Punches a hole: the range reads as zero and stops occupying space
+    /// (used by cache eviction in the dedup layer).
+    PunchHole {
+        /// Start of the hole.
+        offset: u64,
+        /// Length of the hole.
+        len: u64,
+    },
+    /// Deletes the object.
+    Remove,
+}
+
+/// An object's metadata maps: (xattrs, omap).
+type MetadataMaps = (BTreeMap<String, Vec<u8>>, BTreeMap<String, Vec<u8>>);
+
+/// In-memory logical view of an object while a transaction is applied.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LogicalObject {
+    pub data: Vec<u8>,
+    pub xattrs: BTreeMap<String, Vec<u8>>,
+    pub omap: BTreeMap<String, Vec<u8>>,
+    pub holes: RangeSet,
+}
+
+pub(crate) struct PoolState {
+    pub config: PoolConfig,
+    pub pgs: PgMap,
+    pub codec: Option<ReedSolomon>,
+}
+
+/// The scale-out cluster: map + devices + pools + timing plane.
+pub struct Cluster {
+    pub(crate) map: ClusterMap,
+    pub(crate) osds: Vec<Osd>,
+    pub(crate) pools: BTreeMap<PoolId, PoolState>,
+    next_pool: u32,
+    pub(crate) perf: PerfTopology,
+    object_size_cap: u64,
+}
+
+/// Builds a [`Cluster`] with a regular topology.
+#[derive(Debug, Clone)]
+pub struct ClusterBuilder {
+    nodes: u32,
+    osds_per_node: u32,
+    racks: Option<u32>,
+    perf: PerfConfig,
+    object_size_cap: u64,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: 4,
+            osds_per_node: 4,
+            racks: None,
+            perf: PerfConfig::default(),
+            object_size_cap: 256 << 20,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Starts from the paper's testbed shape: 4 nodes × 4 OSDs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the node count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn nodes(mut self, nodes: u32) -> Self {
+        assert!(nodes > 0, "need at least one node");
+        self.nodes = nodes;
+        self
+    }
+
+    /// Sets OSDs per node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn osds_per_node(mut self, osds: u32) -> Self {
+        assert!(osds > 0, "need at least one OSD per node");
+        self.osds_per_node = osds;
+        self
+    }
+
+    /// Groups nodes into `racks` racks round-robin (for rack-level failure
+    /// domains). Without this, every node is its own implicit rack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn racks(mut self, racks: u32) -> Self {
+        assert!(racks > 0, "need at least one rack");
+        self.racks = Some(racks);
+        self
+    }
+
+    /// Overrides hardware performance parameters.
+    pub fn perf(mut self, perf: PerfConfig) -> Self {
+        self.perf = perf;
+        self
+    }
+
+    /// Overrides the per-object size cap.
+    pub fn object_size_cap(mut self, cap: u64) -> Self {
+        self.object_size_cap = cap;
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Cluster {
+        let mut map = ClusterMap::new();
+        let mut osds = Vec::new();
+        let rack_ids: Vec<_> = (0..self.racks.unwrap_or(0))
+            .map(|_| map.add_rack())
+            .collect();
+        for n in 0..self.nodes {
+            let node = match self.racks {
+                Some(r) => map.add_node_in_rack(rack_ids[(n % r) as usize]),
+                None => map.add_node(),
+            };
+            for _ in 0..self.osds_per_node {
+                map.add_osd(node, 1.0);
+                osds.push(Osd::new());
+            }
+        }
+        let perf = PerfTopology::build(self.perf, self.nodes, self.osds_per_node);
+        Cluster {
+            map,
+            osds,
+            pools: BTreeMap::new(),
+            next_pool: 1,
+            perf,
+            object_size_cap: self.object_size_cap,
+        }
+    }
+}
+
+impl Cluster {
+    /// Creates a pool and returns its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the config is invalid (see [`PoolConfig::validate`]).
+    pub fn create_pool(&mut self, config: PoolConfig) -> PoolId {
+        config.validate();
+        let id = PoolId(self.next_pool);
+        self.next_pool += 1;
+        let codec = match config.redundancy {
+            Redundancy::Erasure { k, m } => {
+                Some(ReedSolomon::new(k, m).expect("validated parameters"))
+            }
+            Redundancy::Replicated(_) => None,
+        };
+        let pgs = PgMap::new(id, config.pg_count);
+        self.pools.insert(
+            id,
+            PoolState {
+                config,
+                pgs,
+                codec,
+            },
+        );
+        id
+    }
+
+    /// The shared cluster map.
+    pub fn map(&self) -> &ClusterMap {
+        &self.map
+    }
+
+    /// The timing-plane topology.
+    pub fn perf(&self) -> &PerfTopology {
+        &self.perf
+    }
+
+    /// Mutable timing-plane topology (to execute costs / read utilisation).
+    pub fn perf_mut(&mut self) -> &mut PerfTopology {
+        &mut self.perf
+    }
+
+    /// Executes a cost against the timing plane starting at `now`.
+    ///
+    /// Execution is leg-level ([`dedup_sim::FlowEngine`]): parallel
+    /// branches interleave on shared resources in virtual-time order, so
+    /// large fan-out costs (recovery, rebalance) complete when their
+    /// bottleneck resource drains rather than serializing per branch.
+    pub fn execute_at(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {
+        let mut engine = dedup_sim::FlowEngine::new();
+        engine.start(now, cost, 0);
+        engine
+            .advance(&mut self.perf.pool)
+            .map(|c| c.at)
+            .unwrap_or(now)
+    }
+
+    /// A pool's configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError::NoSuchPool`] for unknown pools.
+    pub fn pool_config(&self, pool: PoolId) -> Result<&PoolConfig, StoreError> {
+        Ok(&self.state(pool)?.config)
+    }
+
+    pub(crate) fn state(&self, pool: PoolId) -> Result<&PoolState, StoreError> {
+        self.pools.get(&pool).ok_or(StoreError::NoSuchPool(pool))
+    }
+
+    fn node_of(&self, osd: OsdId) -> usize {
+        self.map.osd(osd).node.0 as usize
+    }
+
+    pub(crate) fn acting(&self, pool: PoolId, name: &ObjectName) -> Result<Vec<OsdId>, StoreError> {
+        let st = self.state(pool)?;
+        let pg = st.pgs.pg_of(name.as_bytes());
+        let acting = self.map.acting_set(pg, &st.config.rule());
+        if acting.len() < st.config.redundancy.width() {
+            // EC pools genuinely need the full width to write; replicated
+            // pools can run degraded with at least one copy.
+            let min_needed = match st.config.redundancy {
+                Redundancy::Replicated(_) => 1,
+                Redundancy::Erasure { k, m } => k + m,
+            };
+            if acting.len() < min_needed {
+                return Err(StoreError::InsufficientOsds {
+                    needed: min_needed,
+                    available: acting.len(),
+                });
+            }
+        }
+        Ok(acting)
+    }
+
+    /// Splits `[offset, offset + len)` of an object into maximal subranges
+    /// tagged with whether their bytes are resident (`true`) or punched
+    /// holes (`false`). Ranges are clipped to the object size.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist.
+    pub fn resident_ranges(
+        &self,
+        pool: PoolId,
+        name: &ObjectName,
+        offset: u64,
+        len: u64,
+    ) -> Result<Vec<(u64, u64, bool)>, StoreError> {
+        self.state(pool)?;
+        let holders = self.holders(pool, name);
+        let holder = holders
+            .first()
+            .ok_or_else(|| StoreError::NoSuchObject(pool, name.clone()))?;
+        let obj = self.osds[holder.0 as usize]
+            .get(pool, name)
+            .expect("holder has object");
+        let size = obj.payload.object_len();
+        let end = (offset + len).min(size);
+        if offset >= end {
+            return Ok(Vec::new());
+        }
+        let mut out = Vec::new();
+        let mut cursor = offset;
+        for (hs, he) in obj.holes.iter() {
+            let hs = hs.max(offset);
+            let he = he.min(end);
+            if hs >= he {
+                continue;
+            }
+            if cursor < hs {
+                out.push((cursor, hs, true));
+            }
+            out.push((hs, he, false));
+            cursor = he;
+        }
+        if cursor < end {
+            out.push((cursor, end, true));
+        }
+        Ok(out)
+    }
+
+    /// The primary OSD currently serving an object name.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools or when no device is eligible.
+    pub fn primary_of(&self, pool: PoolId, name: &ObjectName) -> Result<OsdId, StoreError> {
+        Ok(self.acting(pool, name)?[0])
+    }
+
+    /// OSDs (any, not just acting) currently holding a replica/shard.
+    pub(crate) fn holders(&self, pool: PoolId, name: &ObjectName) -> Vec<OsdId> {
+        self.osds
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.contains(pool, name))
+            .map(|(i, _)| OsdId(i as u32))
+            .collect()
+    }
+
+    /// Reconstructs the logical object (data + metadata) from whatever
+    /// replicas/shards exist. Returns `Ok(None)` if the object does not
+    /// exist anywhere.
+    pub(crate) fn load_logical(
+        &self,
+        pool: PoolId,
+        name: &ObjectName,
+    ) -> Result<Option<LogicalObject>, StoreError> {
+        let st = self.state(pool)?;
+        let holders = self.holders(pool, name);
+        if holders.is_empty() {
+            return Ok(None);
+        }
+        let meta_src = self.osds[holders[0].0 as usize]
+            .get(pool, name)
+            .expect("holder has object");
+        let (xattrs, omap) = (meta_src.xattrs.clone(), meta_src.omap.clone());
+        let holes = meta_src.holes.clone();
+        let data = match st.config.redundancy {
+            Redundancy::Replicated(_) => match &meta_src.payload {
+                Payload::Full(b) => b.clone(),
+                Payload::Shard { .. } => {
+                    return Err(StoreError::Inconsistent {
+                        pool,
+                        name: name.clone(),
+                        detail: "shard payload in replicated pool".into(),
+                    })
+                }
+            },
+            Redundancy::Erasure { k, m } => {
+                let codec = st.codec.as_ref().expect("EC pool has codec");
+                let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                let mut object_len = 0u64;
+                for h in &holders {
+                    if let Some(obj) = self.osds[h.0 as usize].get(pool, name) {
+                        if let Payload::Shard {
+                            index,
+                            object_len: ol,
+                            bytes,
+                        } = &obj.payload
+                        {
+                            object_len = *ol;
+                            if shards[*index as usize].is_none() {
+                                shards[*index as usize] = Some(bytes.clone());
+                            }
+                        }
+                    }
+                }
+                codec.decode_object(shards, object_len as usize)?
+            }
+        };
+        Ok(Some(LogicalObject {
+            data,
+            xattrs,
+            omap,
+            holes,
+        }))
+    }
+
+    /// Persists a logical object to its acting set, replacing all replicas.
+    fn store_logical(
+        &mut self,
+        pool: PoolId,
+        name: &ObjectName,
+        logical: &LogicalObject,
+    ) -> Result<(), StoreError> {
+        let acting = self.acting(pool, name)?;
+        let st = self.state(pool)?;
+        let compression = st.config.compression;
+        match st.config.redundancy {
+            Redundancy::Replicated(_) => {
+                let hole_bytes = logical.holes.total().min(logical.data.len() as u64);
+                let stored_bytes = if compression {
+                    dedup_compress::compress(&logical.data).len() as u64
+                } else {
+                    logical.data.len() as u64 - hole_bytes
+                };
+                for osd in acting {
+                    let mut obj = StoredObject::new(Payload::Full(logical.data.clone()));
+                    obj.xattrs = logical.xattrs.clone();
+                    obj.omap = logical.omap.clone();
+                    obj.holes = logical.holes.clone();
+                    obj.stored_bytes = stored_bytes;
+                    self.osds[osd.0 as usize].put(pool, name.clone(), obj);
+                }
+            }
+            Redundancy::Erasure { .. } => {
+                let codec = st.codec.as_ref().expect("EC pool has codec");
+                let shards = codec.encode_object(&logical.data)?;
+                let k = match st.config.redundancy {
+                    Redundancy::Erasure { k, .. } => k as u64,
+                    Redundancy::Replicated(_) => unreachable!("EC branch"),
+                };
+                let hole_share = logical.holes.total().min(logical.data.len() as u64) / k;
+                for (i, (osd, bytes)) in acting.iter().zip(shards).enumerate() {
+                    let stored_bytes = if compression {
+                        dedup_compress::compress(&bytes).len() as u64
+                    } else {
+                        (bytes.len() as u64).saturating_sub(hole_share)
+                    };
+                    let mut obj = StoredObject::new(Payload::Shard {
+                        index: i as u8,
+                        object_len: logical.data.len() as u64,
+                        bytes,
+                    });
+                    obj.xattrs = logical.xattrs.clone();
+                    obj.omap = logical.omap.clone();
+                    obj.holes = logical.holes.clone();
+                    obj.stored_bytes = stored_bytes;
+                    self.osds[osd.0 as usize].put(pool, name.clone(), obj);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn remove_everywhere(&mut self, pool: PoolId, name: &ObjectName) {
+        for osd in &mut self.osds {
+            osd.remove(pool, name);
+        }
+    }
+
+    /// Applies a transaction atomically to one object.
+    ///
+    /// The returned cost models the full write path: client → primary
+    /// transfer, any EC read-modify-write, redundancy fan-out, and disk
+    /// writes.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pool is unknown, too few devices are up, the object
+    /// would exceed the size cap, or EC decode fails.
+    pub fn transact(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        ops: Vec<TxOp>,
+    ) -> Result<Timed<()>, StoreError> {
+        if let Some(result) = self.try_fast_replicated_tx(ctx, name, &ops) {
+            return result;
+        }
+        let acting = self.acting(ctx.pool, name)?;
+        let primary = acting[0];
+        let primary_node = self.node_of(primary);
+        let existing = self.load_logical(ctx.pool, name)?;
+        let existed = existing.is_some();
+        let mut logical = existing.unwrap_or_default();
+        let old_len = logical.data.len() as u64;
+
+        // Apply ops in memory.
+        let mut data_bytes = 0u64;
+        let mut meta_bytes = 0u64;
+        let mut removed = false;
+        for op in ops {
+            match op {
+                TxOp::WriteFull(data) => {
+                    data_bytes += data.len() as u64;
+                    logical.holes.clear();
+                    logical.data = data;
+                }
+                TxOp::Write { offset, data } => {
+                    let end = offset + data.len() as u64;
+                    self.check_cap(end)?;
+                    if logical.data.len() < end as usize {
+                        logical.data.resize(end as usize, 0);
+                    }
+                    logical.data[offset as usize..end as usize].copy_from_slice(&data);
+                    logical.holes.remove(offset, end);
+                    data_bytes += data.len() as u64;
+                }
+                TxOp::Truncate(len) => {
+                    self.check_cap(len)?;
+                    let old = logical.data.len() as u64;
+                    logical.data.resize(len as usize, 0);
+                    logical.holes.truncate(len);
+                    if len > old {
+                        // Zero-extension is sparse.
+                        logical.holes.insert(old, len);
+                    }
+                }
+                TxOp::PunchHole { offset, len } => {
+                    let end = (offset + len).min(logical.data.len() as u64);
+                    if offset < end {
+                        logical.data[offset as usize..end as usize].fill(0);
+                        logical.holes.insert(offset, end);
+                        meta_bytes += 16;
+                    }
+                }
+                TxOp::SetXattr(k, v) => {
+                    meta_bytes += (k.len() + v.len()) as u64;
+                    logical.xattrs.insert(k, v);
+                }
+                TxOp::RemoveXattr(k) => {
+                    logical.xattrs.remove(&k);
+                }
+                TxOp::SetOmap(k, v) => {
+                    meta_bytes += (k.len() + v.len()) as u64;
+                    logical.omap.insert(k, v);
+                }
+                TxOp::RemoveOmap(k) => {
+                    logical.omap.remove(&k);
+                }
+                TxOp::Remove => removed = true,
+            }
+        }
+        self.check_cap(logical.data.len() as u64)?;
+
+        // Build the cost before mutating state.
+        let st = self.state(ctx.pool)?;
+        let redundancy = st.config.redundancy;
+        let compression = st.config.compression;
+        let payload = data_bytes + meta_bytes + 64; // 64B of message header
+        let client_leg = self.perf.client_to_node(ctx.client, primary_node, payload);
+
+        let cost = if removed {
+            // Deletion: metadata-sized fan-out.
+            let fanout = CostExpr::par(acting.iter().map(|&osd| {
+                CostExpr::seq([
+                    self.perf.node_to_node(primary_node, self.node_of(osd), 64),
+                    self.perf.disk_io(osd.0 as usize, 64),
+                ])
+            }));
+            CostExpr::seq([client_leg, fanout])
+        } else {
+            match redundancy {
+                Redundancy::Replicated(_) => {
+                    let per_replica = payload;
+                    let fanout = CostExpr::par(acting.iter().map(|&osd| {
+                        CostExpr::seq([
+                            self.perf
+                                .node_to_node(primary_node, self.node_of(osd), per_replica),
+                            self.perf.disk_io(osd.0 as usize, per_replica),
+                        ])
+                    }));
+                    let compress_cpu = if compression {
+                        self.perf.cpu_work(primary_node, data_bytes)
+                    } else {
+                        CostExpr::Nop
+                    };
+                    CostExpr::seq([
+                        client_leg,
+                        self.perf.request_cpu(primary_node, data_bytes),
+                        compress_cpu,
+                        fanout,
+                    ])
+                }
+                Redundancy::Erasure { k, m } => {
+                    // Partial update of an existing object forces a
+                    // read-modify-write of the stripes (paper §6.4.1's EC
+                    // latency penalty).
+                    let full_rewrite = data_bytes >= old_len.max(1) && old_len == 0;
+                    let rmw = if existed && !full_rewrite {
+                        let shard = (old_len / k as u64).max(1);
+                        CostExpr::par(acting.iter().take(k).map(|&osd| {
+                            CostExpr::seq([
+                                self.perf.disk_io(osd.0 as usize, shard),
+                                self.perf
+                                    .node_to_node(self.node_of(osd), primary_node, shard),
+                            ])
+                        }))
+                    } else {
+                        CostExpr::Nop
+                    };
+                    let new_len = logical.data.len() as u64;
+                    let shard_out = new_len.div_ceil(k as u64).max(1) + meta_bytes + 64;
+                    // Parity math on the primary's CPU.
+                    let ec_cpu = self
+                        .perf
+                        .cpu_work(primary_node, new_len * m as u64 / k as u64);
+                    let fanout = CostExpr::par(acting.iter().map(|&osd| {
+                        CostExpr::seq([
+                            self.perf
+                                .node_to_node(primary_node, self.node_of(osd), shard_out),
+                            self.perf.disk_io(osd.0 as usize, shard_out),
+                        ])
+                    }));
+                    CostExpr::seq([
+                        client_leg,
+                        self.perf.request_cpu(primary_node, data_bytes),
+                        rmw,
+                        ec_cpu,
+                        fanout,
+                    ])
+                }
+            }
+        };
+
+        // Commit.
+        if removed {
+            self.remove_everywhere(ctx.pool, name);
+        } else {
+            // Replace replicas everywhere the object previously was (stale
+            // holders outside the acting set would otherwise resurrect old
+            // data during recovery).
+            let stale: Vec<OsdId> = self
+                .holders(ctx.pool, name)
+                .into_iter()
+                .filter(|h| !self.acting(ctx.pool, name).map(|a| a.contains(h)).unwrap_or(false))
+                .collect();
+            for s in stale {
+                self.osds[s.0 as usize].remove(ctx.pool, name);
+            }
+            self.store_logical(ctx.pool, name, &logical)?;
+        }
+        Ok(Timed::new((), cost))
+    }
+
+    /// In-place transaction fast path for uncompressed replicated pools:
+    /// mutates each replica directly instead of reloading and re-storing
+    /// the whole logical object. Returns `None` when the slow path must
+    /// run (EC, compression, whole-object ops, or inconsistent holders).
+    fn try_fast_replicated_tx(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        ops: &[TxOp],
+    ) -> Option<Result<Timed<()>, StoreError>> {
+        let st = self.pools.get(&ctx.pool)?;
+        if !matches!(st.config.redundancy, Redundancy::Replicated(_)) || st.config.compression {
+            return None;
+        }
+        let in_place = ops.iter().all(|op| {
+            matches!(
+                op,
+                TxOp::Write { .. }
+                    | TxOp::SetXattr(..)
+                    | TxOp::RemoveXattr(..)
+                    | TxOp::SetOmap(..)
+                    | TxOp::RemoveOmap(..)
+                    | TxOp::PunchHole { .. }
+            )
+        });
+        if !in_place {
+            return None;
+        }
+        let acting = match self.acting(ctx.pool, name) {
+            Ok(a) => a,
+            Err(e) => return Some(Err(e)),
+        };
+        let holders = self.holders(ctx.pool, name);
+        // Fast path only when the replica set is exactly the acting set or
+        // the object is new; anything else needs the slow path's cleanup.
+        let fresh = holders.is_empty();
+        if !fresh {
+            let mut sorted_holders = holders.clone();
+            let mut sorted_acting = acting.clone();
+            sorted_holders.sort();
+            sorted_acting.sort();
+            if sorted_holders != sorted_acting {
+                return None;
+            }
+        }
+        // Size-cap check before mutating anything.
+        let mut max_end = 0u64;
+        let mut data_bytes = 0u64;
+        let mut meta_bytes = 0u64;
+        for op in ops {
+            match op {
+                TxOp::Write { offset, data } => {
+                    max_end = max_end.max(offset + data.len() as u64);
+                    data_bytes += data.len() as u64;
+                }
+                TxOp::SetXattr(k, v) | TxOp::SetOmap(k, v) => {
+                    meta_bytes += (k.len() + v.len()) as u64
+                }
+                TxOp::PunchHole { .. } => meta_bytes += 16,
+                _ => {}
+            }
+        }
+        if let Err(e) = self.check_cap(max_end) {
+            return Some(Err(e));
+        }
+
+        let primary_node = self.node_of(acting[0]);
+        let payload = data_bytes + meta_bytes + 64;
+        let client_leg = self.perf.client_to_node(ctx.client, primary_node, payload);
+        let fanout = CostExpr::par(acting.iter().map(|&osd| {
+            CostExpr::seq([
+                self.perf.node_to_node(primary_node, self.node_of(osd), payload),
+                self.perf.disk_io(osd.0 as usize, payload),
+            ])
+        }));
+        let cost = CostExpr::seq([
+            client_leg,
+            self.perf.request_cpu(primary_node, data_bytes),
+            fanout,
+        ]);
+
+        for &osd in &acting {
+            let store = &mut self.osds[osd.0 as usize];
+            if !store.contains(ctx.pool, name) {
+                store.put(
+                    ctx.pool,
+                    name.clone(),
+                    StoredObject::new(Payload::Full(Vec::new())),
+                );
+            }
+            let obj = store.get_mut(ctx.pool, name).expect("just ensured");
+            let data = match &mut obj.payload {
+                Payload::Full(d) => d,
+                Payload::Shard { .. } => return None, // corrupt; let slow path error
+            };
+            for op in ops {
+                match op {
+                    TxOp::Write { offset, data: buf } => {
+                        let end = *offset + buf.len() as u64;
+                        if data.len() < end as usize {
+                            data.resize(end as usize, 0);
+                        }
+                        data[*offset as usize..end as usize].copy_from_slice(buf);
+                        obj.holes.remove(*offset, end);
+                    }
+                    TxOp::PunchHole { offset, len } => {
+                        let end = (*offset + *len).min(data.len() as u64);
+                        if *offset < end {
+                            data[*offset as usize..end as usize].fill(0);
+                            obj.holes.insert(*offset, end);
+                        }
+                    }
+                    TxOp::SetXattr(k, v) => {
+                        obj.xattrs.insert(k.clone(), v.clone());
+                    }
+                    TxOp::RemoveXattr(k) => {
+                        obj.xattrs.remove(k);
+                    }
+                    TxOp::SetOmap(k, v) => {
+                        obj.omap.insert(k.clone(), v.clone());
+                    }
+                    TxOp::RemoveOmap(k) => {
+                        obj.omap.remove(k);
+                    }
+                    _ => unreachable!("filtered above"),
+                }
+            }
+            obj.stored_bytes =
+                (data.len() as u64).saturating_sub(obj.holes.total().min(data.len() as u64));
+        }
+        Some(Ok(Timed::new((), cost)))
+    }
+
+    fn check_cap(&self, len: u64) -> Result<(), StoreError> {
+        if len > self.object_size_cap {
+            return Err(StoreError::ObjectTooLarge {
+                requested: len,
+                cap: self.object_size_cap,
+            });
+        }
+        Ok(())
+    }
+
+    /// Writes the full object data (creating it if absent).
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::transact`].
+    pub fn write_full(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        data: Vec<u8>,
+    ) -> Result<Timed<()>, StoreError> {
+        self.transact(ctx, name, vec![TxOp::WriteFull(data)])
+    }
+
+    /// Writes `data` at `offset`, zero-filling any gap.
+    ///
+    /// # Errors
+    ///
+    /// See [`Cluster::transact`].
+    pub fn write_at(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        offset: u64,
+        data: Vec<u8>,
+    ) -> Result<Timed<()>, StoreError> {
+        self.transact(ctx, name, vec![TxOp::Write { offset, data }])
+    }
+
+    /// Reads `len` bytes at `offset`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist or the range exceeds its size.
+    pub fn read_at(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        offset: u64,
+        len: u64,
+    ) -> Result<Timed<Vec<u8>>, StoreError> {
+        // Fast path: replicated pools slice one replica without
+        // reconstructing the logical object.
+        let slice = {
+            let st = self.state(ctx.pool)?;
+            let fast = matches!(st.config.redundancy, Redundancy::Replicated(_));
+            if fast {
+                let holders = self.holders(ctx.pool, name);
+                let holder = holders
+                    .first()
+                    .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+                let obj = self.osds[holder.0 as usize]
+                    .get(ctx.pool, name)
+                    .expect("holder has object");
+                match &obj.payload {
+                    Payload::Full(data) => {
+                        if offset + len > data.len() as u64 {
+                            return Err(StoreError::ReadOutOfRange {
+                                offset,
+                                len,
+                                object_size: data.len() as u64,
+                            });
+                        }
+                        Some(data[offset as usize..(offset + len) as usize].to_vec())
+                    }
+                    Payload::Shard { .. } => None,
+                }
+            } else {
+                None
+            }
+        };
+        let slice = match slice {
+            Some(s) => s,
+            None => {
+                let logical = self
+                    .load_logical(ctx.pool, name)?
+                    .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+                let size = logical.data.len() as u64;
+                if offset + len > size {
+                    return Err(StoreError::ReadOutOfRange {
+                        offset,
+                        len,
+                        object_size: size,
+                    });
+                }
+                logical.data[offset as usize..(offset + len) as usize].to_vec()
+            }
+        };
+
+        let st = self.state(ctx.pool)?;
+        let acting = self.acting(ctx.pool, name)?;
+        let primary = acting[0];
+        let primary_node = self.node_of(primary);
+        let cost = match st.config.redundancy {
+            Redundancy::Replicated(_) => CostExpr::seq([
+                self.perf.request_cpu(primary_node, len),
+                self.perf.disk_io(primary.0 as usize, len),
+                self.perf.client_to_node(ctx.client, primary_node, len),
+            ]),
+            Redundancy::Erasure { k, .. } => {
+                // Read the k data shards covering the range in parallel,
+                // gather at the primary, return to the client.
+                let per_shard = len.div_ceil(k as u64).max(1);
+                let gather = CostExpr::par(acting.iter().take(k).map(|&osd| {
+                    CostExpr::seq([
+                        self.perf.disk_io(osd.0 as usize, per_shard),
+                        self.perf
+                            .node_to_node(self.node_of(osd), primary_node, per_shard),
+                    ])
+                }));
+                CostExpr::seq([
+                    self.perf.request_cpu(primary_node, len),
+                    gather,
+                    self.perf.client_to_node(ctx.client, primary_node, len),
+                ])
+            }
+        };
+        Ok(Timed::new(slice, cost))
+    }
+
+    /// Reads the whole object.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist.
+    pub fn read_full(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+    ) -> Result<Timed<Vec<u8>>, StoreError> {
+        let size = self
+            .stat(ctx.pool, name)?
+            .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+        self.read_at(ctx, name, 0, size)
+    }
+
+    /// Object size in bytes, or `None` if absent. Control-plane (no cost).
+    ///
+    /// # Errors
+    ///
+    /// Fails only for unknown pools.
+    pub fn stat(&self, pool: PoolId, name: &ObjectName) -> Result<Option<u64>, StoreError> {
+        self.state(pool)?;
+        let holders = self.holders(pool, name);
+        Ok(holders
+            .first()
+            .and_then(|h| self.osds[h.0 as usize].get(pool, name))
+            .map(|o| o.payload.object_len()))
+    }
+
+    /// Reads one xattr (metadata-sized I/O on the primary).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist.
+    pub fn get_xattr(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        key: &str,
+    ) -> Result<Timed<Option<Vec<u8>>>, StoreError> {
+        let (xattrs, _) = self
+            .load_metadata(ctx.pool, name)?
+            .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+        let value = xattrs.get(key).cloned();
+        let cost = self.metadata_read_cost(ctx, name)?;
+        Ok(Timed::new(value, cost))
+    }
+
+    /// Reads one omap value (metadata-sized I/O on the primary).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist.
+    pub fn get_omap(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+        key: &str,
+    ) -> Result<Timed<Option<Vec<u8>>>, StoreError> {
+        let (_, omap) = self
+            .load_metadata(ctx.pool, name)?
+            .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+        let value = omap.get(key).cloned();
+        let cost = self.metadata_read_cost(ctx, name)?;
+        Ok(Timed::new(value, cost))
+    }
+
+    /// Reads the entire omap (control-plane helper used by scans; charged
+    /// as one metadata read).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist.
+    pub fn omap_entries(
+        &mut self,
+        ctx: &IoCtx,
+        name: &ObjectName,
+    ) -> Result<Timed<BTreeMap<String, Vec<u8>>>, StoreError> {
+        let (_, omap) = self
+            .load_metadata(ctx.pool, name)?
+            .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
+        let cost = self.metadata_read_cost(ctx, name)?;
+        Ok(Timed::new(omap, cost))
+    }
+
+    /// Clones only the metadata maps from any replica (cheaper than
+    /// [`Cluster::load_logical`] for metadata reads).
+    fn load_metadata(
+        &self,
+        pool: PoolId,
+        name: &ObjectName,
+    ) -> Result<Option<MetadataMaps>, StoreError> {
+        self.state(pool)?;
+        let holders = self.holders(pool, name);
+        Ok(holders.first().map(|h| {
+            let obj = self.osds[h.0 as usize]
+                .get(pool, name)
+                .expect("holder has object");
+            (obj.xattrs.clone(), obj.omap.clone())
+        }))
+    }
+
+    fn metadata_read_cost(&self, ctx: &IoCtx, name: &ObjectName) -> Result<CostExpr, StoreError> {
+        const META_IO: u64 = 4096;
+        let acting = self.acting(ctx.pool, name)?;
+        let primary = acting[0];
+        Ok(CostExpr::seq([
+            self.perf.disk_io(primary.0 as usize, META_IO),
+            self.perf
+                .client_to_node(ctx.client, self.node_of(primary), META_IO),
+        ]))
+    }
+
+    /// Deletes an object.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools; deleting an absent object is a no-op.
+    pub fn delete(&mut self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<()>, StoreError> {
+        self.transact(ctx, name, vec![TxOp::Remove])
+    }
+
+    /// All object names in a pool (union across devices). Control-plane.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools.
+    pub fn list_objects(&self, pool: PoolId) -> Result<Vec<ObjectName>, StoreError> {
+        self.state(pool)?;
+        let mut names = BTreeSet::new();
+        for osd in &self.osds {
+            names.extend(osd.names_in_pool(pool));
+        }
+        Ok(names.into_iter().collect())
+    }
+
+    /// Capacity usage of one pool.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools.
+    pub fn usage(&self, pool: PoolId) -> Result<PoolUsage, StoreError> {
+        self.state(pool)?;
+        let mut usage = PoolUsage::default();
+        let mut seen: BTreeSet<ObjectName> = BTreeSet::new();
+        for osd in &self.osds {
+            for ((p, name), obj) in osd.iter() {
+                if *p != pool {
+                    continue;
+                }
+                if seen.insert(name.clone()) {
+                    usage.objects += 1;
+                    usage.logical_bytes += obj.payload.object_len();
+                }
+                usage.stored_bytes += obj.stored_bytes;
+                usage.metadata_bytes += obj.metadata_bytes();
+                usage.overhead_bytes += PER_OBJECT_OVERHEAD;
+            }
+        }
+        Ok(usage)
+    }
+
+    /// Iterates every replica on one device (used by the local-dedup
+    /// baseline and the experiments' accounting).
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown OSD ids.
+    pub fn osd_objects(
+        &self,
+        osd: OsdId,
+    ) -> Result<impl Iterator<Item = (&(PoolId, ObjectName), &StoredObject)>, StoreError> {
+        let idx = osd.0 as usize;
+        if idx >= self.osds.len() {
+            return Err(StoreError::NoSuchOsd(osd));
+        }
+        Ok(self.osds[idx].iter())
+    }
+
+    /// Fails an OSD: marks it down in the map and wipes its device,
+    /// simulating disk loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown OSD ids.
+    pub fn fail_osd(&mut self, osd: OsdId) {
+        self.map.set_up(osd, false);
+        self.osds[osd.0 as usize].wipe();
+    }
+
+    /// Marks an OSD down without wiping it (temporary outage).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown OSD ids.
+    pub fn mark_down(&mut self, osd: OsdId) {
+        self.map.set_up(osd, false);
+    }
+
+    /// Brings an OSD back up (its device keeps whatever it held; run
+    /// [`Cluster::recover`] to backfill).
+    ///
+    /// # Panics
+    ///
+    /// Panics for unknown OSD ids.
+    pub fn revive_osd(&mut self, osd: OsdId) {
+        self.map.set_up(osd, true);
+    }
+
+    /// Adds a brand-new OSD to `node` and returns its id.
+    pub fn add_osd(&mut self, node: NodeId, weight: f64) -> OsdId {
+        let id = self.map.add_osd(node, weight);
+        self.osds.push(Osd::new());
+        self.perf.add_disk(id.0 as usize);
+        id
+    }
+
+    pub(crate) fn osd_store(&self, osd: OsdId) -> &Osd {
+        &self.osds[osd.0 as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedup_placement::FailureDomain;
+
+    fn cluster() -> Cluster {
+        ClusterBuilder::new().nodes(4).osds_per_node(4).build()
+    }
+
+    fn rep_pool(c: &mut Cluster) -> IoCtx {
+        IoCtx::new(c.create_pool(PoolConfig::replicated("rep", 2)))
+    }
+
+    fn ec_pool(c: &mut Cluster) -> IoCtx {
+        IoCtx::new(c.create_pool(PoolConfig::erasure("ec", 2, 1)))
+    }
+
+    #[test]
+    fn write_read_round_trip_replicated() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let data = vec![7u8; 10_000];
+        let w = c.write_full(&ctx, &name, data.clone()).expect("write");
+        assert!(!w.cost.is_nop());
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, data);
+    }
+
+    #[test]
+    fn write_read_round_trip_erasure() {
+        let mut c = cluster();
+        let ctx = ec_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let data: Vec<u8> = (0..10_001).map(|i| (i % 251) as u8).collect();
+        let _ = c.write_full(&ctx, &name, data.clone()).expect("write");
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, data);
+    }
+
+    #[test]
+    fn replicated_pool_stores_n_copies() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![1u8; 1000]).expect("write");
+        assert_eq!(c.holders(ctx.pool, &name).len(), 2);
+        let usage = c.usage(ctx.pool).expect("usage");
+        assert_eq!(usage.logical_bytes, 1000);
+        assert_eq!(usage.stored_bytes, 2000);
+        assert_eq!(usage.objects, 1);
+    }
+
+    #[test]
+    fn ec_pool_stores_k_plus_m_shards() {
+        let mut c = cluster();
+        let ctx = ec_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![1u8; 1000]).expect("write");
+        assert_eq!(c.holders(ctx.pool, &name).len(), 3);
+        let usage = c.usage(ctx.pool).expect("usage");
+        // 1.5x raw overhead for 2+1.
+        assert_eq!(usage.stored_bytes, 1500);
+    }
+
+    #[test]
+    fn partial_write_zero_fills() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_at(&ctx, &name, 10, vec![9u8; 5]).expect("write");
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value.len(), 15);
+        assert_eq!(&r.value[..10], &[0u8; 10]);
+        assert_eq!(&r.value[10..], &[9u8; 5]);
+    }
+
+    #[test]
+    fn overwrite_at_offset_preserves_rest() {
+        let mut c = cluster();
+        let ctx = ec_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![1u8; 100]).expect("write");
+        let _ = c.write_at(&ctx, &name, 50, vec![2u8; 10]).expect("write");
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(&r.value[..50], &[1u8; 50]);
+        assert_eq!(&r.value[50..60], &[2u8; 10]);
+        assert_eq!(&r.value[60..], &[1u8; 40]);
+    }
+
+    #[test]
+    fn transaction_is_atomic_bundle() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.transact(
+            &ctx,
+            &name,
+            vec![
+                TxOp::WriteFull(vec![5u8; 64]),
+                TxOp::SetXattr("type".into(), b"metadata".to_vec()),
+                TxOp::SetOmap("entry.0".into(), b"chunkmap".to_vec()),
+            ],
+        )
+        .expect("tx");
+        let x = c.get_xattr(&ctx, &name, "type").expect("xattr");
+        assert_eq!(x.value.as_deref(), Some(b"metadata".as_slice()));
+        let o = c.get_omap(&ctx, &name, "entry.0").expect("omap");
+        assert_eq!(o.value.as_deref(), Some(b"chunkmap".as_slice()));
+    }
+
+    #[test]
+    fn metadata_is_on_every_replica() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.transact(
+            &ctx,
+            &name,
+            vec![
+                TxOp::WriteFull(vec![1u8; 10]),
+                TxOp::SetXattr("refcount".into(), vec![2]),
+            ],
+        )
+        .expect("tx");
+        for h in c.holders(ctx.pool, &name) {
+            let obj = c.osd_store(h).get(ctx.pool, &name).expect("replica");
+            assert_eq!(obj.xattrs.get("refcount"), Some(&vec![2]));
+        }
+    }
+
+    #[test]
+    fn read_out_of_range_errors() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![0u8; 10]).expect("write");
+        let err = c.read_at(&ctx, &name, 5, 10).expect_err("must fail");
+        assert!(matches!(err, StoreError::ReadOutOfRange { .. }));
+    }
+
+    #[test]
+    fn missing_object_errors() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let err = c
+            .read_full(&ctx, &ObjectName::new("ghost"))
+            .expect_err("must fail");
+        assert!(matches!(err, StoreError::NoSuchObject(..)));
+    }
+
+    #[test]
+    fn unknown_pool_errors() {
+        let c = cluster();
+        assert!(matches!(
+            c.usage(PoolId(99)),
+            Err(StoreError::NoSuchPool(_))
+        ));
+    }
+
+    #[test]
+    fn delete_removes_all_replicas() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![1u8; 100]).expect("write");
+        let _ = c.delete(&ctx, &name).expect("delete");
+        assert!(c.holders(ctx.pool, &name).is_empty());
+        assert_eq!(c.stat(ctx.pool, &name).expect("stat"), None);
+    }
+
+    #[test]
+    fn object_size_cap_enforced() {
+        let mut c = ClusterBuilder::new().object_size_cap(1000).build();
+        let ctx = rep_pool(&mut c);
+        let err = c
+            .write_at(&ctx, &ObjectName::new("big"), 2000, vec![1])
+            .expect_err("must fail");
+        assert!(matches!(err, StoreError::ObjectTooLarge { .. }));
+    }
+
+    #[test]
+    fn compression_shrinks_stored_bytes() {
+        let mut c = cluster();
+        let pool = c.create_pool(PoolConfig::replicated("comp", 2).with_compression());
+        let ctx = IoCtx::new(pool);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![0u8; 100_000]).expect("write");
+        let usage = c.usage(pool).expect("usage");
+        assert_eq!(usage.logical_bytes, 100_000);
+        assert!(
+            usage.stored_bytes < 10_000,
+            "zeros should compress: {}",
+            usage.stored_bytes
+        );
+        // Data still reads back exactly.
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, vec![0u8; 100_000]);
+    }
+
+    #[test]
+    fn list_objects_sorted_union() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        for n in ["b", "a", "c"] {
+            let _ = c.write_full(&ctx, &ObjectName::new(n), vec![0u8; 8])
+                .expect("write");
+        }
+        let names = c.list_objects(ctx.pool).expect("list");
+        let strs: Vec<_> = names.iter().map(ObjectName::as_str).collect();
+        assert_eq!(strs, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn writes_spread_across_osds() {
+        let mut c = cluster();
+        let ctx = rep_pool(&mut c);
+        for i in 0..200 {
+            let _ = c.write_full(&ctx, &ObjectName::new(format!("o{i}")), vec![0u8; 64])
+                .expect("write");
+        }
+        let loaded = (0..16)
+            .filter(|&i| {
+                c.osd_store(OsdId(i)).stats().objects > 0
+            })
+            .count();
+        assert!(loaded >= 14, "only {loaded}/16 OSDs used");
+    }
+
+    #[test]
+    fn ec_write_cost_exceeds_replicated_for_partial_updates() {
+        let mut c = cluster();
+        let rep = rep_pool(&mut c);
+        let ec = ec_pool(&mut c);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&rep, &name, vec![1u8; 64 * 1024]).expect("w");
+        let _ = c.write_full(&ec, &name, vec![1u8; 64 * 1024]).expect("w");
+        // Partial 8KiB update in the middle.
+        let t_rep = c
+            .write_at(&rep, &name, 1024, vec![2u8; 8 * 1024])
+            .expect("w");
+        let t_ec = c.write_at(&ec, &name, 1024, vec![2u8; 8 * 1024]).expect("w");
+        let mut perf = c.perf().pool.clone();
+        let rep_done = perf.execute(SimTime::ZERO, &t_rep.cost);
+        let ec_done = perf.execute(rep_done, &t_ec.cost).since(rep_done);
+        assert!(
+            ec_done.as_nanos() > rep_done.as_nanos(),
+            "EC RMW {ec_done:?} should exceed replicated {rep_done:?}"
+        );
+    }
+
+    #[test]
+    fn degraded_replicated_pool_still_serves() {
+        let mut c = ClusterBuilder::new().nodes(2).osds_per_node(1).build();
+        let pool = c.create_pool(
+            PoolConfig::replicated("r", 2).with_failure_domain(FailureDomain::Osd),
+        );
+        let ctx = IoCtx::new(pool);
+        let name = ObjectName::new("obj");
+        let _ = c.write_full(&ctx, &name, vec![3u8; 100]).expect("write");
+        c.mark_down(OsdId(0));
+        // One OSD left: degraded but readable and writable.
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, vec![3u8; 100]);
+        let _ = c.write_full(&ctx, &name, vec![4u8; 50]).expect("write degraded");
+    }
+
+    #[test]
+    fn ec_pool_unavailable_below_width() {
+        let mut c = ClusterBuilder::new().nodes(3).osds_per_node(1).build();
+        let pool = c.create_pool(PoolConfig::erasure("e", 2, 1));
+        let ctx = IoCtx::new(pool);
+        c.mark_down(OsdId(0));
+        let err = c
+            .write_full(&ctx, &ObjectName::new("x"), vec![1u8; 10])
+            .expect_err("EC needs k+m devices");
+        assert!(matches!(err, StoreError::InsufficientOsds { .. }));
+    }
+}

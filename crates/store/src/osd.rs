@@ -1,0 +1,160 @@
+//! One object storage device: an object map with capacity statistics.
+
+use std::collections::HashMap;
+
+use dedup_placement::PoolId;
+use serde::{Deserialize, Serialize};
+
+use crate::object::{ObjectName, StoredObject};
+
+/// Capacity statistics for one OSD.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct OsdStats {
+    /// Number of object replicas/shards held.
+    pub objects: u64,
+    /// Physical payload bytes (post-compression).
+    pub stored_bytes: u64,
+    /// Metadata bytes (xattr + omap).
+    pub metadata_bytes: u64,
+}
+
+/// One storage device's local object store.
+///
+/// An OSD knows nothing about placement: the cluster routes to it, it
+/// stores whatever it is told. This mirrors the shared-nothing split in the
+/// real system.
+#[derive(Debug, Clone, Default)]
+pub struct Osd {
+    objects: HashMap<(PoolId, ObjectName), StoredObject>,
+}
+
+impl Osd {
+    /// Creates an empty device.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts or replaces an object replica, returning the previous one.
+    pub fn put(
+        &mut self,
+        pool: PoolId,
+        name: ObjectName,
+        object: StoredObject,
+    ) -> Option<StoredObject> {
+        self.objects.insert((pool, name), object)
+    }
+
+    /// Borrows an object replica.
+    pub fn get(&self, pool: PoolId, name: &ObjectName) -> Option<&StoredObject> {
+        self.objects.get(&(pool, name.clone()))
+    }
+
+    /// Mutably borrows an object replica.
+    pub fn get_mut(&mut self, pool: PoolId, name: &ObjectName) -> Option<&mut StoredObject> {
+        self.objects.get_mut(&(pool, name.clone()))
+    }
+
+    /// Removes an object replica.
+    pub fn remove(&mut self, pool: PoolId, name: &ObjectName) -> Option<StoredObject> {
+        self.objects.remove(&(pool, name.clone()))
+    }
+
+    /// Whether the device holds a replica of the object.
+    pub fn contains(&self, pool: PoolId, name: &ObjectName) -> bool {
+        self.objects.contains_key(&(pool, name.clone()))
+    }
+
+    /// Iterates over everything on the device.
+    pub fn iter(&self) -> impl Iterator<Item = (&(PoolId, ObjectName), &StoredObject)> {
+        self.objects.iter()
+    }
+
+    /// Object names this device holds for one pool.
+    pub fn names_in_pool(&self, pool: PoolId) -> Vec<ObjectName> {
+        self.objects
+            .keys()
+            .filter(|(p, _)| *p == pool)
+            .map(|(_, n)| n.clone())
+            .collect()
+    }
+
+    /// Wipes the device (simulates losing the disk).
+    pub fn wipe(&mut self) {
+        self.objects.clear();
+    }
+
+    /// Computes capacity statistics.
+    pub fn stats(&self) -> OsdStats {
+        let mut s = OsdStats::default();
+        for obj in self.objects.values() {
+            s.objects += 1;
+            s.stored_bytes += obj.stored_bytes;
+            s.metadata_bytes += obj.metadata_bytes();
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::Payload;
+
+    fn pool() -> PoolId {
+        PoolId(1)
+    }
+
+    #[test]
+    fn put_get_remove_round_trip() {
+        let mut osd = Osd::new();
+        let name = ObjectName::new("a");
+        let obj = StoredObject::new(Payload::Full(vec![1, 2, 3]));
+        assert!(osd.put(pool(), name.clone(), obj.clone()).is_none());
+        assert_eq!(osd.get(pool(), &name), Some(&obj));
+        assert!(osd.contains(pool(), &name));
+        assert_eq!(osd.remove(pool(), &name), Some(obj));
+        assert!(!osd.contains(pool(), &name));
+    }
+
+    #[test]
+    fn pools_are_namespaced() {
+        let mut osd = Osd::new();
+        let name = ObjectName::new("same");
+        osd.put(PoolId(1), name.clone(), StoredObject::new(Payload::Full(vec![1])));
+        osd.put(PoolId(2), name.clone(), StoredObject::new(Payload::Full(vec![2, 2])));
+        assert_eq!(
+            osd.get(PoolId(1), &name).map(|o| o.stored_bytes),
+            Some(1)
+        );
+        assert_eq!(
+            osd.get(PoolId(2), &name).map(|o| o.stored_bytes),
+            Some(2)
+        );
+        assert_eq!(osd.names_in_pool(PoolId(1)).len(), 1);
+    }
+
+    #[test]
+    fn stats_sum_objects() {
+        let mut osd = Osd::new();
+        let mut a = StoredObject::new(Payload::Full(vec![0; 100]));
+        a.xattrs.insert("k".into(), vec![0; 10]);
+        osd.put(pool(), ObjectName::new("a"), a);
+        osd.put(
+            pool(),
+            ObjectName::new("b"),
+            StoredObject::new(Payload::Full(vec![0; 50])),
+        );
+        let s = osd.stats();
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.stored_bytes, 150);
+        assert_eq!(s.metadata_bytes, 11);
+    }
+
+    #[test]
+    fn wipe_clears_everything() {
+        let mut osd = Osd::new();
+        osd.put(pool(), ObjectName::new("a"), StoredObject::new(Payload::Full(vec![1])));
+        osd.wipe();
+        assert_eq!(osd.stats().objects, 0);
+    }
+}

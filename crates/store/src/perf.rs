@@ -1,0 +1,230 @@
+//! Performance topology: maps cluster hardware onto timing-plane resources.
+//!
+//! Defaults are parameterised to the paper's testbed (§6.1): SATA SSDs on
+//! each OSD, 10 GbE between nodes and clients, Xeon-class CPUs.
+
+use dedup_sim::{CostExpr, ResourceId, ResourcePool, ResourceSpec, SimDuration};
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a client host (each has its own NIC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct ClientId(pub u32);
+
+impl ClientId {
+    /// A server-internal actor (background deduplication, recovery): its
+    /// traffic crosses node NICs but no client NIC.
+    pub const INTERNAL: ClientId = ClientId(u32::MAX);
+}
+
+/// Hardware performance parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PerfConfig {
+    /// OSD disk bandwidth in bytes/s (default ~500 MB/s SATA SSD).
+    pub disk_bytes_per_sec: u64,
+    /// OSD disk per-op latency in microseconds (default 80 µs).
+    pub disk_latency_us: u64,
+    /// Node/client NIC bandwidth in bytes/s (default 10 GbE ≈ 1.25 GB/s).
+    pub nic_bytes_per_sec: u64,
+    /// One-way network latency in microseconds (default 50 µs).
+    pub nic_latency_us: u64,
+    /// Per-node CPU processing rate for storage work in bytes/s; models the
+    /// cost of fingerprinting, EC math, and compression (default 400 MB/s).
+    pub cpu_bytes_per_sec: u64,
+    /// Number of client hosts (default 3, as in the paper's testbed).
+    pub clients: u32,
+}
+
+impl Default for PerfConfig {
+    fn default() -> Self {
+        PerfConfig {
+            disk_bytes_per_sec: 500 * 1_000_000,
+            disk_latency_us: 80,
+            nic_bytes_per_sec: 1_250 * 1_000_000,
+            nic_latency_us: 50,
+            cpu_bytes_per_sec: 400 * 1_000_000,
+            clients: 3,
+        }
+    }
+}
+
+/// Resource handles for every device in the cluster.
+#[derive(Debug, Clone)]
+pub struct PerfTopology {
+    /// The queueing resources themselves.
+    pub pool: ResourcePool,
+    /// One disk per OSD, indexed by OSD id.
+    pub disks: Vec<ResourceId>,
+    /// One NIC per node, indexed by node id.
+    pub nics: Vec<ResourceId>,
+    /// One CPU per node, indexed by node id.
+    pub cpus: Vec<ResourceId>,
+    /// One NIC per client host.
+    pub client_nics: Vec<ResourceId>,
+    /// The configuration the topology was built from.
+    pub config: PerfConfig,
+}
+
+impl PerfTopology {
+    /// Builds resources for `nodes` nodes with `osds_per_node` disks each.
+    pub fn build(config: PerfConfig, nodes: u32, osds_per_node: u32) -> Self {
+        let mut pool = ResourcePool::new();
+        let mut disks = Vec::new();
+        let mut nics = Vec::new();
+        let mut cpus = Vec::new();
+        for n in 0..nodes {
+            nics.push(pool.register(ResourceSpec::nic(
+                format!("node.{n}/nic"),
+                config.nic_bytes_per_sec,
+                config.nic_latency_us * 1_000,
+            )));
+            cpus.push(pool.register(ResourceSpec::cpu(
+                format!("node.{n}/cpu"),
+                config.cpu_bytes_per_sec,
+            )));
+            for d in 0..osds_per_node {
+                disks.push(pool.register(ResourceSpec::disk(
+                    format!("osd.{}/disk", n * osds_per_node + d),
+                    config.disk_bytes_per_sec,
+                    config.disk_latency_us * 1_000,
+                )));
+            }
+        }
+        let client_nics = (0..config.clients)
+            .map(|c| {
+                pool.register(ResourceSpec::nic(
+                    format!("client.{c}/nic"),
+                    config.nic_bytes_per_sec,
+                    config.nic_latency_us * 1_000,
+                ))
+            })
+            .collect();
+        PerfTopology {
+            pool,
+            disks,
+            nics,
+            cpus,
+            client_nics,
+            config,
+        }
+    }
+
+    /// Registers one more disk (when an OSD is added to a node) and returns
+    /// its resource id.
+    pub fn add_disk(&mut self, osd_index: usize) -> ResourceId {
+        let id = self.pool.register(ResourceSpec::disk(
+            format!("osd.{osd_index}/disk"),
+            self.config.disk_bytes_per_sec,
+            self.config.disk_latency_us * 1_000,
+        ));
+        self.disks.push(id);
+        id
+    }
+
+    /// Cost of moving `bytes` from a client to a node (client NIC then node
+    /// NIC, sequentially — the payload crosses both).
+    pub fn client_to_node(&self, client: ClientId, node: usize, bytes: u64) -> CostExpr {
+        if client == ClientId::INTERNAL {
+            // Server-internal traffic only touches the node's NIC.
+            return CostExpr::transfer(self.nics[node], bytes);
+        }
+        CostExpr::seq([
+            CostExpr::transfer(self.client_nic(client), bytes),
+            CostExpr::transfer(self.nics[node], bytes),
+        ])
+    }
+
+    /// Cost of moving `bytes` between two nodes (both NICs; free if same
+    /// node).
+    pub fn node_to_node(&self, from: usize, to: usize, bytes: u64) -> CostExpr {
+        if from == to {
+            return CostExpr::Nop;
+        }
+        CostExpr::seq([
+            CostExpr::transfer(self.nics[from], bytes),
+            CostExpr::transfer(self.nics[to], bytes),
+        ])
+    }
+
+    /// Cost of a disk read/write of `bytes` on `osd_index`.
+    pub fn disk_io(&self, osd_index: usize, bytes: u64) -> CostExpr {
+        CostExpr::transfer(self.disks[osd_index], bytes)
+    }
+
+    /// Cost of CPU work processing `bytes` on `node` (fingerprint, EC,
+    /// compression).
+    pub fn cpu_work(&self, node: usize, bytes: u64) -> CostExpr {
+        CostExpr::transfer(self.cpus[node], bytes)
+    }
+
+    /// Cost of CPU work of a fixed duration on `node`.
+    pub fn cpu_busy(&self, node: usize, duration: SimDuration) -> CostExpr {
+        CostExpr::busy(self.cpus[node], duration)
+    }
+
+    /// Request-handling CPU charged per storage op on the serving node:
+    /// a fixed dispatch cost plus a memcpy-rate per-byte term.
+    pub fn request_cpu(&self, node: usize, bytes: u64) -> CostExpr {
+        let nanos = 10_000 + bytes / 2; // 10us dispatch + ~2 GB/s copy
+        CostExpr::busy(self.cpus[node], SimDuration::from_nanos(nanos))
+    }
+
+    /// The NIC of a client (wraps around if more clients than configured).
+    pub fn client_nic(&self, client: ClientId) -> ResourceId {
+        self.client_nics[client.0 as usize % self.client_nics.len()]
+    }
+
+    /// CPU utilisation of `node` over the horizon `until`.
+    pub fn cpu_utilization(&self, node: usize, until: dedup_sim::SimTime) -> f64 {
+        self.pool.get(self.cpus[node]).utilization(until)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedup_sim::SimTime;
+
+    #[test]
+    fn build_registers_everything() {
+        let t = PerfTopology::build(PerfConfig::default(), 4, 4);
+        assert_eq!(t.disks.len(), 16);
+        assert_eq!(t.nics.len(), 4);
+        assert_eq!(t.cpus.len(), 4);
+        assert_eq!(t.client_nics.len(), 3);
+        assert_eq!(t.pool.len(), 16 + 4 + 4 + 3);
+    }
+
+    #[test]
+    fn same_node_transfer_is_free() {
+        let t = PerfTopology::build(PerfConfig::default(), 2, 1);
+        assert!(t.node_to_node(1, 1, 1 << 20).is_nop());
+        assert!(!t.node_to_node(0, 1, 1 << 20).is_nop());
+    }
+
+    #[test]
+    fn client_nics_wrap() {
+        let t = PerfTopology::build(PerfConfig::default(), 1, 1);
+        assert_eq!(t.client_nic(ClientId(0)), t.client_nic(ClientId(3)));
+        assert_ne!(t.client_nic(ClientId(0)), t.client_nic(ClientId(1)));
+    }
+
+    #[test]
+    fn costs_execute() {
+        let mut t = PerfTopology::build(PerfConfig::default(), 2, 2);
+        let c = CostExpr::seq([
+            t.client_to_node(ClientId(0), 0, 4096),
+            t.disk_io(0, 4096),
+        ]);
+        let done = t.pool.execute(SimTime::ZERO, &c);
+        // At least the two NIC latencies plus the disk latency.
+        assert!(done.as_nanos() >= (50 + 50 + 80) * 1_000);
+    }
+
+    #[test]
+    fn add_disk_extends_topology() {
+        let mut t = PerfTopology::build(PerfConfig::default(), 1, 1);
+        let before = t.disks.len();
+        t.add_disk(before);
+        assert_eq!(t.disks.len(), before + 1);
+    }
+}

@@ -1,0 +1,201 @@
+//! Pool configuration: redundancy scheme, PG count, compression.
+
+use dedup_placement::{FailureDomain, PlacementRule};
+use serde::{Deserialize, Serialize};
+
+/// How a pool protects data against device loss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Redundancy {
+    /// `n` full copies on distinct failure domains (primary-copy).
+    Replicated(usize),
+    /// Reed–Solomon `k` data + `m` parity shards.
+    Erasure {
+        /// Data shard count.
+        k: usize,
+        /// Parity shard count.
+        m: usize,
+    },
+}
+
+impl Redundancy {
+    /// Devices an object of this redundancy occupies.
+    pub fn width(&self) -> usize {
+        match self {
+            Redundancy::Replicated(n) => *n,
+            Redundancy::Erasure { k, m } => k + m,
+        }
+    }
+
+    /// Raw-capacity expansion factor over the logical data size.
+    pub fn overhead_factor(&self) -> f64 {
+        match self {
+            Redundancy::Replicated(n) => *n as f64,
+            Redundancy::Erasure { k, m } => (k + m) as f64 / *k as f64,
+        }
+    }
+
+    /// Device failures the scheme tolerates without data loss.
+    pub fn fault_tolerance(&self) -> usize {
+        match self {
+            Redundancy::Replicated(n) => n - 1,
+            Redundancy::Erasure { m, .. } => *m,
+        }
+    }
+}
+
+/// Static description of one pool.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// Human-readable pool name.
+    pub name: String,
+    /// Redundancy scheme.
+    pub redundancy: Redundancy,
+    /// Number of placement groups.
+    pub pg_count: u32,
+    /// Topology level replicas must not share.
+    pub failure_domain: FailureDomain,
+    /// Whether replicas are compressed at rest (paper §6.4.3's Btrfs
+    /// feature).
+    pub compression: bool,
+}
+
+impl PoolConfig {
+    /// A replicated pool with `copies` replicas spread across nodes.
+    pub fn replicated(name: impl Into<String>, copies: usize) -> Self {
+        PoolConfig {
+            name: name.into(),
+            redundancy: Redundancy::Replicated(copies),
+            pg_count: 128,
+            failure_domain: FailureDomain::Node,
+            compression: false,
+        }
+    }
+
+    /// An erasure-coded `k + m` pool spread across nodes.
+    pub fn erasure(name: impl Into<String>, k: usize, m: usize) -> Self {
+        PoolConfig {
+            name: name.into(),
+            redundancy: Redundancy::Erasure { k, m },
+            pg_count: 128,
+            failure_domain: FailureDomain::Node,
+            compression: false,
+        }
+    }
+
+    /// Enables at-rest compression.
+    pub fn with_compression(mut self) -> Self {
+        self.compression = true;
+        self
+    }
+
+    /// Overrides the PG count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pg_count` is zero.
+    pub fn with_pg_count(mut self, pg_count: u32) -> Self {
+        assert!(pg_count > 0, "pg_count must be positive");
+        self.pg_count = pg_count;
+        self
+    }
+
+    /// Overrides the failure domain.
+    pub fn with_failure_domain(mut self, failure_domain: FailureDomain) -> Self {
+        self.failure_domain = failure_domain;
+        self
+    }
+
+    /// The placement rule this pool uses.
+    pub fn rule(&self) -> PlacementRule {
+        PlacementRule {
+            replicas: self.redundancy.width(),
+            failure_domain: self.failure_domain,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on nonsensical parameters (zero copies, EC `k == 0`, ...).
+    pub fn validate(&self) {
+        match self.redundancy {
+            Redundancy::Replicated(n) => assert!(n >= 1, "need at least one copy"),
+            Redundancy::Erasure { k, m } => {
+                assert!(k >= 1 && m >= 1, "EC needs k >= 1 and m >= 1");
+                assert!(k + m <= 255, "EC k+m must fit GF(256)");
+            }
+        }
+        assert!(self.pg_count > 0, "pg_count must be positive");
+    }
+}
+
+/// Capacity usage of one pool, split into the components the paper's
+/// Table 2 accounting needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PoolUsage {
+    /// Logical bytes: size of each object counted once.
+    pub logical_bytes: u64,
+    /// Physical payload bytes across all replicas/shards, post-compression.
+    pub stored_bytes: u64,
+    /// Metadata bytes (xattr + omap) across all replicas.
+    pub metadata_bytes: u64,
+    /// Fixed per-object overhead across all replicas.
+    pub overhead_bytes: u64,
+    /// Number of distinct objects.
+    pub objects: u64,
+}
+
+impl PoolUsage {
+    /// Total physical footprint: payload + metadata + per-object overhead.
+    pub fn total_bytes(&self) -> u64 {
+        self.stored_bytes + self.metadata_bytes + self.overhead_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn redundancy_width_and_overhead() {
+        assert_eq!(Redundancy::Replicated(3).width(), 3);
+        assert_eq!(Redundancy::Erasure { k: 2, m: 1 }.width(), 3);
+        assert!((Redundancy::Replicated(2).overhead_factor() - 2.0).abs() < 1e-12);
+        assert!((Redundancy::Erasure { k: 2, m: 1 }.overhead_factor() - 1.5).abs() < 1e-12);
+        assert_eq!(Redundancy::Replicated(2).fault_tolerance(), 1);
+        assert_eq!(Redundancy::Erasure { k: 2, m: 1 }.fault_tolerance(), 1);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let p = PoolConfig::replicated("meta", 2)
+            .with_pg_count(64)
+            .with_compression();
+        assert_eq!(p.pg_count, 64);
+        assert!(p.compression);
+        assert_eq!(p.rule().replicas, 2);
+        p.validate();
+        let e = PoolConfig::erasure("chunks", 2, 1);
+        assert_eq!(e.rule().replicas, 3);
+        e.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "k >= 1")]
+    fn invalid_ec_rejected() {
+        PoolConfig::erasure("bad", 0, 1).validate();
+    }
+
+    #[test]
+    fn usage_totals() {
+        let u = PoolUsage {
+            logical_bytes: 100,
+            stored_bytes: 200,
+            metadata_bytes: 30,
+            overhead_bytes: 40,
+            objects: 2,
+        };
+        assert_eq!(u.total_bytes(), 270);
+    }
+}

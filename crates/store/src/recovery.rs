@@ -1,0 +1,704 @@
+//! Recovery, backfill/rebalance, and scrub.
+//!
+//! Because dedup metadata lives *inside* objects (self-contained objects),
+//! this module needs zero knowledge of deduplication: re-replicating an
+//! object automatically re-replicates its chunk map or reference counts.
+//! That is precisely the paper's argument for the design (§3.2, §6.4.2).
+
+use dedup_placement::{OsdId, PoolId};
+use dedup_sim::CostExpr;
+
+use crate::cluster::{Cluster, Timed};
+use crate::error::StoreError;
+use crate::object::{ObjectName, Payload};
+use crate::pool::Redundancy;
+
+/// Outcome of a recovery / rebalance pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Objects examined across all pools.
+    pub objects_examined: u64,
+    /// Objects that needed at least one replica/shard copied or rebuilt.
+    pub objects_repaired: u64,
+    /// Payload bytes moved over the network during repair.
+    pub bytes_moved: u64,
+    /// Stray replicas removed from devices outside the acting set.
+    pub strays_removed: u64,
+    /// Objects that could not be recovered (too many shards lost).
+    pub lost: Vec<(PoolId, ObjectName)>,
+}
+
+/// A replica inconsistency found by scrub.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScrubFinding {
+    /// Pool of the damaged object.
+    pub pool: PoolId,
+    /// Damaged object.
+    pub name: ObjectName,
+    /// What is wrong.
+    pub detail: String,
+}
+
+impl Cluster {
+    /// Repairs every object: re-replicates missing copies, rebuilds missing
+    /// erasure shards, and removes strays left behind by map changes. Call
+    /// after [`Cluster::fail_osd`] / [`Cluster::add_osd`] /
+    /// [`Cluster::revive_osd`]; this is both recovery and rebalance.
+    ///
+    /// The returned cost models reads from surviving devices, network
+    /// transfers, and writes to targets, so executing it yields the
+    /// recovery time of the paper's Table 3.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on internal inconsistencies (e.g. a pool disappearing mid
+    /// scan); unrecoverable objects are reported in
+    /// [`RecoveryReport::lost`], not as an error.
+    pub fn recover(&mut self) -> Result<Timed<RecoveryReport>, StoreError> {
+        let pools: Vec<PoolId> = self.pools.keys().copied().collect();
+        let mut report = RecoveryReport::default();
+        let mut costs: Vec<CostExpr> = Vec::new();
+        for pool in pools {
+            for name in self.list_objects(pool)? {
+                report.objects_examined += 1;
+                self.recover_object(pool, &name, &mut report, &mut costs)?;
+            }
+        }
+        // Recovery proceeds in parallel across placement groups (bounded
+        // in real clusters by op queues, but bandwidth-bound either way):
+        // disks and NICs serialize transfers through the resource model,
+        // while per-object latencies overlap.
+        Ok(Timed::new(report, CostExpr::par(costs)))
+    }
+
+    fn recover_object(
+        &mut self,
+        pool: PoolId,
+        name: &ObjectName,
+        report: &mut RecoveryReport,
+        costs: &mut Vec<CostExpr>,
+    ) -> Result<(), StoreError> {
+        let acting = match self.acting(pool, name) {
+            Ok(a) => a,
+            Err(StoreError::InsufficientOsds { .. }) => {
+                report.lost.push((pool, name.clone()));
+                return Ok(());
+            }
+            Err(e) => return Err(e),
+        };
+        let holders = self.holders(pool, name);
+        let redundancy = self.state(pool)?.config.redundancy;
+
+        // Is any acting device missing or holding the wrong shard?
+        let misplaced: Vec<OsdId> = acting
+            .iter()
+            .copied()
+            .enumerate()
+            .filter(|&(rank, osd)| {
+                match self.osd_store(osd).get(pool, name) {
+                    None => true,
+                    Some(obj) => match (&obj.payload, redundancy) {
+                        (Payload::Shard { index, .. }, Redundancy::Erasure { .. }) => {
+                            *index as usize != rank
+                        }
+                        _ => false,
+                    },
+                }
+            })
+            .map(|(_, osd)| osd)
+            .collect();
+        let strays: Vec<OsdId> = holders
+            .iter()
+            .copied()
+            .filter(|h| !acting.contains(h))
+            .collect();
+
+        // Load the logical object while strays may still be the only
+        // holders of live data (a rebalance can move an object entirely).
+        let logical = if misplaced.is_empty() {
+            None
+        } else {
+            match self.load_logical(pool, name)? {
+                Some(l) => Some(l),
+                None => {
+                    // Not enough shards anywhere: leave remaining pieces in
+                    // place for forensics and report the loss.
+                    report.lost.push((pool, name.clone()));
+                    return Ok(());
+                }
+            }
+        };
+
+        if let Some(logical) = logical {
+            // Cost: read enough source replicas, send to each target, write.
+            // Source selection spreads by name hash so one surviving OSD
+            // does not serve every move.
+            if holders.is_empty() {
+                return Err(StoreError::NoSuchObject(pool, name.clone()));
+            }
+            let src = holders[(dedup_placement::hash::xxh64(name.as_bytes(), 0x5eed) as usize)
+                % holders.len()];
+            let src_node = self.map.osd(src).node.0 as usize;
+            // Only resident bytes move: punched holes (evicted cache) cost
+            // nothing, which is exactly why deduplicated clusters recover
+            // faster (paper Table 3). Metadata (chunk maps, refcounts)
+            // moves with the object.
+            let resident = (logical.data.len() as u64)
+                .saturating_sub(logical.holes.total())
+                .max(1);
+            let meta_bytes: u64 = logical
+                .xattrs
+                .iter()
+                .map(|(k, v)| (k.len() + v.len()) as u64)
+                .sum::<u64>()
+                + logical
+                    .omap
+                    .iter()
+                    .map(|(k, v)| (k.len() + v.len()) as u64)
+                    .sum::<u64>();
+            let bytes = match redundancy {
+                Redundancy::Replicated(_) => resident + meta_bytes,
+                Redundancy::Erasure { k, .. } => resident.div_ceil(k as u64) + meta_bytes,
+            }
+            .max(1);
+            let read_cost = match redundancy {
+                Redundancy::Replicated(_) => self.perf.disk_io(src.0 as usize, bytes),
+                Redundancy::Erasure { k, .. } => CostExpr::par(
+                    holders
+                        .iter()
+                        .take(k)
+                        .map(|&h| self.perf.disk_io(h.0 as usize, bytes)),
+                ),
+            };
+            let write_cost = CostExpr::par(misplaced.iter().map(|&t| {
+                let t_node = self.map.osd(t).node.0 as usize;
+                CostExpr::seq([
+                    self.perf.node_to_node(src_node, t_node, bytes),
+                    self.perf.disk_io(t.0 as usize, bytes),
+                ])
+            }));
+            costs.push(CostExpr::seq([read_cost, write_cost]));
+            report.objects_repaired += 1;
+            report.bytes_moved += bytes * misplaced.len() as u64;
+
+            // Re-store across the acting set (idempotent for devices
+            // already holding the right content); the cost was charged
+            // explicitly above.
+            let ctx = crate::cluster::IoCtx::new(pool);
+            self.restore_logical(&ctx, name, logical)?;
+        }
+
+        for s in strays {
+            // The restore above may already have dropped the stray; count
+            // it as removed either way — it held a replica when this pass
+            // began and no longer does.
+            let freed = self.osds[s.0 as usize]
+                .remove(pool, name)
+                .map(|obj| obj.stored_bytes)
+                .unwrap_or(0);
+            report.strays_removed += 1;
+            costs.push(self.perf.disk_io(s.0 as usize, 64.max(freed / 64)));
+        }
+        Ok(())
+    }
+
+    fn restore_logical(
+        &mut self,
+        ctx: &crate::cluster::IoCtx,
+        name: &ObjectName,
+        logical: crate::cluster::LogicalObject,
+    ) -> Result<(), StoreError> {
+        use crate::cluster::TxOp;
+        let mut ops = vec![TxOp::WriteFull(logical.data)];
+        for (start, end) in logical.holes.iter() {
+            ops.push(TxOp::PunchHole {
+                offset: start,
+                len: end - start,
+            });
+        }
+        for (k, v) in logical.xattrs {
+            ops.push(TxOp::SetXattr(k, v));
+        }
+        for (k, v) in logical.omap {
+            ops.push(TxOp::SetOmap(k, v));
+        }
+        // The transaction path re-places the object on the current acting
+        // set; its cost is discarded because recovery charged explicitly.
+        let _ = self.transact(ctx, name, ops)?;
+        Ok(())
+    }
+
+    /// Verifies replica consistency for one pool. A clean scrub returns an
+    /// empty list.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools.
+    pub fn scrub(&self, pool: PoolId) -> Result<Vec<ScrubFinding>, StoreError> {
+        let st = self.state(pool)?;
+        let redundancy = st.config.redundancy;
+        let mut findings = Vec::new();
+        for name in self.list_objects(pool)? {
+            let acting = match self.acting(pool, &name) {
+                Ok(a) => a,
+                Err(_) => {
+                    findings.push(ScrubFinding {
+                        pool,
+                        name: name.clone(),
+                        detail: "no acting set available".into(),
+                    });
+                    continue;
+                }
+            };
+            match redundancy {
+                Redundancy::Replicated(_) => {
+                    let mut reference: Option<&crate::object::StoredObject> = None;
+                    for &osd in &acting {
+                        match self.osd_store(osd).get(pool, &name) {
+                            None => findings.push(ScrubFinding {
+                                pool,
+                                name: name.clone(),
+                                detail: format!("missing replica on {osd}"),
+                            }),
+                            Some(obj) => match reference {
+                                None => reference = Some(obj),
+                                Some(r) if r != obj => findings.push(ScrubFinding {
+                                    pool,
+                                    name: name.clone(),
+                                    detail: format!("replica mismatch on {osd}"),
+                                }),
+                                Some(_) => {}
+                            },
+                        }
+                    }
+                }
+                Redundancy::Erasure { .. } => {
+                    for (rank, &osd) in acting.iter().enumerate() {
+                        match self.osd_store(osd).get(pool, &name) {
+                            None => findings.push(ScrubFinding {
+                                pool,
+                                name: name.clone(),
+                                detail: format!("missing shard {rank} on {osd}"),
+                            }),
+                            Some(obj) => {
+                                if let Payload::Shard { index, .. } = &obj.payload {
+                                    if *index as usize != rank {
+                                        findings.push(ScrubFinding {
+                                            pool,
+                                            name: name.clone(),
+                                            detail: format!(
+                                                "shard index {index} at rank {rank} on {osd}"
+                                            ),
+                                        });
+                                    }
+                                } else {
+                                    findings.push(ScrubFinding {
+                                        pool,
+                                        name: name.clone(),
+                                        detail: format!("full payload in EC pool on {osd}"),
+                                    });
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Ok(findings)
+    }
+}
+
+impl Cluster {
+    /// Deep scrub: beyond presence/shape checks, verifies *content* —
+    /// replicated objects must be byte-identical on every acting device,
+    /// and erasure-coded objects must have parity consistent with their
+    /// data shards (re-encode and compare). Detects silent corruption that
+    /// the light [`Cluster::scrub`] cannot.
+    ///
+    /// # Errors
+    ///
+    /// Fails for unknown pools.
+    pub fn deep_scrub(&self, pool: PoolId) -> Result<Vec<ScrubFinding>, StoreError> {
+        let mut findings = self.scrub(pool)?;
+        let st = self.state(pool)?;
+        let redundancy = st.config.redundancy;
+        if let Redundancy::Erasure { k, m } = redundancy {
+            let codec = dedup_erasure::ReedSolomon::new(k, m)
+                .expect("pool validated at creation");
+            for name in self.list_objects(pool)? {
+                let Ok(acting) = self.acting(pool, &name) else {
+                    continue;
+                };
+                let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                for &osd in &acting {
+                    if let Some(obj) = self.osd_store(osd).get(pool, &name) {
+                        if let Payload::Shard { index, bytes, .. } = &obj.payload {
+                            if (*index as usize) < shards.len() {
+                                shards[*index as usize] = Some(bytes.clone());
+                            }
+                        }
+                    }
+                }
+                let data: Option<Vec<&[u8]>> = shards[..k]
+                    .iter()
+                    .map(|s| s.as_deref())
+                    .collect();
+                let Some(data) = data else { continue };
+                let Ok(parity) = codec.encode(&data) else {
+                    continue;
+                };
+                for (i, expect) in parity.iter().enumerate() {
+                    if let Some(stored) = &shards[k + i] {
+                        if stored != expect {
+                            findings.push(ScrubFinding {
+                                pool,
+                                name: name.clone(),
+                                detail: format!(
+                                    "parity shard {} inconsistent with data shards",
+                                    k + i
+                                ),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(findings)
+    }
+}
+
+impl Cluster {
+    /// Repairs a single damaged object: replicated pools restore every
+    /// replica from the majority content (or the primary when no strict
+    /// majority exists, e.g. size 2); erasure-coded pools rebuild parity
+    /// from the data shards. Use after [`Cluster::deep_scrub`] flags it.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the object does not exist or the pool is unknown.
+    pub fn repair_object(
+        &mut self,
+        pool: PoolId,
+        name: &ObjectName,
+    ) -> Result<Timed<bool>, StoreError> {
+        let acting = self.acting(pool, name)?;
+        let redundancy = self.state(pool)?.config.redundancy;
+        let mut repaired = false;
+        let mut costs: Vec<CostExpr> = Vec::new();
+        match redundancy {
+            Redundancy::Replicated(_) => {
+                // Majority vote over replica payloads; primary wins ties.
+                let mut votes: Vec<(usize, &OsdId)> = Vec::new();
+                for (i, osd) in acting.iter().enumerate() {
+                    if self.osd_store(*osd).get(pool, name).is_some() {
+                        votes.push((i, osd));
+                    }
+                }
+                if votes.is_empty() {
+                    return Err(StoreError::NoSuchObject(pool, name.clone()));
+                }
+                // Count identical replicas.
+                let mut best = votes[0].1;
+                let mut best_count = 0usize;
+                for &(_, cand) in &votes {
+                    let cand_obj = self.osd_store(*cand).get(pool, name);
+                    let count = votes
+                        .iter()
+                        .filter(|&&(_, o)| self.osd_store(*o).get(pool, name) == cand_obj)
+                        .count();
+                    if count > best_count {
+                        best_count = count;
+                        best = cand;
+                    }
+                }
+                let source = *best;
+                let reference = self
+                    .osd_store(source)
+                    .get(pool, name)
+                    .expect("vote source exists")
+                    .clone();
+                let bytes = reference.stored_bytes.max(64);
+                for &osd in &acting {
+                    let differs = self.osd_store(osd).get(pool, name) != Some(&reference);
+                    if differs {
+                        let src_node = self.map.osd(source).node.0 as usize;
+                        let dst_node = self.map.osd(osd).node.0 as usize;
+                        costs.push(CostExpr::seq([
+                            self.perf.disk_io(source.0 as usize, bytes),
+                            self.perf.node_to_node(src_node, dst_node, bytes),
+                            self.perf.disk_io(osd.0 as usize, bytes),
+                        ]));
+                        self.osds[osd.0 as usize].put(pool, name.clone(), reference.clone());
+                        repaired = true;
+                    }
+                }
+            }
+            Redundancy::Erasure { .. } => {
+                // Rebuild everything (incl. parity) from the decodable data.
+                let logical = self
+                    .load_logical(pool, name)?
+                    .ok_or_else(|| StoreError::NoSuchObject(pool, name.clone()))?;
+                let bytes = logical.data.len() as u64;
+                costs.push(CostExpr::par(acting.iter().map(|&osd| {
+                    self.perf.disk_io(osd.0 as usize, bytes.max(64) / acting.len() as u64)
+                })));
+                let ctx = crate::cluster::IoCtx::new(pool);
+                self.restore_logical(&ctx, name, logical)?;
+                repaired = true;
+            }
+        }
+        Ok(Timed::new(repaired, CostExpr::seq(costs)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterBuilder, IoCtx};
+    use crate::pool::PoolConfig;
+    use dedup_sim::SimTime;
+
+    fn loaded_cluster(redundancy: PoolConfig) -> (crate::cluster::Cluster, IoCtx, Vec<Vec<u8>>) {
+        let mut c = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+        let pool = c.create_pool(redundancy);
+        let ctx = IoCtx::new(pool);
+        let mut datasets = Vec::new();
+        for i in 0..60 {
+            let data: Vec<u8> = (0..2048).map(|j| ((i * 7 + j) % 256) as u8).collect();
+            let _ = c.write_full(&ctx, &ObjectName::new(format!("obj-{i}")), data.clone())
+                .expect("write");
+            datasets.push(data);
+        }
+        (c, ctx, datasets)
+    }
+
+    #[test]
+    fn replicated_recovery_restores_redundancy() {
+        let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::replicated("r", 2));
+        c.fail_osd(OsdId(3));
+        let t = c.recover().expect("recover");
+        assert!(t.value.objects_repaired > 0, "some objects lived on osd.3");
+        assert!(t.value.bytes_moved > 0);
+        assert!(t.value.lost.is_empty());
+        // Every object is back to 2 replicas and readable.
+        for (i, data) in datasets.iter().enumerate() {
+            let name = ObjectName::new(format!("obj-{i}"));
+            assert_eq!(c.holders(ctx.pool, &name).len(), 2, "obj-{i}");
+            let r = c.read_full(&ctx, &name).expect("read");
+            assert_eq!(&r.value, data, "obj-{i}");
+        }
+        assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
+    }
+
+    #[test]
+    fn ec_recovery_rebuilds_shards() {
+        let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
+        c.fail_osd(OsdId(7));
+        let t = c.recover().expect("recover");
+        assert!(t.value.lost.is_empty());
+        for (i, data) in datasets.iter().enumerate() {
+            let name = ObjectName::new(format!("obj-{i}"));
+            assert_eq!(c.holders(ctx.pool, &name).len(), 3, "obj-{i}");
+            let r = c.read_full(&ctx, &name).expect("read");
+            assert_eq!(&r.value, data, "obj-{i}");
+        }
+        assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
+    }
+
+    #[test]
+    fn recovery_cost_scales_with_failures() {
+        let (mut c1, _, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let (mut c2, _, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        c1.fail_osd(OsdId(0));
+        c2.fail_osd(OsdId(0));
+        c2.fail_osd(OsdId(5));
+        let t1 = c1.recover().expect("recover");
+        let t2 = c2.recover().expect("recover");
+        assert!(
+            t2.value.bytes_moved > t1.value.bytes_moved,
+            "two failures move more data"
+        );
+        let d1 = c1.execute_at(SimTime::ZERO, &t1.cost);
+        let d2 = c2.execute_at(SimTime::ZERO, &t2.cost);
+        assert!(d2 >= d1, "recovery of more data takes at least as long");
+    }
+
+    #[test]
+    fn adding_osd_rebalances_with_bounded_movement() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let before: u64 = c
+            .usage(ctx.pool)
+            .expect("usage")
+            .stored_bytes;
+        let node0 = c.map().osd(OsdId(0)).node;
+        c.add_osd(node0, 1.0);
+        let t = c.recover().expect("rebalance");
+        // Some objects moved to the new device, strays were removed.
+        assert!(t.value.objects_repaired > 0, "no rebalance happened");
+        assert!(t.value.strays_removed > 0, "stray replicas not cleaned");
+        // Redundancy unchanged.
+        let after = c.usage(ctx.pool).expect("usage").stored_bytes;
+        assert_eq!(before, after);
+        assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
+        // New device actually holds data.
+        assert!(c.osd_store(OsdId(16)).stats().objects > 0);
+    }
+
+    #[test]
+    fn revive_and_backfill_returns_data() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let victim = OsdId(2);
+        let before_stats = c.osd_store(victim).stats();
+        assert!(before_stats.objects > 0);
+        c.fail_osd(victim);
+        let _ = c.recover().expect("recover");
+        c.revive_osd(victim);
+        let t = c.recover().expect("backfill");
+        assert!(t.value.objects_repaired > 0 || t.value.strays_removed > 0);
+        assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
+        // Placement is identical to before the failure, so the revived
+        // device gets its objects back.
+        assert_eq!(c.osd_store(victim).stats().objects, before_stats.objects);
+    }
+
+    #[test]
+    fn data_loss_is_reported_not_panicked() {
+        let mut c = ClusterBuilder::new().nodes(3).osds_per_node(1).build();
+        let pool = c.create_pool(PoolConfig::erasure("e", 2, 1));
+        let ctx = IoCtx::new(pool);
+        let _ = c.write_full(&ctx, &ObjectName::new("x"), vec![1u8; 4096])
+            .expect("write");
+        // Lose two of three shards: 2+1 cannot rebuild.
+        c.fail_osd(OsdId(0));
+        c.fail_osd(OsdId(1));
+        let t = c.recover().expect("recover runs");
+        assert_eq!(t.value.lost.len(), 1);
+    }
+
+    #[test]
+    fn scrub_detects_injected_replica_mismatch() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let name = ObjectName::new("obj-0");
+        let victim = c.holders(ctx.pool, &name)[0];
+        // Corrupt one replica's payload behind the cluster's back.
+        let obj = c.osds[victim.0 as usize]
+            .get_mut(ctx.pool, &name)
+            .expect("replica");
+        if let crate::object::Payload::Full(ref mut b) = obj.payload {
+            b[0] ^= 0xFF;
+        }
+        let findings = c.scrub(ctx.pool).expect("scrub");
+        assert!(findings.iter().any(|f| f.name == name));
+    }
+
+    #[test]
+    fn deep_scrub_detects_parity_corruption() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
+        // Light scrub is clean; corrupt one PARITY shard silently.
+        assert!(c.deep_scrub(ctx.pool).expect("scrub").is_empty());
+        let name = ObjectName::new("obj-4");
+        let acting = c.acting(ctx.pool, &name).expect("acting");
+        let parity_osd = acting[2];
+        let obj = c.osds[parity_osd.0 as usize]
+            .get_mut(ctx.pool, &name)
+            .expect("shard");
+        if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
+            bytes[7] ^= 0xFF;
+        }
+        // The light scrub still passes (shape is fine)...
+        assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
+        // ...but deep scrub re-encodes and catches it.
+        let findings = c.deep_scrub(ctx.pool).expect("deep scrub");
+        assert!(
+            findings.iter().any(|f| f.name == name && f.detail.contains("parity")),
+            "parity corruption missed: {findings:?}"
+        );
+    }
+
+    #[test]
+    fn deep_scrub_detects_replica_divergence() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let name = ObjectName::new("obj-1");
+        let victim = c.holders(ctx.pool, &name)[1];
+        let obj = c.osds[victim.0 as usize]
+            .get_mut(ctx.pool, &name)
+            .expect("replica");
+        if let crate::object::Payload::Full(ref mut b) = obj.payload {
+            b[100] ^= 1;
+        }
+        let findings = c.deep_scrub(ctx.pool).expect("deep scrub");
+        assert!(findings.iter().any(|f| f.name == name));
+    }
+
+    #[test]
+    fn repair_restores_corrupted_replica() {
+        let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let name = ObjectName::new("obj-3");
+        let victim = c.holders(ctx.pool, &name)[1];
+        let obj = c.osds[victim.0 as usize]
+            .get_mut(ctx.pool, &name)
+            .expect("replica");
+        if let crate::object::Payload::Full(ref mut b) = obj.payload {
+            b[5] ^= 0x42;
+        }
+        assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
+        let t = c.repair_object(ctx.pool, &name).expect("repair");
+        assert!(t.value, "repair reported work");
+        assert!(!t.cost.is_nop());
+        assert!(c.deep_scrub(ctx.pool).expect("scrub").is_empty());
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, datasets[3], "primary content won the vote");
+    }
+
+    #[test]
+    fn repair_rebuilds_ec_parity() {
+        let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
+        let name = ObjectName::new("obj-7");
+        let acting = c.acting(ctx.pool, &name).expect("acting");
+        let obj = c.osds[acting[2].0 as usize]
+            .get_mut(ctx.pool, &name)
+            .expect("parity shard");
+        if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
+            bytes[0] ^= 0xFF;
+        }
+        assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
+        let t = c.repair_object(ctx.pool, &name).expect("repair");
+        assert!(t.value);
+        assert!(c.deep_scrub(ctx.pool).expect("scrub").is_empty());
+        let r = c.read_full(&ctx, &name).expect("read");
+        assert_eq!(r.value, datasets[7]);
+    }
+
+    #[test]
+    fn repair_on_healthy_object_is_a_noop() {
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let t = c
+            .repair_object(ctx.pool, &ObjectName::new("obj-0"))
+            .expect("repair");
+        assert!(!t.value, "nothing to do");
+    }
+
+    #[test]
+    fn recovery_preserves_object_metadata() {
+        use crate::cluster::TxOp;
+        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let name = ObjectName::new("meta-obj");
+        let _ = c.transact(
+            &ctx,
+            &name,
+            vec![
+                TxOp::WriteFull(vec![9u8; 512]),
+                TxOp::SetXattr("refcount".into(), vec![42]),
+                TxOp::SetOmap("chunk.0".into(), b"entry".to_vec()),
+            ],
+        )
+        .expect("tx");
+        let holder = c.holders(ctx.pool, &name)[0];
+        c.fail_osd(holder);
+        let _ = c.recover().expect("recover");
+        let x = c.get_xattr(&ctx, &name, "refcount").expect("xattr");
+        assert_eq!(x.value, Some(vec![42]));
+        let o = c.get_omap(&ctx, &name, "chunk.0").expect("omap");
+        assert_eq!(o.value.as_deref(), Some(b"entry".as_slice()));
+    }
+}

@@ -1,0 +1,82 @@
+//! Deterministic content synthesis.
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Words used to synthesise compressible, text-like content (config files,
+/// logs — what actually fills VM images).
+const WORDS: &[&str] = &[
+    "usr", "lib", "module", "kernel", "config", "enable", "true", "false", "path", "service",
+    "daemon", "system", "default", "value", "option", "network", "device", "driver", "start",
+    "stop", "restart", "log", "level", "info", "debug", "warn", "error", "cache", "buffer",
+    "version", "release", "package",
+];
+
+/// A fully random, incompressible block with the given seed identity.
+pub fn unique_block(len: usize, id: u64, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ id.wrapping_mul(0x9E3779B97F4A7C15));
+    let mut out = vec![0u8; len];
+    rng.fill_bytes(&mut out);
+    out
+}
+
+/// A compressible, text-like block (roughly 2–4× compressible) with the
+/// given seed identity. Two calls with the same `(len, id, seed)` produce
+/// identical bytes.
+pub fn compressible_block(len: usize, id: u64, seed: u64) -> Vec<u8> {
+    let mut rng = StdRng::seed_from_u64(seed ^ id.wrapping_mul(0xC2B2AE3D27D4EB4F));
+    let mut out = Vec::with_capacity(len + 32);
+    while out.len() < len {
+        let word = WORDS[rng.gen_range(0..WORDS.len())];
+        out.extend_from_slice(word.as_bytes());
+        out.push(if rng.gen_bool(0.2) { b'\n' } else { b'=' });
+        if rng.gen_bool(0.3) {
+            // Numeric run — long zero-ish spans compress well.
+            out.extend_from_slice(format!("{:08}", rng.gen_range(0..1000u32)).as_bytes());
+        }
+    }
+    out.truncate(len);
+    out
+}
+
+/// A seeded RNG for workload decision-making (op mix, offsets, duplicate
+/// choices). Thin wrapper so generators share one construction.
+pub fn decision_rng(seed: u64, stream: u64) -> StdRng {
+    StdRng::seed_from_u64(seed.wrapping_mul(0x2545F4914F6CDD1D) ^ stream)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blocks_are_deterministic() {
+        assert_eq!(unique_block(512, 3, 9), unique_block(512, 3, 9));
+        assert_eq!(compressible_block(512, 3, 9), compressible_block(512, 3, 9));
+    }
+
+    #[test]
+    fn ids_and_seeds_differentiate() {
+        assert_ne!(unique_block(512, 1, 9), unique_block(512, 2, 9));
+        assert_ne!(unique_block(512, 1, 9), unique_block(512, 1, 10));
+        assert_ne!(compressible_block(512, 1, 9), compressible_block(512, 2, 9));
+    }
+
+    #[test]
+    fn compressible_actually_compresses() {
+        let block = compressible_block(16 * 1024, 5, 1);
+        let r = dedup_compress::CompressionStats::measure(&block).ratio();
+        assert!(r > 1.8, "compressible block only {r}x");
+        let random = unique_block(16 * 1024, 5, 1);
+        let r = dedup_compress::CompressionStats::measure(&random).ratio();
+        assert!(r < 1.1, "random block should not compress: {r}x");
+    }
+
+    #[test]
+    fn lengths_exact() {
+        for len in [0usize, 1, 100, 4096] {
+            assert_eq!(unique_block(len, 0, 0).len(), len);
+            assert_eq!(compressible_block(len, 0, 0).len(), len);
+        }
+    }
+}

@@ -1,0 +1,213 @@
+//! FIO-style synthetic workload with an exact duplicate fraction.
+//!
+//! Reproduces FIO's `dedupe_percentage` semantics: each written block is,
+//! with probability `dedup_fraction`, a byte-for-byte copy of a uniformly
+//! chosen *earlier* unique block; otherwise fresh random content. Duplicate
+//! partners are therefore spread across the whole address space, which is
+//! exactly why per-OSD local deduplication catches so few of them (paper
+//! Fig. 3 / Table 1).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::content::{decision_rng, unique_block};
+use crate::{Dataset, GeneratedObject};
+
+/// Parameters of a FIO-style fill.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FioSpec {
+    /// Total bytes to write.
+    pub total_bytes: u64,
+    /// Block size of each write.
+    pub block_size: u32,
+    /// Size of each backing object (FIO-on-RBD stripes over 4 MiB objects;
+    /// scaled down here by default).
+    pub object_size: u32,
+    /// Fraction of blocks that duplicate an earlier block (`0.0..=1.0`).
+    pub dedup_fraction: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for FioSpec {
+    fn default() -> Self {
+        FioSpec {
+            total_bytes: 16 << 20,
+            block_size: 32 * 1024,
+            object_size: 1 << 20,
+            dedup_fraction: 0.5,
+            seed: 42,
+        }
+    }
+}
+
+impl FioSpec {
+    /// Creates a spec with the given size and duplicate fraction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dedup_fraction` is outside `[0, 1]` or sizes are zero.
+    pub fn new(total_bytes: u64, dedup_fraction: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&dedup_fraction),
+            "dedup fraction out of range"
+        );
+        assert!(total_bytes > 0, "need some data");
+        FioSpec {
+            total_bytes,
+            dedup_fraction,
+            ..Default::default()
+        }
+    }
+
+    /// Overrides the block size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if zero.
+    pub fn block_size(mut self, block_size: u32) -> Self {
+        assert!(block_size > 0, "block size must be positive");
+        self.block_size = block_size;
+        self
+    }
+
+    /// Overrides the backing object size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if smaller than the block size.
+    pub fn object_size(mut self, object_size: u32) -> Self {
+        assert!(
+            object_size >= self.block_size,
+            "objects must hold at least one block"
+        );
+        self.object_size = object_size;
+        self
+    }
+
+    /// Overrides the seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates the dataset this fill produces.
+    pub fn dataset(&self) -> Dataset {
+        let mut rng = decision_rng(self.seed, 0xF10);
+        let blocks_total = self.total_bytes.div_ceil(self.block_size as u64);
+        let blocks_per_object = (self.object_size / self.block_size).max(1) as u64;
+        let mut unique_ids: Vec<u64> = Vec::new();
+        let mut next_unique: u64 = 0;
+        let mut objects = Vec::new();
+        let mut current = Vec::new();
+        for b in 0..blocks_total {
+            let id = if !unique_ids.is_empty() && rng.gen_bool(self.dedup_fraction) {
+                unique_ids[rng.gen_range(0..unique_ids.len())]
+            } else {
+                let id = next_unique;
+                next_unique += 1;
+                unique_ids.push(id);
+                id
+            };
+            current.extend_from_slice(&unique_block(self.block_size as usize, id, self.seed));
+            if (b + 1) % blocks_per_object == 0 || b + 1 == blocks_total {
+                objects.push(GeneratedObject {
+                    name: format!("fio-{}", objects.len()),
+                    data: std::mem::take(&mut current),
+                });
+            }
+        }
+        Dataset { objects }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dedup_core::{global_ratio, local_ratio};
+
+    #[test]
+    fn dataset_has_requested_size() {
+        let d = FioSpec::new(4 << 20, 0.5).dataset();
+        assert_eq!(d.total_bytes(), 4 << 20);
+        assert!(d.len() >= 4, "multiple objects expected");
+    }
+
+    #[test]
+    fn global_ratio_matches_requested_fraction() {
+        for target in [0.3f64, 0.5, 0.8] {
+            let d = FioSpec::new(16 << 20, target).dataset();
+            let r = global_ratio(d.iter_refs(), 32 * 1024);
+            assert!(
+                (r.ratio_percent() / 100.0 - target).abs() < 0.05,
+                "target {target}, got {}",
+                r.ratio_percent()
+            );
+        }
+    }
+
+    #[test]
+    fn local_ratio_is_much_lower_like_table1() {
+        let d = FioSpec::new(16 << 20, 0.5).dataset();
+        let g = global_ratio(d.iter_refs(), 32 * 1024).ratio_percent();
+        let l16 = local_ratio(d.iter_refs(), 32 * 1024, 16).ratio_percent();
+        let l4 = local_ratio(d.iter_refs(), 32 * 1024, 4).ratio_percent();
+        assert!(g > 45.0);
+        assert!(l4 < g / 2.0, "local@4 {l4} vs global {g}");
+        assert!(l16 < l4, "local decays with more OSDs: {l16} vs {l4}");
+    }
+
+    #[test]
+    fn zero_fraction_is_all_unique() {
+        let d = FioSpec::new(2 << 20, 0.0).dataset();
+        let r = global_ratio(d.iter_refs(), 32 * 1024);
+        assert_eq!(r.ratio_percent(), 0.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = FioSpec::new(1 << 20, 0.5).seed(7).dataset();
+        let b = FioSpec::new(1 << 20, 0.5).seed(7).dataset();
+        assert_eq!(a, b);
+        let c = FioSpec::new(1 << 20, 0.5).seed(8).dataset();
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    #[should_panic(expected = "dedup fraction out of range")]
+    fn bad_fraction_rejected() {
+        FioSpec::new(1 << 20, 1.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use dedup_core::global_ratio;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        /// The generator hits any requested duplicate fraction within a few
+        /// points, at any block size.
+        #[test]
+        fn ratio_tracks_request(
+            target in 0.0f64..0.9,
+            block_kib in prop_oneof![Just(8u32), Just(16), Just(32)],
+        ) {
+            let spec = FioSpec::new(8 << 20, target)
+                .block_size(block_kib * 1024)
+                .object_size(256 * 1024);
+            let d = spec.dataset();
+            prop_assert_eq!(d.total_bytes(), 8 << 20);
+            let r = global_ratio(d.iter_refs(), block_kib * 1024);
+            prop_assert!(
+                (r.ratio_percent() / 100.0 - target).abs() < 0.08,
+                "target {} got {}",
+                target,
+                r.ratio_percent()
+            );
+        }
+    }
+}

@@ -1,0 +1,77 @@
+//! Block-device usage (the paper's KRBD path, §6.1): create two virtual
+//! volumes on a deduplicated cluster, clone one from the other, and watch
+//! the clone cost almost nothing.
+//!
+//! Run with: `cargo run --release --example block_volume`
+
+use global_dedup::block::BlockDevice;
+use global_dedup::core::{CachePolicy, DedupConfig, DedupStore};
+use global_dedup::sim::SimTime;
+use global_dedup::store::{ClientId, ClusterBuilder};
+
+const VOLUME_SIZE: u64 = 16 << 20;
+const OBJECT_SIZE: u32 = 1 << 20;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cluster = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+    let store = DedupStore::with_default_pools(
+        cluster,
+        DedupConfig::with_chunk_size(32 * 1024).cache_policy(CachePolicy::EvictAll),
+    );
+    let mut vol0 = BlockDevice::new(store, "vol0", VOLUME_SIZE, OBJECT_SIZE, ClientId(0));
+
+    // "Format" the volume: superblock + inode-table-like metadata + data.
+    let mut image = vec![0u8; VOLUME_SIZE as usize / 4];
+    let mut state = 0x1234_5678_9abc_def0u64;
+    for b in image.iter_mut() {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        *b = (state >> 33) as u8;
+    }
+    let _ = vol0.write(0, &image, SimTime::ZERO)?;
+    let _ = vol0.write(8 << 20, &image[..1 << 20], SimTime::ZERO)?; // a copied region
+    let _ = vol0.backend_mut().flush_all(SimTime::from_secs(10))?;
+    let report = vol0.backend().space_report()?;
+    println!(
+        "vol0: {} MiB written, {} unique chunks, ideal ratio {:.1}%",
+        report.logical_bytes >> 20,
+        report.chunk_objects,
+        report.ideal_ratio_percent()
+    );
+
+    // "Clone" vol0 into vol1 by copying blocks through the client — the
+    // store sees duplicate chunks and the clone is almost free.
+    let store = vol0.into_backend();
+    let mut vol1 = BlockDevice::new(store, "vol1", VOLUME_SIZE, OBJECT_SIZE, ClientId(1));
+    let (content, _) = {
+        // Read back from vol0's objects via a temporary device view.
+        let store = vol1.into_backend();
+        let mut v0 = BlockDevice::new(store, "vol0", VOLUME_SIZE, OBJECT_SIZE, ClientId(1));
+        let out = v0.read(0, image.len() as u64, SimTime::from_secs(20))?;
+        vol1 = BlockDevice::new(v0.into_backend(), "vol1", VOLUME_SIZE, OBJECT_SIZE, ClientId(1));
+        out
+    };
+    let before = vol1.backend().space_report()?.chunk_bytes;
+    let _ = vol1.write(0, &content, SimTime::from_secs(30))?;
+    let _ = vol1.backend_mut().flush_all(SimTime::from_secs(40))?;
+    let report = vol1.backend().space_report()?;
+    println!(
+        "after cloning into vol1: logical {} MiB, unique chunk bytes {} KiB -> {} KiB (+{} KiB)",
+        report.logical_bytes >> 20,
+        before >> 10,
+        report.chunk_bytes >> 10,
+        (report.chunk_bytes - before) >> 10,
+    );
+    assert_eq!(
+        report.chunk_bytes, before,
+        "a byte-identical clone adds zero unique chunk data"
+    );
+
+    // Refcount histogram shows the sharing structure.
+    let hist = vol1.backend_mut().refcount_histogram()?;
+    println!("\nrefcount histogram (count -> chunks):");
+    for (count, chunks) in &hist {
+        println!("  {count:>3} -> {chunks}");
+    }
+    println!("\nclone verified: identical content, no extra chunk capacity");
+    Ok(())
+}

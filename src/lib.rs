@@ -1,0 +1,66 @@
+//! # global-dedup
+//!
+//! A from-scratch Rust reproduction of **"Design of Global Data
+//! Deduplication for a Scale-out Distributed Storage System"**
+//! (Oh et al., ICDCS 2018): cluster-wide deduplication for a
+//! shared-nothing, hash-placed object store, with no fingerprint index, no
+//! external metadata service, and no special cases in the store's
+//! availability machinery.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`core`] | `dedup-core` | the paper's contribution: [`core::DedupStore`], double hashing, chunk maps, refcounts, rate control, hitset cache manager |
+//! | [`store`] | `dedup-store` | the scale-out substrate: [`store::Cluster`], pools, replication, erasure coding, transactions, recovery, scrub |
+//! | [`placement`] | `dedup-placement` | CRUSH-style placement: straw2, placement groups, cluster maps |
+//! | [`erasure`] | `dedup-erasure` | Reed–Solomon over GF(2⁸) |
+//! | [`chunk`] | `dedup-chunk` | fixed-size and content-defined chunking |
+//! | [`fingerprint`] | `dedup-fingerprint` | 256-bit content fingerprints (chunk object IDs) |
+//! | [`compress`] | `dedup-compress` | LZ-style at-rest compression |
+//! | [`sim`] | `dedup-sim` | virtual-time performance plane |
+//! | [`workloads`] | `dedup-workloads` | FIO / SPEC-SFS / cloud / VM-image / backup generators |
+//! | [`block`] | (this crate) | RBD-like block device striped over objects, for either backend |
+//!
+//! # Quick start
+//!
+//! ```
+//! use global_dedup::core::{DedupConfig, DedupStore};
+//! use global_dedup::store::{ClientId, ClusterBuilder, ObjectName};
+//! use global_dedup::sim::SimTime;
+//!
+//! # fn main() -> Result<(), global_dedup::core::DedupError> {
+//! // A 4-node x 4-OSD cluster, like the paper's testbed.
+//! let cluster = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+//! let mut store = DedupStore::with_default_pools(cluster, DedupConfig::default());
+//!
+//! // Write two objects with identical content...
+//! let data = vec![7u8; 128 * 1024];
+//! store.write(ClientId(0), &ObjectName::new("a"), 0, &data, SimTime::ZERO)?;
+//! store.write(ClientId(0), &ObjectName::new("b"), 0, &data, SimTime::ZERO)?;
+//!
+//! // ...deduplicate in the background...
+//! store.flush_all(SimTime::from_secs(60))?;
+//!
+//! // ...and the cluster stores the content once: the two objects (and
+//! // their four identical 32 KiB chunks each) collapse to a single chunk.
+//! let report = store.space_report()?;
+//! assert_eq!(report.chunk_objects, 1);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod block;
+
+pub use dedup_chunk as chunk;
+pub use dedup_compress as compress;
+pub use dedup_core as core;
+pub use dedup_erasure as erasure;
+pub use dedup_fingerprint as fingerprint;
+pub use dedup_placement as placement;
+pub use dedup_sim as sim;
+pub use dedup_store as store;
+pub use dedup_workloads as workloads;
