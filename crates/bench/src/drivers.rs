@@ -7,12 +7,39 @@
 
 use std::collections::BTreeMap;
 
+use dedup_obs::Histogram;
 use dedup_sim::{FlowEngine, LatencyStats, SimDuration, SimTime, TimeSeries};
 use dedup_store::ClientId;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::systems::StorageSystem;
+
+/// Latency histogram handles into the system's registry, split by op
+/// kind, so metrics sidecars carry driver-observed percentiles.
+struct DriverMetrics {
+    write_latency: Histogram,
+    read_latency: Histogram,
+}
+
+impl DriverMetrics {
+    fn new(system: &dyn StorageSystem) -> Self {
+        let registry = system.registry();
+        DriverMetrics {
+            write_latency: registry.histogram("driver.write_latency_ns"),
+            read_latency: registry.histogram("driver.read_latency_ns"),
+        }
+    }
+
+    fn record(&self, is_write: bool, issued: SimTime, done: SimTime) {
+        let lat = done.saturating_since(issued).as_nanos();
+        if is_write {
+            self.write_latency.record(lat);
+        } else {
+            self.read_latency.record(lat);
+        }
+    }
+}
 
 /// One foreground operation a workload asks a driver to issue.
 #[derive(Debug, Clone)]
@@ -193,9 +220,10 @@ pub fn run_closed_loop_with_background(
     let mut rng = StdRng::seed_from_u64(seed);
     let mut engine = FlowEngine::new();
     let mut stats = RunStats::new();
+    let metrics = DriverMetrics::new(system);
     let mut issued = 0u64;
-    // Per-stream bookkeeping: issue time, bytes, class of the op in flight.
-    let mut in_flight: Vec<(SimTime, u64, u8)> = vec![(SimTime::ZERO, 0, 0); streams];
+    // Per-stream bookkeeping: issue time, bytes, class, op kind in flight.
+    let mut in_flight: Vec<(SimTime, u64, u8, bool)> = vec![(SimTime::ZERO, 0, 0, false); streams];
 
     for (s, slot) in in_flight
         .iter_mut()
@@ -205,7 +233,7 @@ pub fn run_closed_loop_with_background(
         let op = workload(issued, &mut rng);
         issued += 1;
         let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
-        *slot = (SimTime::ZERO, bytes, op.class);
+        *slot = (SimTime::ZERO, bytes, op.class, op.data.is_some());
         issue_flow(system, &mut engine, SimTime::ZERO, &op, s as u64);
     }
     if background {
@@ -225,13 +253,14 @@ pub fn run_closed_loop_with_background(
             continue;
         }
         let stream = c.tag as usize;
-        let (start, bytes, class) = in_flight[stream];
+        let (start, bytes, class, is_write) = in_flight[stream];
         stats.record(start, c.at, bytes, class);
+        metrics.record(is_write, start, c.at);
         if issued < total_ops {
             let op = workload(issued, &mut rng);
             issued += 1;
             let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
-            in_flight[stream] = (c.at, bytes, op.class);
+            in_flight[stream] = (c.at, bytes, op.class, op.data.is_some());
             issue_flow(system, &mut engine, c.at, &op, c.tag);
         }
     }
@@ -248,16 +277,19 @@ pub fn run_open_loop(
 ) -> RunStats {
     let mut engine = FlowEngine::new();
     let mut stats = RunStats::new();
-    // tag -> (issue time, bytes, class)
-    let mut meta: Vec<(SimTime, u64, u8)> = Vec::new();
+    let metrics = DriverMetrics::new(system);
+    // tag -> (issue time, bytes, class, op kind)
+    let mut meta: Vec<(SimTime, u64, u8, bool)> = Vec::new();
     if background {
         spawn_background(system, &mut engine, SimTime::ZERO);
     }
+    #[allow(clippy::too_many_arguments)]
     fn handle(
         c: dedup_sim::FlowCompletion,
-        meta: &[(SimTime, u64, u8)],
+        meta: &[(SimTime, u64, u8, bool)],
         background: bool,
         stats: &mut RunStats,
+        metrics: &DriverMetrics,
         system: &mut dyn StorageSystem,
         engine: &mut FlowEngine,
         draining: bool,
@@ -267,8 +299,9 @@ pub fn run_open_loop(
                 attempt_background(system, engine, c.at, c.tag);
             }
         } else {
-            let (start, bytes, class) = meta[c.tag as usize];
+            let (start, bytes, class, is_write) = meta[c.tag as usize];
             stats.record(start, c.at, bytes, class);
+            metrics.record(is_write, start, c.at);
         }
     }
     for (at, op) in ops {
@@ -279,11 +312,20 @@ pub fn run_open_loop(
             engine.advance_until(pool, at)
         };
         for c in completions {
-            handle(c, &meta, background, &mut stats, system, &mut engine, false);
+            handle(
+                c,
+                &meta,
+                background,
+                &mut stats,
+                &metrics,
+                system,
+                &mut engine,
+                false,
+            );
         }
         let tag = meta.len() as u64;
         let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
-        meta.push((at, bytes, op.class));
+        meta.push((at, bytes, op.class, op.data.is_some()));
         issue_flow(system, &mut engine, at, &op, tag);
     }
     // Drain.
@@ -293,7 +335,16 @@ pub fn run_open_loop(
             engine.advance(pool)
         };
         let Some(c) = completion else { break };
-        handle(c, &meta, background, &mut stats, system, &mut engine, true);
+        handle(
+            c,
+            &meta,
+            background,
+            &mut stats,
+            &metrics,
+            system,
+            &mut engine,
+            true,
+        );
     }
     stats
 }
@@ -346,23 +397,24 @@ mod tests {
         let one = run_closed_loop(&mut sys1, 1, 300, 2, |i, _| write_op(i, 8192));
         let mut sys16 = OriginalSystem::new("o", PoolConfig::replicated("p", 2));
         let sixteen = run_closed_loop(&mut sys16, 16, 300, 2, |i, _| write_op(i, 8192));
-        let ratio = sixteen.latency.mean().as_nanos() as f64
-            / one.latency.mean().as_nanos() as f64;
-        assert!(ratio < 3.0, "false queueing: 16-stream latency {ratio}x of 1-stream");
+        let ratio = sixteen.latency.mean().as_nanos() as f64 / one.latency.mean().as_nanos() as f64;
+        assert!(
+            ratio < 3.0,
+            "false queueing: 16-stream latency {ratio}x of 1-stream"
+        );
     }
 
     #[test]
     fn background_contention_slows_foreground() {
-        let cfg = DedupConfig::with_chunk_size(8192)
-            .cache_policy(dedup_core::CachePolicy::EvictAll);
+        let cfg =
+            DedupConfig::with_chunk_size(8192).cache_policy(dedup_core::CachePolicy::EvictAll);
         let mut without = DedupSystem::new("d", cfg.clone()).background(BackgroundMode::Off);
         let a = run_closed_loop_with_background(&mut without, 2, 300, 1, false, |i, _| {
             write_op(i, 8192)
         });
         let mut with = DedupSystem::new("d", cfg).background(BackgroundMode::Unthrottled);
-        let b = run_closed_loop_with_background(&mut with, 2, 300, 1, true, |i, _| {
-            write_op(i, 8192)
-        });
+        let b =
+            run_closed_loop_with_background(&mut with, 2, 300, 1, true, |i, _| write_op(i, 8192));
         assert!(
             b.latency.mean() >= a.latency.mean(),
             "uncontrolled background should not speed up foreground: {:?} vs {:?}",
@@ -395,7 +447,11 @@ mod tests {
         assert_eq!(stats.class_ops.get(&0), Some(&50));
         assert_eq!(stats.class_ops.get(&1), Some(&50));
         assert_eq!(
-            stats.per_class.values().map(|l| l.len() as u64).sum::<u64>(),
+            stats
+                .per_class
+                .values()
+                .map(|l| l.len() as u64)
+                .sum::<u64>(),
             100
         );
     }

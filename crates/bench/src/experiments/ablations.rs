@@ -69,6 +69,20 @@ pub mod cdc {
         let fp = FingerprintCostModel::default();
         let fixed_cpu_ms = fp.nanos_for(total) as f64 / 1e6;
         let cdc_cpu_ms = (fp.nanos_for(total) + total) as f64 / 1e6; // +1ns/B gear
+        let registry = dedup_obs::Registry::new();
+        for (chunker, ratio, chunks, cpu_ms) in [
+            ("static", r_fixed, n_fixed, fixed_cpu_ms),
+            ("cdc", r_cdc, n_cdc, cdc_cpu_ms),
+        ] {
+            let labels: &[(&str, &str)] = &[("chunker", chunker)];
+            registry
+                .gauge_with("analysis.dedup_ratio_pct_x100", labels)
+                .set((ratio * 100.0) as i64);
+            registry.counter_with("analysis.chunks", labels).add(chunks);
+            registry
+                .gauge_with("analysis.cpu_us", labels)
+                .set((cpu_ms * 1_000.0) as i64);
+        }
         report::print_table(
             &["chunker", "dedup ratio", "chunks", "virtual CPU"],
             &[
@@ -91,6 +105,9 @@ pub mod cdc {
              dedup (~0%) while CDC recovers most of it; the paper accepts \
              that loss to keep OSD CPU headroom (§5).\n"
         );
+        let mut sidecar = report::MetricsSidecar::new("ablation-cdc");
+        sidecar.capture_registry("analysis", &registry, SimTime::ZERO);
+        sidecar.write();
     }
 }
 
@@ -106,6 +123,7 @@ pub mod chunk_sweep {
             "Extends Table 2 on the private-cloud dataset.",
         );
         let dataset = CloudSpec::default().dataset();
+        let mut sidecar = report::MetricsSidecar::new("ablation-chunk-sweep");
         let mut rows = Vec::new();
         for chunk_kib in [4u32, 8, 16, 32, 64, 128] {
             let cluster = ClusterBuilder::new().build();
@@ -113,16 +131,26 @@ pub mod chunk_sweep {
                 cluster,
                 PoolConfig::replicated("metadata", 2),
                 PoolConfig::replicated("chunks", 2),
-                DedupConfig::with_chunk_size(chunk_kib * 1024)
-                    .cache_policy(CachePolicy::EvictAll),
+                DedupConfig::with_chunk_size(chunk_kib * 1024).cache_policy(CachePolicy::EvictAll),
             );
             for obj in &dataset.objects {
                 let _ = store
-                    .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+                    .write(
+                        ClientId(0),
+                        &ObjectName::new(&*obj.name),
+                        0,
+                        &obj.data,
+                        SimTime::ZERO,
+                    )
                     .expect("write");
             }
             let _ = store.flush_all(SimTime::from_secs(1_000)).expect("flush");
             let sr = store.space_report().expect("report");
+            sidecar.capture_registry(
+                &format!("chunk-{chunk_kib}k"),
+                store.registry(),
+                SimTime::from_secs(1_000),
+            );
             rows.push(vec![
                 format!("{chunk_kib} KiB"),
                 report::pct(sr.ideal_ratio_percent()),
@@ -132,7 +160,13 @@ pub mod chunk_sweep {
             ]);
         }
         report::print_table(
-            &["chunk", "ideal ratio", "metadata", "actual ratio", "chunk objects"],
+            &[
+                "chunk",
+                "ideal ratio",
+                "metadata",
+                "actual ratio",
+                "chunk objects",
+            ],
             &rows,
         );
         println!(
@@ -140,6 +174,7 @@ pub mod chunk_sweep {
              overhead roughly halves per doubling; the actual-ratio optimum \
              sits in the middle (the paper picks 32 KiB).\n"
         );
+        sidecar.write();
     }
 }
 
@@ -163,6 +198,7 @@ pub mod cache_policy {
         let dataset = FioSpec::new(OBJECTS as u64 * OBJECT_SIZE, 0.5)
             .object_size(OBJECT_SIZE as u32)
             .dataset();
+        let mut sidecar = report::MetricsSidecar::new("ablation-cache-policy");
         let mut rows = Vec::new();
         for (label, policy, hit_count) in [
             ("always evict", CachePolicy::EvictAll, 0u32),
@@ -217,6 +253,7 @@ pub mod cache_policy {
                 .expect("usage")
                 .stored_bytes;
             let engine = sys.store().stats();
+            sidecar.capture(label, &sys, stats.elapsed);
             rows.push(vec![
                 label.into(),
                 report::ms(stats.latency.mean().as_millis_f64()),
@@ -229,7 +266,12 @@ pub mod cache_policy {
             ]);
         }
         report::print_table(
-            &["policy", "mean read latency", "metadata-pool bytes", "cache hit rate"],
+            &[
+                "policy",
+                "mean read latency",
+                "metadata-pool bytes",
+                "cache hit rate",
+            ],
             &rows,
         );
         println!(
@@ -237,5 +279,6 @@ pub mod cache_policy {
              redirection) at the cost of duplicated bytes in the metadata \
              pool; the hitset thresholds sit between the extremes.\n"
         );
+        sidecar.write();
     }
 }

@@ -6,6 +6,8 @@
 //! generators.
 
 use dedup_core::{global_ratio, local_ratio};
+use dedup_obs::Registry;
+use dedup_sim::SimTime;
 use dedup_workloads::cloud::CloudSpec;
 use dedup_workloads::fio::FioSpec;
 use dedup_workloads::sfs::SfsSpec;
@@ -27,8 +29,20 @@ const PAPER: &[(&str, f64, f64)] = &[
 
 fn workloads() -> Vec<(&'static str, Dataset, u32)> {
     vec![
-        ("FIO dedup 50%", FioSpec::new(48 << 20, 0.5).object_size(256 * 1024).dataset(), 32 * 1024),
-        ("FIO dedup 80%", FioSpec::new(48 << 20, 0.8).object_size(256 * 1024).dataset(), 32 * 1024),
+        (
+            "FIO dedup 50%",
+            FioSpec::new(48 << 20, 0.5)
+                .object_size(256 * 1024)
+                .dataset(),
+            32 * 1024,
+        ),
+        (
+            "FIO dedup 80%",
+            FioSpec::new(48 << 20, 0.8)
+                .object_size(256 * 1024)
+                .dataset(),
+            32 * 1024,
+        ),
         (
             "SFS DB (LD1)",
             SfsSpec::with_load(1).files(12, 2 << 20).dataset(),
@@ -44,7 +58,11 @@ fn workloads() -> Vec<(&'static str, Dataset, u32)> {
             SfsSpec::with_load(10).files(12, 2 << 20).dataset(),
             8 * 1024,
         ),
-        ("SKT private cloud", CloudSpec::default().dataset(), 32 * 1024),
+        (
+            "SKT private cloud",
+            CloudSpec::default().dataset(),
+            32 * 1024,
+        ),
     ]
 }
 
@@ -56,10 +74,21 @@ pub fn run() {
         "4 nodes x 4 OSDs; local dedup per OSD, global across all 16. \
          Datasets scaled to laptop size; duplicate structure preserved.",
     );
+    let registry = Registry::new();
     let mut rows = Vec::new();
     for (name, dataset, chunk) in workloads() {
         let local = local_ratio(dataset.iter_refs(), chunk, OSDS);
         let global = global_ratio(dataset.iter_refs(), chunk);
+        let labels: &[(&str, &str)] = &[("workload", name)];
+        registry
+            .counter_with("analysis.dataset_bytes", labels)
+            .add(dataset.total_bytes());
+        registry
+            .gauge_with("analysis.local_ratio_pct_x100", labels)
+            .set((local.ratio_percent() * 100.0) as i64);
+        registry
+            .gauge_with("analysis.global_ratio_pct_x100", labels)
+            .set((global.ratio_percent() * 100.0) as i64);
         let paper = PAPER
             .iter()
             .find(|(n, _, _)| *n == name)
@@ -82,4 +111,7 @@ pub fn run() {
         ],
         &rows,
     );
+    let mut sidecar = report::MetricsSidecar::new("fig03");
+    sidecar.capture_registry("analysis", &registry, SimTime::ZERO);
+    sidecar.write();
 }

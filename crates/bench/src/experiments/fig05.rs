@@ -51,11 +51,8 @@ pub fn run() {
     let mut original = OriginalSystem::new("Original", PoolConfig::replicated("data", 2));
     let orig = run_closed_loop(&mut original, 4, ops, 1, |i, _| seq_write_op(i, 16 * 1024));
 
-    let mut inline = DedupSystem::new(
-        "Inline",
-        DedupConfig::with_chunk_size(CHUNK).inline(),
-    )
-    .background(BackgroundMode::Off);
+    let mut inline = DedupSystem::new("Inline", DedupConfig::with_chunk_size(CHUNK).inline())
+        .background(BackgroundMode::Off);
     let inl = run_closed_loop(&mut inline, 4, ops, 1, |i, _| seq_write_op(i, 16 * 1024));
 
     println!("### (a) Partial-write problem (16 KiB writes, 32 KiB chunks)\n");
@@ -99,7 +96,9 @@ pub fn run() {
     };
     let preload_backlog = |sys: &mut DedupSystem| {
         for b in 0u64..16384 {
-            let data: Vec<u8> = (0..CHUNK as u64).map(|j| ((b * 131 + j * 7) % 251) as u8).collect();
+            let data: Vec<u8> = (0..CHUNK as u64)
+                .map(|j| ((b * 131 + j * 7) % 251) as u8)
+                .collect();
             let _ = sys
                 .store_mut()
                 .write(
@@ -146,4 +145,11 @@ pub fn run() {
         report::series("fg MB/s (quiet)", &base.series.throughput_mbps(), 1),
         report::series("fg MB/s (noisy)", &busy.series.throughput_mbps(), 1),
     );
+
+    let mut sidecar = report::MetricsSidecar::new("fig05");
+    sidecar.capture("original", &original, orig.elapsed);
+    sidecar.capture("inline", &inline, inl.elapsed);
+    sidecar.capture("quiet", &quiet, base.elapsed);
+    sidecar.capture("unthrottled", &noisy, busy.elapsed);
+    sidecar.write();
 }

@@ -64,16 +64,16 @@ pub fn run() {
         "16 in-flight ops (4 threads x 4 iodepth) over a preloaded 32 MiB set.",
     );
     let data = dataset();
+    let mut sidecar = report::MetricsSidecar::new("fig10");
 
     // ---- random write ----
     let mut rows = Vec::new();
     {
-        let mut sys = crate::systems::OriginalSystem::new(
-            "Original",
-            PoolConfig::replicated("data", 2),
-        );
+        let mut sys =
+            crate::systems::OriginalSystem::new("Original", PoolConfig::replicated("data", 2));
         preload(&mut sys, &data);
         let (st, cpu) = drive(&mut sys, true, false);
+        sidecar.capture("write-original", &sys, st.elapsed);
         rows.push(row("Original", &st, cpu, "baseline"));
     }
     {
@@ -85,6 +85,7 @@ pub fn run() {
         preload(&mut sys, &data);
         settle(&mut sys);
         let (st, cpu) = drive(&mut sys, true, true);
+        sidecar.capture("write-proposed", &sys, st.elapsed);
         rows.push(row("Proposed", &st, cpu, "~+20% latency, ~2x CPU"));
     }
     {
@@ -95,6 +96,7 @@ pub fn run() {
         .background(BackgroundMode::Off);
         preload(&mut sys, &data);
         let (st, cpu) = drive(&mut sys, true, false);
+        sidecar.capture("write-proposed-flush", &sys, st.elapsed);
         rows.push(row("Proposed-flush", &st, cpu, "worst (immediate dedup)"));
     }
     {
@@ -105,6 +107,7 @@ pub fn run() {
         .background(BackgroundMode::Off);
         preload(&mut sys, &data);
         let (st, cpu) = drive(&mut sys, true, false);
+        sidecar.capture("write-proposed-cache", &sys, st.elapsed);
         rows.push(row("Proposed-cache", &st, cpu, "~= Original"));
     }
     println!("### (a) 8 KiB random write\n");
@@ -116,12 +119,11 @@ pub fn run() {
     // ---- random read ----
     let mut rows = Vec::new();
     {
-        let mut sys = crate::systems::OriginalSystem::new(
-            "Original",
-            PoolConfig::replicated("data", 2),
-        );
+        let mut sys =
+            crate::systems::OriginalSystem::new("Original", PoolConfig::replicated("data", 2));
         preload(&mut sys, &data);
         let (st, cpu) = drive(&mut sys, false, false);
+        sidecar.capture("read-original", &sys, st.elapsed);
         rows.push(row("Original", &st, cpu, "baseline"));
     }
     {
@@ -133,6 +135,7 @@ pub fn run() {
         preload(&mut sys, &data);
         settle(&mut sys);
         let (st, cpu) = drive(&mut sys, false, false);
+        sidecar.capture("read-proposed", &sys, st.elapsed);
         rows.push(row("Proposed", &st, cpu, "higher (redirection)"));
     }
     {
@@ -143,6 +146,7 @@ pub fn run() {
         .background(BackgroundMode::Off);
         preload(&mut sys, &data);
         let (st, cpu) = drive(&mut sys, false, false);
+        sidecar.capture("read-proposed-cache", &sys, st.elapsed);
         rows.push(row("Proposed-cache", &st, cpu, "~= Original"));
     }
     println!("\n### (b) 8 KiB random read\n");
@@ -150,6 +154,7 @@ pub fn run() {
         &["system", "mean latency", "p99", "CPU", "paper shape"],
         &rows,
     );
+    sidecar.write();
 }
 
 fn row(name: &str, st: &RunStats, cpu: f64, note: &str) -> Vec<String> {

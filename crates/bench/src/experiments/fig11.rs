@@ -51,9 +51,11 @@ pub fn run() {
         .object_size(OBJECT_SIZE as u32)
         .dataset();
 
+    let mut sidecar = report::MetricsSidecar::new("fig11");
     let mut write_rows = Vec::new();
     let mut read_rows = Vec::new();
     for block in [32u64 * 1024, 64 * 1024, 128 * 1024] {
+        let kib = block / 1024;
         // Writes to fresh systems.
         let mut orig = OriginalSystem::new("Original", PoolConfig::replicated("data", 2));
         let ow = run_closed_loop_with_background(&mut orig, STREAMS, OPS, 5, false, |i, _| {
@@ -67,6 +69,8 @@ pub fn run() {
         let pw = run_closed_loop_with_background(&mut prop, STREAMS, OPS, 5, true, |i, _| {
             seq_op(i, block, true)
         });
+        sidecar.capture(&format!("write-{kib}k-original"), &orig, ow.elapsed);
+        sidecar.capture(&format!("write-{kib}k-proposed"), &prop, pw.elapsed);
         let (ot, ol) = fmt(&ow);
         let (pt, pl) = fmt(&pw);
         write_rows.push(vec![format!("{} KiB", block / 1024), ot, ol, pt, pl]);
@@ -87,6 +91,8 @@ pub fn run() {
         let pr = run_closed_loop_with_background(&mut prop, STREAMS, OPS, 6, false, |i, _| {
             seq_op(i, block, false)
         });
+        sidecar.capture(&format!("read-{kib}k-original"), &orig, or.elapsed);
+        sidecar.capture(&format!("read-{kib}k-proposed"), &prop, pr.elapsed);
         let (ot, ol) = fmt(&or);
         let (pt, pl) = fmt(&pr);
         read_rows.push(vec![format!("{} KiB", block / 1024), ot, ol, pt, pl]);
@@ -119,4 +125,5 @@ pub fn run() {
          block size; read ~halves at 32 KiB (redirection) and recovers at \
          128 KiB (4 parallel chunk reads).\n"
     );
+    sidecar.write();
 }

@@ -83,12 +83,14 @@ pub fn run() {
          higher under random writes.",
     );
     let dataset = spec().dataset();
+    let mut sidecar = report::MetricsSidecar::new("fig12");
     let mut outcomes: Vec<Outcome> = Vec::new();
 
     {
         let mut sys = OriginalSystem::new("Replication", PoolConfig::replicated("data", 2));
         preload(&mut sys, &dataset);
         let stats = drive(&mut sys, false);
+        sidecar.capture("replication", &sys, stats.elapsed);
         let raw = raw_usage(&sys);
         outcomes.push(Outcome {
             label: "Replication".into(),
@@ -105,6 +107,7 @@ pub fn run() {
         preload(&mut sys, &dataset);
         settle(&mut sys);
         let stats = drive(&mut sys, true);
+        sidecar.capture("proposed", &sys, stats.elapsed);
         settle(&mut sys);
         let raw = raw_usage(&sys);
         outcomes.push(Outcome {
@@ -117,6 +120,7 @@ pub fn run() {
         let mut sys = OriginalSystem::new("EC", PoolConfig::erasure("data", 2, 1));
         preload(&mut sys, &dataset);
         let stats = drive(&mut sys, false);
+        sidecar.capture("ec", &sys, stats.elapsed);
         let raw = raw_usage(&sys);
         outcomes.push(Outcome {
             label: "EC (2+1)".into(),
@@ -135,6 +139,7 @@ pub fn run() {
         preload(&mut sys, &dataset);
         settle(&mut sys);
         let stats = drive(&mut sys, true);
+        sidecar.capture("proposed-ec", &sys, stats.elapsed);
         settle(&mut sys);
         let raw = raw_usage(&sys);
         outcomes.push(Outcome {
@@ -200,4 +205,5 @@ pub fn run() {
             })
             .collect::<Vec<_>>(),
     );
+    sidecar.write();
 }

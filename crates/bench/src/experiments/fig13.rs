@@ -78,6 +78,13 @@ impl System {
             System::Dedup(store) => raw_total(store.cluster()),
         }
     }
+
+    fn registry(&self) -> &dedup_obs::Registry {
+        match self {
+            System::Plain(cluster, _) => cluster.registry(),
+            System::Dedup(store) => store.registry(),
+        }
+    }
 }
 
 /// Runs the experiment and prints cumulative sizes.
@@ -141,4 +148,13 @@ pub fn run() {
          here 1000x down); dedup variants grow by only the unique user data \
          per image; ec+dedup+comp is the minimum.\n"
     );
+    let mut sidecar = report::MetricsSidecar::new("fig13");
+    for (name, system) in &systems {
+        system
+            .registry()
+            .gauge("figure.raw_bytes")
+            .set(system.raw() as i64);
+        sidecar.capture_registry(name, system.registry(), SimTime::from_secs(1_000));
+    }
+    sidecar.write();
 }

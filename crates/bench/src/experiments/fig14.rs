@@ -11,8 +11,8 @@
 //! foreground capacity-bound as in the testbed.
 
 use dedup_core::{CachePolicy, DedupConfig, Watermarks};
-use dedup_store::{ClientId, ClusterBuilder, ObjectName, PerfConfig, PoolConfig};
 use dedup_sim::SimTime;
+use dedup_store::{ClientId, ClusterBuilder, ObjectName, PerfConfig, PoolConfig};
 
 use crate::drivers::{run_closed_loop_with_background, OpSpec, RunStats};
 use crate::report;
@@ -62,7 +62,9 @@ fn config() -> DedupConfig {
 fn preload_backlog(sys: &mut DedupSystem) {
     let blocks = BACKLOG_MB << 20 >> 15; // 32 KiB units
     for b in 0..blocks {
-        let data: Vec<u8> = (0..BLOCK).map(|j| ((b * 131 + j * 7) % 251) as u8).collect();
+        let data: Vec<u8> = (0..BLOCK)
+            .map(|j| ((b * 131 + j * 7) % 251) as u8)
+            .collect();
         let _ = sys
             .store_mut()
             .write(
@@ -104,9 +106,8 @@ pub fn run() {
         ClusterBuilder::new().perf(perf()).build(),
         PoolConfig::replicated("data", 2),
     );
-    let ideal = run_closed_loop_with_background(&mut ideal_sys, STREAMS, OPS, 14, false, |i, _| {
-        seq_op(i)
-    });
+    let ideal =
+        run_closed_loop_with_background(&mut ideal_sys, STREAMS, OPS, 14, false, |i, _| seq_op(i));
 
     let mut uncontrolled_sys = DedupSystem::with_cluster(
         "w/o control",
@@ -151,7 +152,11 @@ pub fn run() {
             &uncontrolled.series.throughput_mbps(),
             step
         ),
-        report::series("w/ control MB/s", &controlled.series.throughput_mbps(), step),
+        report::series(
+            "w/ control MB/s",
+            &controlled.series.throughput_mbps(),
+            step
+        ),
     );
     let (admitted, denied) = controlled_sys
         .store_mut()
@@ -167,4 +172,10 @@ pub fn run() {
         "paper shape: w/o control drops toward ~1/3 of ideal; w/ control \
          stays within ~80-90% of ideal.\n"
     );
+
+    let mut sidecar = report::MetricsSidecar::new("fig14");
+    sidecar.capture("ideal", &ideal_sys, ideal.elapsed);
+    sidecar.capture("uncontrolled", &uncontrolled_sys, uncontrolled.elapsed);
+    sidecar.capture("controlled", &controlled_sys, controlled.elapsed);
+    sidecar.write();
 }

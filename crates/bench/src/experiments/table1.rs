@@ -5,6 +5,8 @@
 //! rarely lands on the same device.
 
 use dedup_core::{global_ratio, local_ratio};
+use dedup_obs::Registry;
+use dedup_sim::SimTime;
 use dedup_workloads::fio::FioSpec;
 
 use crate::report;
@@ -15,16 +17,25 @@ const PAPER_GLOBAL: f64 = 50.0;
 
 /// Runs the experiment and prints the comparison table.
 pub fn run() {
-    report::header(
-        "Table 1",
-        "Dedup ratio vs OSD count (FIO dedup 50%)",
-        "",
-    );
-    let dataset = FioSpec::new(48 << 20, 0.5).object_size(256 * 1024).dataset();
+    report::header("Table 1", "Dedup ratio vs OSD count (FIO dedup 50%)", "");
+    let dataset = FioSpec::new(48 << 20, 0.5)
+        .object_size(256 * 1024)
+        .dataset();
     let global = global_ratio(dataset.iter_refs(), 32 * 1024).ratio_percent();
+    let registry = Registry::new();
+    registry
+        .gauge("analysis.global_ratio_pct_x100")
+        .set((global * 100.0) as i64);
     let mut rows = Vec::new();
     for &(osds, paper_local) in PAPER_LOCAL {
         let local = local_ratio(dataset.iter_refs(), 32 * 1024, osds).ratio_percent();
+        let osds_label = osds.to_string();
+        registry
+            .gauge_with(
+                "analysis.local_ratio_pct_x100",
+                &[("osds", osds_label.as_str())],
+            )
+            .set((local * 100.0) as i64);
         rows.push(vec![
             format!("{osds} OSD"),
             report::pct(local),
@@ -43,4 +54,7 @@ pub fn run() {
         ],
         &rows,
     );
+    let mut sidecar = report::MetricsSidecar::new("table1");
+    sidecar.capture_registry("analysis", &registry, SimTime::ZERO);
+    sidecar.write();
 }

@@ -24,6 +24,7 @@ pub fn run() {
         "Private-cloud dataset; ratios exclude replication redundancy as in the paper.",
     );
     let dataset = CloudSpec::default().dataset();
+    let mut sidecar = report::MetricsSidecar::new("table2");
     let mut rows = Vec::new();
     for &(chunk_kib, paper_ideal, paper_actual) in PAPER {
         let cluster = ClusterBuilder::new().build();
@@ -35,11 +36,22 @@ pub fn run() {
         );
         for obj in &dataset.objects {
             let _ = store
-                .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(&*obj.name),
+                    0,
+                    &obj.data,
+                    SimTime::ZERO,
+                )
                 .expect("write");
         }
         let _ = store.flush_all(SimTime::from_secs(1_000)).expect("flush");
         let sr = store.space_report().expect("report");
+        sidecar.capture_registry(
+            &format!("chunk-{chunk_kib}k"),
+            store.registry(),
+            SimTime::from_secs(1_000),
+        );
         rows.push(vec![
             format!("{chunk_kib} KiB"),
             report::pct(sr.ideal_ratio_percent()),
@@ -66,4 +78,5 @@ pub fn run() {
         "\npaper shape: ideal ratio falls as chunks grow; metadata shrinks \
          ~2x per chunk-size doubling; smallest chunk has the worst actual ratio.\n"
     );
+    sidecar.write();
 }

@@ -47,7 +47,13 @@ fn dedup_cluster(data: &Dataset) -> DedupStore {
     );
     for obj in &data.objects {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(&*obj.name),
+                0,
+                &obj.data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     let _ = store.flush_all(SimTime::from_secs(1_000)).expect("flush");
@@ -74,13 +80,24 @@ pub fn run() {
          Original/Proposed ratio is the reproduced shape.",
     );
     let data = dataset();
+    let mut sidecar = report::MetricsSidecar::new("table3");
     let mut rows = Vec::new();
     for &(failures, paper_orig, paper_prop) in PAPER {
         let (mut orig, _) = original_cluster(&data);
         let (orig_secs, orig_moved) = recovery_secs(&mut orig, failures);
+        sidecar.capture_registry(
+            &format!("original-{failures}f"),
+            orig.registry(),
+            SimTime::ZERO,
+        );
 
         let mut prop = dedup_cluster(&data);
         let (prop_secs, prop_moved) = recovery_secs(prop.cluster_mut(), failures);
+        sidecar.capture_registry(
+            &format!("proposed-{failures}f"),
+            prop.registry(),
+            SimTime::ZERO,
+        );
 
         rows.push(vec![
             failures.to_string(),
@@ -100,4 +117,5 @@ pub fn run() {
         ],
         &rows,
     );
+    sidecar.write();
 }

@@ -1,6 +1,89 @@
-//! Markdown reporting shared by every experiment binary.
+//! Markdown reporting shared by every experiment binary, plus the
+//! JSON-lines metrics sidecar every figure binary drops next to its
+//! output.
 
 use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use dedup_obs::sample_resources;
+use dedup_sim::SimTime;
+
+use crate::systems::StorageSystem;
+
+/// Where metrics sidecars go: `$DEDUP_METRICS_DIR`, or `target/metrics`.
+pub fn metrics_dir() -> PathBuf {
+    std::env::var_os("DEDUP_METRICS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Accumulates labelled registry snapshots from the systems an experiment
+/// ran and writes them as one `<figure>.metrics.jsonl` sidecar.
+///
+/// Every line is one metric in the registry's JSON format, with a
+/// `system` label distinguishing the configurations under test.
+pub struct MetricsSidecar {
+    figure: String,
+    lines: Vec<String>,
+}
+
+impl MetricsSidecar {
+    /// Starts a sidecar for `figure` (e.g. `"fig14"`).
+    pub fn new(figure: impl Into<String>) -> Self {
+        MetricsSidecar {
+            figure: figure.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Snapshots `system`'s registry at virtual time `now`, tagging each
+    /// metric with `system=<label>`. Samples per-resource utilisation
+    /// into the registry first so the sidecar covers the timing plane
+    /// too.
+    pub fn capture(&mut self, label: &str, system: &dyn StorageSystem, now: SimTime) {
+        let registry = system.registry();
+        sample_resources(registry, &system.cluster().perf().pool, now);
+        self.capture_registry(label, registry, now);
+    }
+
+    /// Snapshots a bare registry (analyses without a storage stack).
+    pub fn capture_registry(&mut self, label: &str, registry: &dedup_obs::Registry, now: SimTime) {
+        let mut snaps = registry.snapshot(now);
+        for snap in &mut snaps {
+            snap.labels.push(("system".to_string(), label.to_string()));
+            self.lines.push(snap.to_json());
+        }
+    }
+
+    /// Lines captured so far (one JSON object per metric).
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Writes the sidecar, creating the metrics directory if needed, and
+    /// prints its path. Errors are reported but not fatal: a read-only
+    /// checkout must not kill a figure run.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = metrics_dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("metrics sidecar skipped ({}: {e})", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.metrics.jsonl", self.figure));
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("metrics sidecar: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("metrics sidecar skipped ({}: {e})", path.display());
+                None
+            }
+        }
+    }
+}
 
 /// Prints an experiment header with the paper reference.
 pub fn header(id: &str, title: &str, notes: &str) {

@@ -2,10 +2,9 @@
 //! ("Proposed") behind one interface.
 
 use dedup_core::{DedupConfig, DedupStore};
+use dedup_obs::Registry;
 use dedup_sim::{CostExpr, SimTime};
-use dedup_store::{
-    ClientId, Cluster, ClusterBuilder, IoCtx, ObjectName, PoolConfig,
-};
+use dedup_store::{ClientId, Cluster, ClusterBuilder, IoCtx, ObjectName, PoolConfig};
 use dedup_workloads::Dataset;
 
 /// A storage system a driver can load. Implementations panic on store
@@ -16,12 +15,24 @@ pub trait StorageSystem {
     fn label(&self) -> &str;
 
     /// Writes `data` at `offset` of `name`; returns the op's cost.
-    fn write(&mut self, client: ClientId, name: &str, offset: u64, data: &[u8], now: SimTime)
-        -> CostExpr;
+    fn write(
+        &mut self,
+        client: ClientId,
+        name: &str,
+        offset: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> CostExpr;
 
     /// Reads `len` at `offset` of `name`; returns the op's cost.
-    fn read(&mut self, client: ClientId, name: &str, offset: u64, len: u64, now: SimTime)
-        -> CostExpr;
+    fn read(
+        &mut self,
+        client: ClientId,
+        name: &str,
+        offset: u64,
+        len: u64,
+        now: SimTime,
+    ) -> CostExpr;
 
     /// Performs one unit of background work if any is pending; `None` when
     /// idle or throttled.
@@ -42,6 +53,11 @@ pub trait StorageSystem {
 
     /// The underlying cluster, mutably (timing plane access).
     fn cluster_mut(&mut self) -> &mut Cluster;
+
+    /// The metrics registry covering this system's whole stack.
+    fn registry(&self) -> &Registry {
+        self.cluster().registry()
+    }
 
     /// Executes a cost on the timing plane.
     fn execute(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {

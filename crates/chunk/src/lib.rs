@@ -186,7 +186,10 @@ impl GearCdcChunker {
             min_size <= avg_size && avg_size <= max_size,
             "need min <= avg <= max"
         );
-        assert!(avg_size.is_power_of_two(), "avg size must be a power of two");
+        assert!(
+            avg_size.is_power_of_two(),
+            "avg size must be a power of two"
+        );
         GearCdcChunker {
             min_size,
             avg_size,
@@ -220,7 +223,12 @@ impl GearCdcChunker {
         let mut hash: u64 = 0;
         let strict = self.mask_strict();
         let loose = self.mask_loose();
-        for (i, &b) in data.iter().enumerate().take(avg).skip(self.min_size as usize) {
+        for (i, &b) in data
+            .iter()
+            .enumerate()
+            .take(avg)
+            .skip(self.min_size as usize)
+        {
             hash = (hash << 1).wrapping_add(self.gear[b as usize]);
             if hash & strict == 0 {
                 return i + 1;
@@ -308,7 +316,10 @@ mod tests {
 
     #[test]
     fn span_overlap() {
-        let s = ChunkSpan { offset: 10, len: 10 };
+        let s = ChunkSpan {
+            offset: 10,
+            len: 10,
+        };
         assert!(s.overlaps(5, 6));
         assert!(s.overlaps(19, 1));
         assert!(!s.overlaps(20, 5));

@@ -267,7 +267,11 @@ mod tests {
     fn all_zeroes_rle_case() {
         let data = vec![0u8; 100_000];
         let packed = compress(&data);
-        assert!(packed.len() < 1000, "zeros should collapse: {}", packed.len());
+        assert!(
+            packed.len() < 1000,
+            "zeros should collapse: {}",
+            packed.len()
+        );
         roundtrip(&data);
     }
 
@@ -319,7 +323,10 @@ mod tests {
     fn stats_ratio() {
         let s = CompressionStats::measure(&b"aaaa".repeat(1000));
         assert!(s.ratio() > 10.0);
-        let empty = CompressionStats { raw: 0, compressed: 0 };
+        let empty = CompressionStats {
+            raw: 0,
+            compressed: 0,
+        };
         assert!((empty.ratio() - 1.0).abs() < f64::EPSILON);
     }
 
@@ -329,7 +336,12 @@ mod tests {
         let mut data = Vec::new();
         for i in 0..2000 {
             data.extend_from_slice(
-                format!("setting_{}=value_{}\npath=/usr/lib/module\n", i % 37, i % 11).as_bytes(),
+                format!(
+                    "setting_{}=value_{}\npath=/usr/lib/module\n",
+                    i % 37,
+                    i % 11
+                )
+                .as_bytes(),
             );
         }
         let s = CompressionStats::measure(&data);

@@ -32,11 +32,18 @@ pub enum CachePolicy {
 ///
 /// Observed foreground IOPS select how many foreground I/Os must pass
 /// between two background deduplication I/Os.
+///
+/// Both watermark comparisons are strict (`iops < low_iops`,
+/// `iops < high_iops`), so a load sitting *exactly on* a watermark falls
+/// into the higher-throttle band: `iops == low_iops` is rate-limited at
+/// `mid_ratio`, and `iops == high_iops` at `high_ratio`. Reaching a
+/// watermark therefore always means the throttle is already engaged.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Watermarks {
-    /// Below this IOPS, dedup I/O is unlimited.
+    /// Strictly below this IOPS, dedup I/O is unlimited.
     pub low_iops: f64,
-    /// Above this IOPS, one dedup I/O per `high_ratio` foreground I/Os.
+    /// At or above this IOPS, one dedup I/O per `high_ratio` foreground
+    /// I/Os.
     pub high_iops: f64,
     /// Foreground I/Os per dedup I/O between the watermarks (paper: 100).
     pub mid_ratio: u64,

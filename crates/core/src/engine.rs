@@ -11,14 +11,16 @@ use std::collections::{HashSet, VecDeque};
 
 use dedup_chunk::FixedChunker;
 use dedup_fingerprint::Fingerprint;
+use dedup_obs::Registry;
 use dedup_placement::PoolId;
-use dedup_sim::{CostExpr, SimTime};
-use dedup_store::{Cluster, IoCtx, ClientId, ObjectName, PoolConfig, StoreError, Timed, TxOp};
+use dedup_sim::{CostExpr, SimDuration, SimTime};
+use dedup_store::{ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp};
 
 use crate::chunkmap::ChunkMapEntry;
 use crate::config::{CachePolicy, DedupConfig, DedupMode};
 use crate::error::DedupError;
 use crate::hitset::HitSet;
+use crate::metrics::EngineMetrics;
 use crate::ratecontrol::RateController;
 use crate::refs::{decode_refcount, encode_refcount, BackRef, REFCOUNT_XATTR};
 
@@ -90,6 +92,7 @@ pub struct DedupStore {
     hitset: HitSet,
     rate: RateController,
     stats: EngineStats,
+    metrics: EngineMetrics,
 }
 
 impl DedupStore {
@@ -106,6 +109,11 @@ impl DedupStore {
         let chunker = FixedChunker::new(config.chunk_size);
         let hitset = HitSet::new(config.hitset);
         let rate = RateController::new(config.watermarks);
+        // One registry per stack: the engine owns it and rebinds the
+        // cluster's instruments so a single snapshot covers both layers.
+        let registry = Registry::new();
+        cluster.attach_registry(registry.clone());
+        let metrics = EngineMetrics::new(registry, SimDuration::from_secs(1));
         DedupStore {
             cluster,
             metadata_pool,
@@ -117,6 +125,7 @@ impl DedupStore {
             hitset,
             rate,
             stats: EngineStats::default(),
+            metrics,
         }
     }
 
@@ -162,6 +171,12 @@ impl DedupStore {
         self.stats
     }
 
+    /// The metrics registry shared by the engine and its cluster; snapshot
+    /// it to observe the whole stack at once.
+    pub fn registry(&self) -> &Registry {
+        self.metrics.registry()
+    }
+
     /// Objects currently queued for background deduplication.
     pub fn dirty_len(&self) -> usize {
         self.dirty_queue.len()
@@ -189,17 +204,33 @@ impl DedupStore {
         }
     }
 
-    fn entry_for(
-        entries: &[ChunkMapEntry],
-        offset: u64,
-    ) -> Option<ChunkMapEntry> {
+    fn entry_for(entries: &[ChunkMapEntry], offset: u64) -> Option<ChunkMapEntry> {
         entries.iter().copied().find(|e| e.offset == offset)
     }
 
     fn mark_dirty(&mut self, name: &ObjectName) {
         if self.dirty_set.insert(name.clone()) {
             self.dirty_queue.push_back(name.clone());
+            self.sync_queue_depth();
         }
+    }
+
+    fn sync_queue_depth(&self) {
+        self.metrics
+            .flush_queue_depth
+            .set(self.dirty_queue.len() as i64);
+    }
+
+    fn update_rate_band(&mut self, now: SimTime) {
+        let iops = self.rate.foreground_iops(now);
+        let band = if iops < self.config.watermarks.low_iops {
+            0
+        } else if iops < self.config.watermarks.high_iops {
+            1
+        } else {
+            2
+        };
+        self.metrics.rate_band.set(band);
     }
 
     /// Writes `data` at `offset` (paper §4.5 write path).
@@ -221,6 +252,9 @@ impl DedupStore {
     ) -> Result<Timed<()>, DedupError> {
         self.stats.writes += 1;
         self.stats.bytes_written += data.len() as u64;
+        self.metrics.writes.inc();
+        self.metrics.write_bytes.add(data.len() as u64);
+        self.metrics.foreground_ops.mark(now, 1);
         self.hitset.access(name.as_bytes(), now);
         self.rate.record_foreground(now);
         match self.config.mode {
@@ -317,8 +351,9 @@ impl DedupStore {
             }
             let copy_start = offset.max(c_off);
             let copy_end = end.min(c_off + c_len as u64);
-            content[(copy_start - c_off) as usize..(copy_end - c_off) as usize]
-                .copy_from_slice(&data[(copy_start - offset) as usize..(copy_end - offset) as usize]);
+            content[(copy_start - c_off) as usize..(copy_end - c_off) as usize].copy_from_slice(
+                &data[(copy_start - offset) as usize..(copy_end - offset) as usize],
+            );
 
             // Fingerprint (CPU), dereference old, store new — synchronously.
             let fp = Fingerprint::of(&content);
@@ -326,7 +361,10 @@ impl DedupStore {
             if let Some(e) = existing {
                 if let Some(old) = e.chunk_id {
                     if old != fp {
-                        let t = self.deref_chunk(old, &BackRef::new(self.metadata_pool, name.clone(), c_off))?;
+                        let t = self.deref_chunk(
+                            old,
+                            &BackRef::new(self.metadata_pool, name.clone(), c_off),
+                        )?;
                         costs.push(t.cost);
                     }
                 }
@@ -371,6 +409,9 @@ impl DedupStore {
     ) -> Result<Timed<Vec<u8>>, DedupError> {
         self.stats.reads += 1;
         self.stats.bytes_read += len;
+        self.metrics.reads.inc();
+        self.metrics.read_bytes.add(len);
+        self.metrics.foreground_ops.mark(now, 1);
         self.hitset.access(name.as_bytes(), now);
         self.rate.record_foreground(now);
 
@@ -432,14 +473,16 @@ impl DedupStore {
                 // Cached (or never deduplicated): the metadata pool serves
                 // resident bytes; punched sub-ranges (a partial write into
                 // an evicted chunk) fall back to the old chunk object.
-                let splits = self
-                    .cluster
-                    .resident_ranges(self.metadata_pool, name, want_start, span)?;
+                let splits =
+                    self.cluster
+                        .resident_ranges(self.metadata_pool, name, want_start, span)?;
                 let fully_resident = splits.iter().all(|&(_, _, res)| res);
                 if fully_resident {
                     self.stats.cache_hit_chunks += 1;
+                    self.metrics.cache_hit_chunks.inc();
                 } else {
                     self.stats.redirected_chunks += 1;
+                    self.metrics.redirected_chunks.inc();
                 }
                 let t = self.cluster.read_at(&ctx, name, want_start, span)?;
                 out[(want_start - offset) as usize..(want_end - offset) as usize]
@@ -453,9 +496,9 @@ impl DedupStore {
                             if resident {
                                 continue;
                             }
-                            let t = self
-                                .cluster
-                                .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
+                            let t =
+                                self.cluster
+                                    .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
                             out[(hs - offset) as usize..(he - offset) as usize]
                                 .copy_from_slice(&t.value);
                             chunk_costs.push(t.cost);
@@ -465,6 +508,7 @@ impl DedupStore {
             } else {
                 // Redirection: metadata pool forwards to the chunk pool.
                 self.stats.redirected_chunks += 1;
+                self.metrics.redirected_chunks.inc();
                 let e = entry.expect("non-cached chunk must have an entry");
                 let fp = e.chunk_id.ok_or_else(|| DedupError::MissingChunk {
                     object: name.clone(),
@@ -563,6 +607,7 @@ impl DedupStore {
             let t = self.cluster.transact(&ctx, name, ops)?;
             costs.push(t.cost);
             self.stats.promotions += promoted;
+            self.metrics.promotions.add(promoted);
         }
         Ok(Timed::new(promoted, CostExpr::seq(costs)))
     }
@@ -597,6 +642,7 @@ impl DedupStore {
             .cluster
             .stat(self.metadata_pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(self.metadata_pool, name.clone()))?;
+        self.metrics.foreground_ops.mark(now, 1);
         self.hitset.access(name.as_bytes(), now);
         self.rate.record_foreground(now);
         let entries = self.load_chunk_map(name)?;
@@ -661,7 +707,10 @@ impl DedupStore {
         let mut costs = Vec::new();
         for e in entries {
             if let Some(fp) = e.chunk_id {
-                let t = self.deref_chunk(fp, &BackRef::new(self.metadata_pool, name.clone(), e.offset))?;
+                let t = self.deref_chunk(
+                    fp,
+                    &BackRef::new(self.metadata_pool, name.clone(), e.offset),
+                )?;
                 costs.push(t.cost);
             }
         }
@@ -673,6 +722,7 @@ impl DedupStore {
         }
         self.dirty_set.remove(name);
         self.dirty_queue.retain(|n| n != name);
+        self.sync_queue_depth();
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
 
@@ -817,9 +867,9 @@ impl DedupStore {
         let t = self.cluster.read_at(&ctx, name, e.offset, e.len as u64)?;
         costs.push(t.cost);
         let mut content = t.value;
-        let splits = self
-            .cluster
-            .resident_ranges(self.metadata_pool, name, e.offset, e.len as u64)?;
+        let splits =
+            self.cluster
+                .resident_ranges(self.metadata_pool, name, e.offset, e.len as u64)?;
         let has_holes = splits.iter().any(|&(_, _, res)| !res);
         let mut merged = false;
         if has_holes {
@@ -883,6 +933,7 @@ impl DedupStore {
         let hot = self.hitset.is_hot(name.as_bytes(), now);
         if hot && self.config.cache_policy == CachePolicy::HotnessAware {
             self.stats.hot_skips += 1;
+            self.metrics.hot_skips.inc();
             report.skipped_hot = true;
             // Stays dirty; re-queue at the back.
             if self.dirty_set.contains(name) {
@@ -906,6 +957,9 @@ impl DedupStore {
             // merging any punched sub-ranges from the previous chunk object
             // (deferred read-modify-write).
             let (content, read_costs, merged) = self.read_dirty_chunk(name, &e)?;
+            if merged {
+                self.metrics.deferred_rmw_merges.inc();
+            }
             costs.extend(read_costs);
             // (3) Fingerprint on the metadata node's CPU.
             let fp = Fingerprint::of(&content);
@@ -914,6 +968,7 @@ impl DedupStore {
 
             if failure == Some(FailurePoint::BeforeChunkStore) {
                 report.aborted = true;
+                self.record_flush_report(&report);
                 return Ok(Timed::new(report, CostExpr::seq(costs)));
             }
 
@@ -944,16 +999,17 @@ impl DedupStore {
                 // Data travels metadata node → chunk pool.
                 let chunk_name = ObjectName::new(fp.to_object_name());
                 let chunk_node = self.primary_node(self.chunk_pool, &chunk_name)?;
-                costs.push(self.cluster.perf().node_to_node(
-                    meta_node,
-                    chunk_node,
-                    e.len as u64,
-                ));
+                costs.push(
+                    self.cluster
+                        .perf()
+                        .node_to_node(meta_node, chunk_node, e.len as u64),
+                );
                 costs.push(t.cost);
             }
 
             if failure == Some(FailurePoint::AfterChunkStore) {
                 report.aborted = true;
+                self.record_flush_report(&report);
                 return Ok(Timed::new(report, CostExpr::seq(costs)));
             }
 
@@ -984,12 +1040,22 @@ impl DedupStore {
         let t = self.cluster.transact(&ctx, name, ops)?;
         costs.push(t.cost);
         self.finish_clean(name);
+        self.record_flush_report(&report);
         Ok(Timed::new(report, CostExpr::seq(costs)))
+    }
+
+    fn record_flush_report(&self, report: &FlushReport) {
+        self.metrics.chunks_flushed.add(report.chunks_flushed);
+        self.metrics.chunks_deduped.add(report.chunks_deduped);
+        self.metrics.chunks_created.add(report.chunks_created);
+        self.metrics.chunks_reclaimed.add(report.chunks_reclaimed);
+        self.metrics.chunks_evicted.add(report.chunks_evicted);
     }
 
     fn finish_clean(&mut self, name: &ObjectName) {
         self.dirty_set.remove(name);
         self.dirty_queue.retain(|n| n != name);
+        self.sync_queue_depth();
     }
 
     /// One background-engine step: honours rate control, pops the oldest
@@ -1004,8 +1070,12 @@ impl DedupStore {
         }
         if !self.rate.admit_dedup(now) {
             self.stats.rate_denials += 1;
+            self.metrics.rate_denied.inc();
+            self.update_rate_band(now);
             return Ok(None);
         }
+        self.metrics.rate_admitted.inc();
+        self.update_rate_band(now);
         let name = self.dirty_queue.front().cloned().expect("non-empty queue");
         let t = self.flush_object(&name, now)?;
         Ok(Some(t))
@@ -1104,6 +1174,12 @@ impl DedupStore {
                 report.counts_corrected += 1;
             }
         }
+        self.metrics
+            .gc_chunks_reclaimed
+            .add(report.chunks_reclaimed);
+        self.metrics
+            .gc_stale_refs_dropped
+            .add(report.stale_refs_dropped);
         Ok(Timed::new(report, CostExpr::seq(costs)))
     }
 
@@ -1215,7 +1291,9 @@ mod tests {
         let name = ObjectName::new("obj");
         let data = patterned(3 * CS as usize + 100, 1);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(0)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(0))
+            .expect("read");
         assert_eq!(r.value, data);
         assert!(s.stats().redirected_chunks == 0, "all cached before flush");
         assert_eq!(s.dirty_len(), 1);
@@ -1246,7 +1324,14 @@ mod tests {
         let mut s = store();
         let data = patterned(CS as usize, 3);
         for i in 0..3 {
-            let _ = s.write(ClientId(0), &ObjectName::new(format!("o{i}")), 0, &data, t(0))
+            let _ = s
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(format!("o{i}")),
+                    0,
+                    &data,
+                    t(0),
+                )
                 .expect("write");
         }
         let _ = s.flush_all(t(5)).expect("flush");
@@ -1275,26 +1360,39 @@ mod tests {
         let name = ObjectName::new("obj");
         let data = patterned(8 * CS as usize, 9);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
-        let before = s.cluster().usage(s.metadata_pool()).expect("usage").stored_bytes;
+        let before = s
+            .cluster()
+            .usage(s.metadata_pool())
+            .expect("usage")
+            .stored_bytes;
         let _ = s.flush_all(t(5)).expect("flush");
-        let after = s.cluster().usage(s.metadata_pool()).expect("usage").stored_bytes;
-        assert!(after < before / 4, "eviction should free space: {before} -> {after}");
+        let after = s
+            .cluster()
+            .usage(s.metadata_pool())
+            .expect("usage")
+            .stored_bytes;
+        assert!(
+            after < before / 4,
+            "eviction should free space: {before} -> {after}"
+        );
         // Data still correct via redirection.
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(6)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(6))
+            .expect("read");
         assert_eq!(r.value, data);
         assert!(s.stats().redirected_chunks > 0);
     }
 
     #[test]
     fn keep_all_policy_serves_from_cache_after_flush() {
-        let mut s = store_with(
-            DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::KeepAll),
-        );
+        let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::KeepAll));
         let name = ObjectName::new("obj");
         let data = patterned(4 * CS as usize, 11);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
         let _ = s.flush_all(t(5)).expect("flush");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(6)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(6))
+            .expect("read");
         assert_eq!(r.value, data);
         assert_eq!(s.stats().redirected_chunks, 0, "cache keeps serving");
         // Chunk pool still holds the deduplicated copy.
@@ -1335,7 +1433,9 @@ mod tests {
         assert_eq!(rep.value.chunks_reclaimed, 1);
         let sr = s.space_report().expect("r");
         assert_eq!(sr.chunk_objects, 1, "old chunk deleted, new chunk stored");
-        let r = s.read(ClientId(0), &name, 0, new.len() as u64, t(16)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, new.len() as u64, t(16))
+            .expect("read");
         assert_eq!(r.value, new);
     }
 
@@ -1367,9 +1467,13 @@ mod tests {
         let _ = s.flush_all(t(5)).expect("flush");
         // 1 KiB partial update in the middle of the (evicted) chunk.
         let patch = patterned(1024, 29);
-        let _ = s.write(ClientId(0), &name, 2048, &patch, t(10)).expect("write");
+        let _ = s
+            .write(ClientId(0), &name, 2048, &patch, t(10))
+            .expect("write");
         let _ = s.flush_all(t(15)).expect("flush");
-        let r = s.read(ClientId(0), &name, 0, CS as u64, t(16)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, CS as u64, t(16))
+            .expect("read");
         let mut expect = data.clone();
         expect[2048..3072].copy_from_slice(&patch);
         assert_eq!(r.value, expect, "pre-read preserved surrounding bytes");
@@ -1380,14 +1484,27 @@ mod tests {
         let mut s = store_with(DedupConfig::with_chunk_size(CS).inline());
         let data = patterned(2 * CS as usize, 31);
         for i in 0..4 {
-            let _ = s.write(ClientId(0), &ObjectName::new(format!("o{i}")), 0, &data, t(0))
+            let _ = s
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(format!("o{i}")),
+                    0,
+                    &data,
+                    t(0),
+                )
                 .expect("write");
         }
         assert_eq!(s.dirty_len(), 0, "inline mode leaves nothing dirty");
         let sr = s.space_report().expect("r");
         assert_eq!(sr.chunk_objects, 2, "deduplicated at write time");
         let r = s
-            .read(ClientId(0), &ObjectName::new("o3"), 0, data.len() as u64, t(1))
+            .read(
+                ClientId(0),
+                &ObjectName::new("o3"),
+                0,
+                data.len() as u64,
+                t(1),
+            )
             .expect("read");
         assert_eq!(r.value, data);
     }
@@ -1399,8 +1516,12 @@ mod tests {
         let data = patterned(CS as usize, 37);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
         let patch = patterned(100, 41);
-        let _ = s.write(ClientId(0), &name, 500, &patch, t(1)).expect("write");
-        let r = s.read(ClientId(0), &name, 0, CS as u64, t(2)).expect("read");
+        let _ = s
+            .write(ClientId(0), &name, 500, &patch, t(1))
+            .expect("write");
+        let r = s
+            .read(ClientId(0), &name, 0, CS as u64, t(2))
+            .expect("read");
         let mut expect = data.clone();
         expect[500..600].copy_from_slice(&patch);
         assert_eq!(r.value, expect);
@@ -1418,12 +1539,18 @@ mod tests {
             .flush_object_with_failure(&name, t(100), Some(FailurePoint::BeforeChunkStore))
             .expect("flush");
         assert!(rep.value.aborted);
-        assert_eq!(s.space_report().expect("r").chunk_objects, 0, "nothing stored yet");
+        assert_eq!(
+            s.space_report().expect("r").chunk_objects,
+            0,
+            "nothing stored yet"
+        );
         // Simulate engine restart: dirty queue rebuilt from object state.
         let found = s.recover_dirty_queue().expect("recover");
         assert_eq!(found, 1);
         let _ = s.flush_all(t(200)).expect("flush");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(201)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(201))
+            .expect("read");
         assert_eq!(r.value, data);
     }
 
@@ -1454,7 +1581,9 @@ mod tests {
             .and_then(|v| decode_refcount(&v))
             .expect("count");
         assert_eq!(count, 1, "no refcount leak on retry");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(201)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(201))
+            .expect("read");
         assert_eq!(r.value, data);
     }
 
@@ -1471,7 +1600,14 @@ mod tests {
         // Generate enough foreground to sit between the watermarks with
         // far fewer ops than mid_ratio.
         for i in 0..50u64 {
-            let _ = s.write(ClientId(0), &name, 0, &data, SimTime::from_nanos(i * 20_000_000))
+            let _ = s
+                .write(
+                    ClientId(0),
+                    &name,
+                    0,
+                    &data,
+                    SimTime::from_nanos(i * 20_000_000),
+                )
                 .expect("write");
         }
         let now = SimTime::from_nanos(50 * 20_000_000);
@@ -1502,11 +1638,17 @@ mod tests {
         let data = patterned(CS as usize + 777, 61);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
         let _ = s.flush_all(t(5)).expect("flush");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(6)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(6))
+            .expect("read");
         assert_eq!(r.value, data);
         let sr = s.space_report().expect("r");
         assert_eq!(sr.chunk_objects, 2);
-        assert_eq!(sr.chunk_bytes, data.len() as u64, "tail stored at true size");
+        assert_eq!(
+            sr.chunk_bytes,
+            data.len() as u64,
+            "tail stored at true size"
+        );
     }
 
     #[test]
@@ -1522,7 +1664,9 @@ mod tests {
         let _ = s.flush_all(t(5)).expect("flush");
         let sr = s.space_report().expect("r");
         assert_eq!(sr.chunk_objects, 1, "self-similar object collapses");
-        let r = s.read(ClientId(0), &name, 0, data.len() as u64, t(6)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, data.len() as u64, t(6))
+            .expect("read");
         assert_eq!(r.value, data);
     }
 
@@ -1551,7 +1695,8 @@ mod tests {
         };
         let mut s = store_with(cfg);
         let name = ObjectName::new("obj");
-        let _ = s.write(ClientId(0), &name, 0, &patterned(CS as usize, 73), t(0))
+        let _ = s
+            .write(ClientId(0), &name, 0, &patterned(CS as usize, 73), t(0))
             .expect("write");
         let rep = s.flush_object(&name, t(1)).expect("flush");
         assert!(rep.value.skipped_hot);
@@ -1568,14 +1713,20 @@ mod tests {
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
         let _ = s.flush_all(t(5)).expect("flush");
         let patch = patterned(1024, 89);
-        let _ = s.write(ClientId(0), &name, 4096, &patch, t(50)).expect("write");
-        let r = s.read(ClientId(0), &name, 0, CS as u64, t(51)).expect("read");
+        let _ = s
+            .write(ClientId(0), &name, 4096, &patch, t(50))
+            .expect("write");
+        let r = s
+            .read(ClientId(0), &name, 0, CS as u64, t(51))
+            .expect("read");
         let mut expect = data.clone();
         expect[4096..5120].copy_from_slice(&patch);
         assert_eq!(r.value, expect, "holes served from old chunk object");
         // And after the flush the merged chunk persists.
         let _ = s.flush_all(t(100)).expect("flush");
-        let r = s.read(ClientId(0), &name, 0, CS as u64, t(101)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, CS as u64, t(101))
+            .expect("read");
         assert_eq!(r.value, expect);
     }
 
@@ -1583,9 +1734,7 @@ mod tests {
     fn kept_cache_is_completed_after_merge_flush() {
         // KeepAll: after a partial write + flush, the cached copy must be
         // fully resident again (no holes left behind).
-        let mut s = store_with(
-            DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::KeepAll),
-        );
+        let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::KeepAll));
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 91);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
@@ -1593,10 +1742,14 @@ mod tests {
         // Punch a synthetic partial state: evict by hand via a new write
         // after switching policy is overkill; instead overwrite partially.
         let patch = patterned(100, 93);
-        let _ = s.write(ClientId(0), &name, 10, &patch, t(50)).expect("write");
+        let _ = s
+            .write(ClientId(0), &name, 10, &patch, t(50))
+            .expect("write");
         let _ = s.flush_all(t(100)).expect("flush");
         let before = s.stats().redirected_chunks;
-        let r = s.read(ClientId(0), &name, 0, CS as u64, t(101)).expect("read");
+        let r = s
+            .read(ClientId(0), &name, 0, CS as u64, t(101))
+            .expect("read");
         let mut expect = data.clone();
         expect[10..110].copy_from_slice(&patch);
         assert_eq!(r.value, expect);
@@ -1657,9 +1810,13 @@ mod gc_tests {
         let name = ObjectName::new("obj");
         let v1 = patterned(CS as usize, 1);
         let v2 = patterned(CS as usize, 2);
-        let _ = s.write(ClientId(0), &name, 0, &v1, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &v1, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(10)).expect("flush");
-        let _ = s.write(ClientId(0), &name, 0, &v2, SimTime::from_secs(20)).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &v2, SimTime::from_secs(20))
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(30)).expect("flush");
         // Lazy mode: the v1 chunk lingers with a stale back reference.
         assert_eq!(s.space_report().expect("r").chunk_objects, 2);
@@ -1669,7 +1826,13 @@ mod gc_tests {
         assert_eq!(s.space_report().expect("r").chunk_objects, 1);
         // Data still reads correctly after GC.
         let r = s
-            .read(ClientId(0), &name, 0, v2.len() as u64, SimTime::from_secs(40))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                v2.len() as u64,
+                SimTime::from_secs(40),
+            )
             .expect("read");
         assert_eq!(r.value, v2);
     }
@@ -1680,12 +1843,20 @@ mod gc_tests {
         let data = patterned(CS as usize, 3);
         for i in 0..3 {
             let _ = s
-                .write(ClientId(0), &ObjectName::new(format!("o{i}")), 0, &data, SimTime::ZERO)
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(format!("o{i}")),
+                    0,
+                    &data,
+                    SimTime::ZERO,
+                )
                 .expect("w");
         }
         let _ = s.flush_all(SimTime::from_secs(10)).expect("flush");
         // Delete one referrer: lazy mode leaves the count at 3.
-        let _ = s.delete(ClientId(0), &ObjectName::new("o0")).expect("delete");
+        let _ = s
+            .delete(ClientId(0), &ObjectName::new("o0"))
+            .expect("delete");
         let gc = s.gc_chunk_pool().expect("gc");
         assert_eq!(gc.value.stale_refs_dropped, 1);
         assert_eq!(gc.value.counts_corrected, 1);
@@ -1730,7 +1901,9 @@ mod gc_tests {
         );
         let data = patterned(CS as usize, 7);
         let name = ObjectName::new("obj");
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(10)).expect("flush");
         assert!(s.verify_references().expect("scrub").is_empty());
         let chunk_name = ObjectName::new(Fingerprint::of(&data).to_object_name());
@@ -1772,26 +1945,46 @@ mod promotion_tests {
         let mut s = adaptive_store();
         let name = ObjectName::new("obj");
         let data = patterned(4 * CS as usize, 41);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         // Flush while cold (far in the future): evicts.
         let _ = s.flush_all(SimTime::from_secs(1_000)).expect("flush");
         // First read: redirected, counts an access.
         let r = s
-            .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(2_000))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                data.len() as u64,
+                SimTime::from_secs(2_000),
+            )
             .expect("read");
         assert_eq!(r.value, data);
         assert!(s.stats().redirected_chunks > 0);
         assert_eq!(s.stats().promotions, 0, "one access is not hot yet");
         // Second access in a later interval: hot → promoted.
         let r = s
-            .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(2_001))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                data.len() as u64,
+                SimTime::from_secs(2_001),
+            )
             .expect("read");
         assert_eq!(r.value, data);
         assert_eq!(s.stats().promotions, 4, "all four chunks promoted");
         // Third read is served from cache.
         let redirects_before = s.stats().redirected_chunks;
         let r = s
-            .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(2_002))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                data.len() as u64,
+                SimTime::from_secs(2_002),
+            )
             .expect("read");
         assert_eq!(r.value, data);
         assert_eq!(s.stats().redirected_chunks, redirects_before);
@@ -1815,11 +2008,19 @@ mod promotion_tests {
         );
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 43);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(1_000)).expect("flush");
         for t in 0..5 {
             let _ = s
-                .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(2_000 + t))
+                .read(
+                    ClientId(0),
+                    &name,
+                    0,
+                    data.len() as u64,
+                    SimTime::from_secs(2_000 + t),
+                )
                 .expect("read");
         }
         assert_eq!(s.stats().promotions, 0);
@@ -1830,12 +2031,20 @@ mod promotion_tests {
         let mut s = adaptive_store();
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 47);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(1_000)).expect("flush");
         // Heat it up and promote.
         for t in 0..3 {
             let _ = s
-                .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(2_000 + t))
+                .read(
+                    ClientId(0),
+                    &name,
+                    0,
+                    data.len() as u64,
+                    SimTime::from_secs(2_000 + t),
+                )
                 .expect("read");
         }
         assert!(s.stats().promotions > 0);
@@ -1849,7 +2058,13 @@ mod promotion_tests {
         let sr = s.space_report().expect("r");
         assert_eq!(sr.chunk_objects, 1, "old chunk reclaimed after rewrite");
         let r = s
-            .read(ClientId(0), &name, 0, v2.len() as u64, SimTime::from_secs(9_001))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                v2.len() as u64,
+                SimTime::from_secs(9_001),
+            )
             .expect("read");
         assert_eq!(r.value, v2);
     }
@@ -1885,7 +2100,9 @@ mod truncate_tests {
         let mut s = store();
         let name = ObjectName::new("obj");
         let data = patterned(4 * CS as usize, 1);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(100)).expect("flush");
         assert_eq!(s.space_report().expect("r").chunk_objects, 4);
         // Cut to exactly two chunks.
@@ -1897,12 +2114,24 @@ mod truncate_tests {
         assert_eq!(sr.chunk_objects, 2, "two chunks dereferenced and reclaimed");
         assert_eq!(sr.logical_bytes, 2 * CS as u64);
         let r = s
-            .read(ClientId(0), &name, 0, 2 * CS as u64, SimTime::from_secs(400))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                2 * CS as u64,
+                SimTime::from_secs(400),
+            )
             .expect("read");
         assert_eq!(r.value, data[..2 * CS as usize]);
         // Reads past the new end fail.
         assert!(s
-            .read(ClientId(0), &name, 0, 3 * CS as u64, SimTime::from_secs(401))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                3 * CS as u64,
+                SimTime::from_secs(401)
+            )
             .is_err());
     }
 
@@ -1911,7 +2140,9 @@ mod truncate_tests {
         let mut s = store();
         let name = ObjectName::new("obj");
         let data = patterned(2 * CS as usize, 5);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s.flush_all(SimTime::from_secs(100)).expect("flush");
         let cut = CS as u64 + 1000;
         let _ = s
@@ -1936,7 +2167,13 @@ mod truncate_tests {
         let mut s = store();
         let name = ObjectName::new("obj");
         let _ = s
-            .write(ClientId(0), &name, 0, &patterned(3 * CS as usize, 7), SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &name,
+                0,
+                &patterned(3 * CS as usize, 7),
+                SimTime::ZERO,
+            )
             .expect("w");
         let _ = s.flush_all(SimTime::from_secs(100)).expect("flush");
         let _ = s
@@ -1954,7 +2191,9 @@ mod truncate_tests {
         let mut s = store();
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 9);
-        let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("w");
+        let _ = s
+            .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+            .expect("w");
         let _ = s
             .truncate(ClientId(0), &name, 3 * CS as u64, SimTime::from_secs(10))
             .expect("truncate");
@@ -1965,7 +2204,13 @@ mod truncate_tests {
         assert!(r.value[CS as usize..].iter().all(|&b| b == 0));
         let _ = s.flush_all(SimTime::from_secs(100)).expect("flush");
         let r = s
-            .read(ClientId(0), &name, 0, 3 * CS as u64, SimTime::from_secs(200))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                3 * CS as u64,
+                SimTime::from_secs(200),
+            )
             .expect("read");
         assert!(r.value[CS as usize..].iter().all(|&b| b == 0));
     }

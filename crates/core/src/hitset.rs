@@ -56,7 +56,8 @@ impl BloomFilter {
     /// Whether the key *may* have been inserted (false positives possible,
     /// false negatives impossible).
     pub fn contains(&self, key: &[u8]) -> bool {
-        self.positions(key).all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+        self.positions(key)
+            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
     }
 
     /// Number of insert calls.

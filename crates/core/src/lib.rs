@@ -59,6 +59,7 @@ pub mod service;
 pub mod stats;
 
 mod error;
+mod metrics;
 
 pub use baseline::{global_ratio, local_ratio, RatioAnalysis};
 pub use chunkmap::{ChunkMapEntry, CHUNK_MAP_ENTRY_BYTES};
@@ -67,6 +68,6 @@ pub use engine::{DedupStore, EngineStats, FailurePoint, FlushReport, GcReport};
 pub use error::DedupError;
 pub use hitset::{BloomFilter, HitSet};
 pub use ratecontrol::RateController;
-pub use service::DedupService;
 pub use refs::{BackRef, REFCOUNT_XATTR, REF_ENTRY_BYTES};
+pub use service::DedupService;
 pub use stats::SpaceReport;

@@ -1,0 +1,93 @@
+//! Engine-level observability: cached instrument handles for the dedup
+//! layer's hot paths.
+//!
+//! The engine creates one [`Registry`] per stack and shares it with its
+//! cluster ([`Cluster::attach_registry`](dedup_store::Cluster)), so a
+//! single snapshot covers foreground I/O, the background flush engine,
+//! rate control, and the data plane underneath.
+
+use dedup_obs::{Counter, Gauge, Meter, Registry};
+use dedup_sim::SimDuration;
+
+/// Instrument handles for one dedup engine.
+#[derive(Debug, Clone)]
+pub(crate) struct EngineMetrics {
+    registry: Registry,
+    /// Foreground writes served.
+    pub writes: Counter,
+    /// Bytes written by clients.
+    pub write_bytes: Counter,
+    /// Foreground reads served.
+    pub reads: Counter,
+    /// Bytes read by clients.
+    pub read_bytes: Counter,
+    /// Chunk reads satisfied from cached data in the metadata pool.
+    pub cache_hit_chunks: Counter,
+    /// Chunk reads redirected (proxied) to the chunk pool.
+    pub redirected_chunks: Counter,
+    /// Chunks promoted back into the metadata-pool cache on hot reads.
+    pub promotions: Counter,
+    /// Flush passes that skipped a hot object.
+    pub hot_skips: Counter,
+    /// Objects currently queued for background deduplication.
+    pub flush_queue_depth: Gauge,
+    /// Dirty chunks whose flush merged punched sub-ranges from the
+    /// previous chunk object (the deferred read-modify-write).
+    pub deferred_rmw_merges: Counter,
+    /// Dirty chunks processed by flushes.
+    pub chunks_flushed: Counter,
+    /// Chunks found already present in the chunk pool (deduplicated).
+    pub chunks_deduped: Counter,
+    /// New chunk objects created by flushes.
+    pub chunks_created: Counter,
+    /// Chunk objects deleted when their refcount reached zero.
+    pub chunks_reclaimed: Counter,
+    /// Cached copies evicted (hole-punched) from metadata objects.
+    pub chunks_evicted: Counter,
+    /// Unreferenced chunks reclaimed by GC passes.
+    pub gc_chunks_reclaimed: Counter,
+    /// Stale back references dropped by GC passes.
+    pub gc_stale_refs_dropped: Counter,
+    /// Background flushes admitted by rate control.
+    pub rate_admitted: Counter,
+    /// Background flushes denied by rate control.
+    pub rate_denied: Counter,
+    /// Active watermark band: 0 = unlimited, 1 = mid ratio, 2 = high
+    /// ratio.
+    pub rate_band: Gauge,
+    /// Foreground ops over the rate controller's observation window.
+    pub foreground_ops: Meter,
+}
+
+impl EngineMetrics {
+    pub(crate) fn new(registry: Registry, rate_window: SimDuration) -> Self {
+        EngineMetrics {
+            writes: registry.counter("engine.writes"),
+            write_bytes: registry.counter("engine.write_bytes"),
+            reads: registry.counter("engine.reads"),
+            read_bytes: registry.counter("engine.read_bytes"),
+            cache_hit_chunks: registry.counter("engine.cache_hit_chunks"),
+            redirected_chunks: registry.counter("engine.redirected_chunks"),
+            promotions: registry.counter("engine.promotions"),
+            hot_skips: registry.counter("engine.hot_skips"),
+            flush_queue_depth: registry.gauge("engine.flush.queue_depth"),
+            deferred_rmw_merges: registry.counter("engine.flush.deferred_rmw_merges"),
+            chunks_flushed: registry.counter("engine.flush.chunks_flushed"),
+            chunks_deduped: registry.counter("engine.flush.chunks_deduped"),
+            chunks_created: registry.counter("engine.flush.chunks_created"),
+            chunks_reclaimed: registry.counter("engine.flush.chunks_reclaimed"),
+            chunks_evicted: registry.counter("engine.flush.chunks_evicted"),
+            gc_chunks_reclaimed: registry.counter("engine.gc.chunks_reclaimed"),
+            gc_stale_refs_dropped: registry.counter("engine.gc.stale_refs_dropped"),
+            rate_admitted: registry.counter("rate.admitted"),
+            rate_denied: registry.counter("rate.denied"),
+            rate_band: registry.gauge("rate.band"),
+            foreground_ops: registry.meter("rate.foreground_ops", rate_window),
+            registry,
+        }
+    }
+
+    pub(crate) fn registry(&self) -> &Registry {
+        &self.registry
+    }
+}

@@ -58,19 +58,29 @@ impl RateController {
     }
 
     /// Asks to admit one background dedup I/O at `now`. Admission consumes
-    /// the accumulated foreground budget.
+    /// `ratio` foreground I/Os of accumulated budget, so `N` accumulated
+    /// foreground ops fund `⌊N / ratio⌋` back-to-back admissions — the
+    /// 1-per-`ratio` pacing the paper's throttle describes. (Resetting the
+    /// budget to zero on admission would forfeit the remainder and admit
+    /// only once per accumulation burst.) Below the low watermark
+    /// admission is unlimited and the budget is left untouched.
     pub fn admit_dedup(&mut self, now: SimTime) -> bool {
-        let admitted = match self.required_ratio(now) {
-            None => true,
-            Some(ratio) => self.foreground_since_dedup >= ratio,
-        };
-        if admitted {
-            self.foreground_since_dedup = 0;
-            self.dedup_admitted += 1;
-        } else {
-            self.dedup_denied += 1;
+        match self.required_ratio(now) {
+            None => {
+                self.dedup_admitted += 1;
+                true
+            }
+            Some(ratio) => {
+                if self.foreground_since_dedup >= ratio {
+                    self.foreground_since_dedup -= ratio;
+                    self.dedup_admitted += 1;
+                    true
+                } else {
+                    self.dedup_denied += 1;
+                    false
+                }
+            }
         }
-        admitted
     }
 
     /// Observed foreground IOPS at `now`.
@@ -140,14 +150,65 @@ mod tests {
     fn admission_consumes_budget() {
         let mut rc = RateController::new(marks());
         let now = load(&mut rc, 500, SimTime::ZERO, SimDuration::from_millis(2));
-        // 500 foreground ops accumulated, ratio 10: first admit passes,
-        // then the budget is spent.
-        assert!(rc.admit_dedup(now));
+        // 500 foreground ops accumulated at ratio 10: each admission
+        // subtracts 10, so exactly ⌊500/10⌋ = 50 admissions fit before the
+        // budget runs dry.
+        for i in 0..50 {
+            assert!(rc.admit_dedup(now), "admission {i} within budget");
+        }
         assert!(!rc.admit_dedup(now));
         // 10 more foreground ops refill exactly one admission.
         let now = load(&mut rc, 10, now, SimDuration::from_millis(2));
         assert!(rc.admit_dedup(now));
         assert!(!rc.admit_dedup(now));
+    }
+
+    #[test]
+    fn iops_exactly_at_low_watermark_is_throttled() {
+        let mut rc = RateController::new(marks());
+        // Exactly 100 events inside the 1-second window ending at t=1s:
+        // rate_per_sec == low_iops == 100.0 precisely (no float error —
+        // both are small integers). The strict `<` comparison puts this
+        // on the throttled side.
+        load(
+            &mut rc,
+            100,
+            SimTime::from_nanos(1),
+            SimDuration::from_millis(1),
+        );
+        let at = SimTime::from_secs(1);
+        assert_eq!(rc.foreground_iops(at), marks().low_iops);
+        assert_eq!(rc.required_ratio(at), Some(marks().mid_ratio));
+    }
+
+    #[test]
+    fn iops_exactly_at_high_watermark_uses_high_ratio() {
+        let mut rc = RateController::new(marks());
+        // Exactly 1000 events in the window: rate == high_iops == 1000.0.
+        load(
+            &mut rc,
+            1_000,
+            SimTime::from_nanos(1),
+            SimDuration::from_micros(100),
+        );
+        let at = SimTime::from_secs(1);
+        assert_eq!(rc.foreground_iops(at), marks().high_iops);
+        assert_eq!(rc.required_ratio(at), Some(marks().high_ratio));
+    }
+
+    #[test]
+    fn just_below_low_watermark_is_unlimited() {
+        let mut rc = RateController::new(marks());
+        // 99 events in-window: strictly below the low watermark.
+        load(
+            &mut rc,
+            99,
+            SimTime::from_nanos(1),
+            SimDuration::from_millis(1),
+        );
+        let at = SimTime::from_secs(1);
+        assert!(rc.foreground_iops(at) < marks().low_iops);
+        assert_eq!(rc.required_ratio(at), None);
     }
 
     #[test]
@@ -164,11 +225,14 @@ mod tests {
     fn counters_track_decisions() {
         let mut rc = RateController::new(marks());
         let now = load(&mut rc, 500, SimTime::ZERO, SimDuration::from_millis(2));
-        let _ = rc.admit_dedup(now);
-        let _ = rc.admit_dedup(now);
+        // Budget 500 at ratio 10 funds 50 admissions; two more attempts
+        // are denied.
+        for _ in 0..52 {
+            let _ = rc.admit_dedup(now);
+        }
         let (ok, denied) = rc.admission_counts();
-        assert_eq!(ok, 1);
-        assert_eq!(denied, 1);
+        assert_eq!(ok, 50);
+        assert_eq!(denied, 2);
         assert_eq!(rc.foreground_total(), 500);
     }
 }

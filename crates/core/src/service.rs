@@ -9,6 +9,13 @@
 //! [`crossbeam::channel`]. Rate control and hotness still apply: the worker
 //! simply calls [`DedupStore::dedup_tick`].
 //!
+//! Handles are cloneable; every clone drives the same store and worker,
+//! and the worker stops once the last handle goes away. Engine errors the
+//! worker hits are never discarded: they are counted (see
+//! [`DedupService::worker_errors`], and the `service.worker.errors`
+//! metric) and the most recent one is kept for
+//! [`DedupService::last_worker_error`].
+//!
 //! # Example
 //!
 //! ```
@@ -30,6 +37,7 @@
 //! # }
 //! ```
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
@@ -51,13 +59,26 @@ enum Command {
     Shutdown,
 }
 
+/// Error state shared between the worker thread and every handle.
+struct WorkerState {
+    errors: AtomicU64,
+    last_error: Mutex<Option<DedupError>>,
+}
+
 /// Shared, thread-safe deduplication service. Cloning the handle is cheap;
-/// all clones talk to the same store and worker.
+/// all clones talk to the same store and worker, and the worker stops when
+/// the last handle is dropped (or [`DedupService::shutdown`] is called on
+/// it).
 pub struct DedupService {
     /// `None` only transiently during [`DedupService::shutdown`].
     store: Option<Arc<Mutex<DedupStore>>>,
     commands: Sender<Command>,
-    worker: Option<JoinHandle<()>>,
+    /// Shared so whichever handle stops the worker can join it.
+    worker: Arc<Mutex<Option<JoinHandle<()>>>>,
+    state: Arc<WorkerState>,
+    /// Last-handle detector: `Arc::try_unwrap` on drop succeeds for
+    /// exactly one handle — the final one.
+    lifecycle: Option<Arc<()>>,
 }
 
 impl DedupService {
@@ -65,13 +86,30 @@ impl DedupService {
     pub fn start(store: DedupStore) -> Self {
         let store = Arc::new(Mutex::new(store));
         let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
+        let state = Arc::new(WorkerState {
+            errors: AtomicU64::new(0),
+            last_error: Mutex::new(None),
+        });
+        // The worker publishes its progress into the stack's shared
+        // registry, so snapshots show background activity too.
+        let (ticks, flushes, errors) = {
+            let s = store.lock();
+            let r = s.registry();
+            (
+                r.counter("service.worker.ticks"),
+                r.counter("service.worker.flushes"),
+                r.counter("service.worker.errors"),
+            )
+        };
         let worker_store = Arc::clone(&store);
+        let worker_state = Arc::clone(&state);
         let worker = std::thread::Builder::new()
             .name("dedup-worker".into())
             .spawn(move || {
                 while let Ok(cmd) = rx.recv() {
                     match cmd {
                         Command::Tick(now) => {
+                            ticks.inc();
                             // Drain as much as rate control admits at this
                             // instant; release the lock between flushes so
                             // foreground threads interleave.
@@ -81,8 +119,22 @@ impl DedupService {
                                     s.dedup_tick(now)
                                 };
                                 match flushed {
-                                    Ok(Some(_)) => continue,
-                                    Ok(None) | Err(_) => break,
+                                    Ok(Some(_)) => {
+                                        flushes.inc();
+                                        continue;
+                                    }
+                                    Ok(None) => break,
+                                    Err(e) => {
+                                        // An engine failure must not vanish
+                                        // with the tick: record it where
+                                        // callers (and metrics snapshots)
+                                        // can see it, then stay alive for
+                                        // subsequent commands.
+                                        worker_state.errors.fetch_add(1, Ordering::Relaxed);
+                                        errors.inc();
+                                        *worker_state.last_error.lock() = Some(e);
+                                        break;
+                                    }
                                 }
                             }
                         }
@@ -97,8 +149,21 @@ impl DedupService {
         DedupService {
             store: Some(store),
             commands: tx,
-            worker: Some(worker),
+            worker: Arc::new(Mutex::new(Some(worker))),
+            state,
+            lifecycle: Some(Arc::new(())),
         }
+    }
+
+    /// Engine errors the background worker has hit so far (also exported
+    /// as the `service.worker.errors` metric).
+    pub fn worker_errors(&self) -> u64 {
+        self.state.errors.load(Ordering::Relaxed)
+    }
+
+    /// The most recent engine error the background worker hit, if any.
+    pub fn last_worker_error(&self) -> Option<DedupError> {
+        self.state.last_error.lock().clone()
     }
 
     fn store(&self) -> &Arc<Mutex<DedupStore>> {
@@ -161,10 +226,18 @@ impl DedupService {
     ///
     /// # Panics
     ///
-    /// Panics if another handle still holds the store (shut down last).
+    /// Panics if another handle still holds the store (shut down the last
+    /// clone).
     pub fn shutdown(mut self) -> DedupStore {
+        let token = self
+            .lifecycle
+            .take()
+            .expect("lifecycle present until shutdown");
+        if Arc::try_unwrap(token).is_err() {
+            panic!("other service handles still alive");
+        }
         let _ = self.commands.send(Command::Shutdown);
-        if let Some(w) = self.worker.take() {
+        if let Some(w) = self.worker.lock().take() {
             let _ = w.join();
         }
         let arc = self.store.take().expect("store present until shutdown");
@@ -174,11 +247,30 @@ impl DedupService {
     }
 }
 
+impl Clone for DedupService {
+    fn clone(&self) -> Self {
+        DedupService {
+            store: self.store.clone(),
+            commands: self.commands.clone(),
+            worker: Arc::clone(&self.worker),
+            state: Arc::clone(&self.state),
+            lifecycle: self.lifecycle.clone(),
+        }
+    }
+}
+
 impl Drop for DedupService {
     fn drop(&mut self) {
-        let _ = self.commands.send(Command::Shutdown);
-        if let Some(w) = self.worker.take() {
-            let _ = w.join();
+        // Only the final handle stops the worker; `Arc::try_unwrap`
+        // consumes this handle's token and succeeds for exactly one drop.
+        let Some(token) = self.lifecycle.take() else {
+            return; // consumed by `shutdown`
+        };
+        if Arc::try_unwrap(token).is_ok() {
+            let _ = self.commands.send(Command::Shutdown);
+            if let Some(w) = self.worker.lock().take() {
+                let _ = w.join();
+            }
         }
     }
 }
@@ -206,14 +298,15 @@ mod tests {
             handles.push(std::thread::spawn(move || {
                 for i in 0..8 {
                     let data = vec![(t * 8 + i) as u8; 8 * 1024];
-                    let _ = svc.write(
-                        ClientId(t),
-                        &ObjectName::new(format!("obj-{t}-{i}")),
-                        0,
-                        &data,
-                        SimTime::from_secs(1),
-                    )
-                    .expect("write");
+                    let _ = svc
+                        .write(
+                            ClientId(t),
+                            &ObjectName::new(format!("obj-{t}-{i}")),
+                            0,
+                            &data,
+                            SimTime::from_secs(1),
+                        )
+                        .expect("write");
                 }
             }));
         }
@@ -253,14 +346,15 @@ mod tests {
         let svc = Arc::new(service());
         let data = vec![9u8; 32 * 1024];
         for i in 0..16 {
-            let _ = svc.write(
-                ClientId(0),
-                &ObjectName::new(format!("o{i}")),
-                0,
-                &data,
-                SimTime::from_secs(1),
-            )
-            .expect("write");
+            let _ = svc
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(format!("o{i}")),
+                    0,
+                    &data,
+                    SimTime::from_secs(1),
+                )
+                .expect("write");
         }
         // Background flushing races with reader threads.
         svc.tick(SimTime::from_secs(50));
@@ -291,6 +385,62 @@ mod tests {
             .unwrap_or_else(|_| panic!("handles leaked"))
             .shutdown();
         assert_eq!(store.dirty_len(), 0);
+    }
+
+    #[test]
+    fn clones_share_store_and_worker() {
+        let svc = service();
+        let clone = svc.clone();
+        let data = vec![5u8; 8 * 1024];
+        let _ = clone
+            .write(
+                ClientId(0),
+                &ObjectName::new("shared"),
+                0,
+                &data,
+                SimTime::from_secs(1),
+            )
+            .expect("write via clone");
+        // Dropping a clone must not stop the shared worker.
+        drop(clone);
+        svc.tick(SimTime::from_secs(100));
+        svc.drain();
+        let store = svc.shutdown();
+        assert_eq!(store.dirty_len(), 0, "worker flushed after clone dropped");
+        assert_eq!(store.stats().writes, 1);
+    }
+
+    #[test]
+    fn worker_error_is_recorded_not_swallowed() {
+        let svc = service();
+        let data = vec![3u8; 8 * 1024];
+        let _ = svc
+            .write(
+                ClientId(0),
+                &ObjectName::new("doomed"),
+                0,
+                &data,
+                SimTime::from_secs(1),
+            )
+            .expect("write");
+        // Take every OSD down (without wiping): the dirty object is still
+        // held but no device is eligible to serve the flush's reads, so
+        // the tick must surface an engine error.
+        svc.with_store(|s| {
+            let n = s.cluster().map().osd_count() as u32;
+            for i in 0..n {
+                s.cluster_mut().mark_down(dedup_placement::OsdId(i));
+            }
+        });
+        svc.tick(SimTime::from_secs(100));
+        svc.drain();
+        assert_eq!(svc.worker_errors(), 1, "error counted");
+        assert!(svc.last_worker_error().is_some(), "error kept");
+        // The worker survives the failure and keeps serving commands.
+        svc.tick(SimTime::from_secs(200));
+        svc.drain();
+        assert!(svc.worker_errors() >= 2, "worker alive after error");
+        let _ = svc.shutdown();
     }
 
     #[test]

@@ -168,12 +168,24 @@ mod tests {
         let shared = vec![1u8; 8 * 1024];
         for i in 0..5 {
             let _ = s
-                .write(ClientId(0), &ObjectName::new(format!("s{i}")), 0, &shared, SimTime::ZERO)
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(format!("s{i}")),
+                    0,
+                    &shared,
+                    SimTime::ZERO,
+                )
                 .expect("write");
         }
         let unique: Vec<u8> = (0..8 * 1024).map(|i| (i % 251) as u8).collect();
         let _ = s
-            .write(ClientId(0), &ObjectName::new("u"), 0, &unique, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new("u"),
+                0,
+                &unique,
+                SimTime::ZERO,
+            )
             .expect("write");
         let _ = s.flush_all(SimTime::from_secs(10)).expect("flush");
         let hist = s.refcount_histogram().expect("hist");

@@ -1,0 +1,29 @@
+//! Cluster-wide observability for the dedup storage stack.
+//!
+//! The stack spans several crates — the virtual-time simulator
+//! (`dedup-sim`), the scale-out object store (`dedup-store`), the
+//! deduplication engine (`dedup-core`) and the benchmark drivers
+//! (`dedup-bench`) — and before this crate each layer kept private ad-hoc
+//! counters. `dedup-obs` gives them one shared vocabulary:
+//!
+//! - [`registry`] — a cloneable [`Registry`] of named, labelled
+//!   instruments (counters, gauges, log-scaled latency histograms with
+//!   p50/p95/p99, sliding-window rate meters over virtual time), plus a
+//!   JSON-lines snapshot export used as the metrics sidecar format by the
+//!   figure binaries.
+//! - [`probe`] — free functions sampling simulator state (per-resource
+//!   utilisation, flow-engine queue depth) into a registry without the
+//!   simulator depending on this crate.
+//!
+//! One `Registry` is created per storage stack (the engine builds it and
+//! shares it with its cluster) so a single snapshot shows the whole
+//! system: foreground op latencies next to flush-queue depth next to disk
+//! utilisation.
+
+pub mod probe;
+pub mod registry;
+
+pub use probe::{sample_flow_engine, sample_resources};
+pub use registry::{
+    Counter, Gauge, Histogram, Labels, Meter, MetricSnapshot, Registry, SnapshotValue,
+};

@@ -43,6 +43,8 @@ mod map;
 mod pg;
 mod straw;
 
-pub use map::{moved_pgs, ClusterMap, FailureDomain, NodeId, OsdId, OsdInfo, PgMove, PlacementRule, RackId};
+pub use map::{
+    moved_pgs, ClusterMap, FailureDomain, NodeId, OsdId, OsdInfo, PgMove, PlacementRule, RackId,
+};
 pub use pg::{PgId, PgMap, PoolId};
 pub use straw::{straw2_draw, straw2_select};

@@ -239,13 +239,7 @@ impl ClusterMap {
             .osds
             .iter()
             .filter(|o| o.up && o.weight > 0.0)
-            .map(|o| {
-                (
-                    o.id,
-                    o.node,
-                    straw2_draw(key, o.id.0 as u64, o.weight),
-                )
-            })
+            .map(|o| (o.id, o.node, straw2_draw(key, o.id.0 as u64, o.weight)))
             .collect();
         draws.sort_by(|a, b| b.2.partial_cmp(&a.2).unwrap_or(std::cmp::Ordering::Equal));
 
@@ -271,10 +265,7 @@ impl ClusterMap {
                 FailureDomain::Node | FailureDomain::Rack
             )
         {
-            let mut used_nodes: Vec<NodeId> = chosen
-                .iter()
-                .map(|&o| self.osd(o).node)
-                .collect();
+            let mut used_nodes: Vec<NodeId> = chosen.iter().map(|&o| self.osd(o).node).collect();
             for &(osd, node, _) in &draws {
                 if chosen.len() == rule.replicas {
                     break;
@@ -523,8 +514,7 @@ mod tests {
         let pg = PgMap::new(PoolId(3), 8).pg(1);
         let acting = map.acting_set(pg, &rule);
         assert_eq!(acting.len(), 3, "set filled despite tiny topology");
-        let nodes: std::collections::HashSet<_> =
-            acting.iter().map(|&o| map.osd(o).node).collect();
+        let nodes: std::collections::HashSet<_> = acting.iter().map(|&o| map.osd(o).node).collect();
         assert_eq!(nodes.len(), 2, "both nodes used before doubling up");
     }
 

@@ -173,21 +173,30 @@ mod tests {
     #[test]
     fn seq_adds_durations() {
         let (mut pool, a, b) = pool_with_two();
-        let cost = CostExpr::seq([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(b, 1 << 20)]);
+        let cost = CostExpr::seq([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::transfer(b, 1 << 20),
+        ]);
         assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
     }
 
     #[test]
     fn par_takes_max_across_resources() {
         let (mut pool, a, b) = pool_with_two();
-        let cost = CostExpr::par([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(b, 2 << 20)]);
+        let cost = CostExpr::par([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::transfer(b, 2 << 20),
+        ]);
         assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
     }
 
     #[test]
     fn par_on_same_resource_serializes() {
         let (mut pool, a, _) = pool_with_two();
-        let cost = CostExpr::par([CostExpr::transfer(a, 1 << 20), CostExpr::transfer(a, 1 << 20)]);
+        let cost = CostExpr::par([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::transfer(a, 1 << 20),
+        ]);
         // Same device: bandwidth serializes even "parallel" branches.
         assert_eq!(pool.execute(SimTime::ZERO, &cost), SimTime::from_secs(2));
     }

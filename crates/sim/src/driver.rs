@@ -128,10 +128,7 @@ impl ClosedLoopDriver {
     /// Runs the loop. `issue(stream, op_index, now)` performs the operation
     /// against the caller's cluster state and returns its virtual completion
     /// time (usually from [`crate::ResourcePool::execute`]).
-    pub fn run(
-        &self,
-        mut issue: impl FnMut(usize, u64, SimTime) -> SimTime,
-    ) -> ClosedLoopReport {
+    pub fn run(&self, mut issue: impl FnMut(usize, u64, SimTime) -> SimTime) -> ClosedLoopReport {
         let mut queue: EventQueue<usize> = EventQueue::new();
         for s in 0..self.streams {
             queue.push(SimTime::ZERO, s);
@@ -189,8 +186,8 @@ mod tests {
     #[test]
     fn closed_loop_serializes_per_stream() {
         // One stream, each op takes 1ms: ops complete back-to-back.
-        let report = ClosedLoopDriver::new(1, 10)
-            .run(|_s, _i, now| now + SimDuration::from_millis(1));
+        let report =
+            ClosedLoopDriver::new(1, 10).run(|_s, _i, now| now + SimDuration::from_millis(1));
         assert_eq!(report.ops, 10);
         assert_eq!(report.finished_at, SimTime::from_nanos(10_000_000));
         assert_eq!(report.latency.mean(), SimDuration::from_millis(1));
@@ -200,8 +197,8 @@ mod tests {
     fn closed_loop_streams_overlap() {
         // Four streams with a fixed 1ms cost and no shared resource finish
         // 12 ops in 3ms of virtual time.
-        let report = ClosedLoopDriver::new(4, 12)
-            .run(|_s, _i, now| now + SimDuration::from_millis(1));
+        let report =
+            ClosedLoopDriver::new(4, 12).run(|_s, _i, now| now + SimDuration::from_millis(1));
         assert_eq!(report.finished_at, SimTime::from_nanos(3_000_000));
     }
 

@@ -179,9 +179,9 @@ impl FlowEngine {
         let ready = node.ready_at.max(at);
         let done = match node.step {
             Step::Transfer(r, bytes) => pool.get_mut(r).serve(ready, bytes),
-            Step::Busy(r, nanos) => {
-                pool.get_mut(r).serve_for(ready, SimDuration::from_nanos(nanos))
-            }
+            Step::Busy(r, nanos) => pool
+                .get_mut(r)
+                .serve_for(ready, SimDuration::from_nanos(nanos)),
             Step::Delay(nanos) => ready + SimDuration::from_nanos(nanos),
             Step::Nop => ready,
         };
@@ -302,7 +302,10 @@ mod tests {
         let (mut pool, a, b) = pool2();
         let cost = CostExpr::seq([
             CostExpr::transfer(a, 1 << 20),
-            CostExpr::par([CostExpr::transfer(b, 1 << 20), CostExpr::transfer(a, 1 << 19)]),
+            CostExpr::par([
+                CostExpr::transfer(b, 1 << 20),
+                CostExpr::transfer(a, 1 << 19),
+            ]),
         ]);
         let mut reference_pool = pool.clone();
         let expect = reference_pool.execute(SimTime::ZERO, &cost);
@@ -318,7 +321,10 @@ mod tests {
         // Flow 2 (issued second): leg on B immediately.
         // Correct interleaving lets flow 2 use B at t=0.
         let (mut pool, a, b) = pool2();
-        let f1 = CostExpr::seq([CostExpr::transfer(a, 2 << 20), CostExpr::transfer(b, 1 << 20)]);
+        let f1 = CostExpr::seq([
+            CostExpr::transfer(a, 2 << 20),
+            CostExpr::transfer(b, 1 << 20),
+        ]);
         let f2 = CostExpr::transfer(b, 1 << 20);
         let mut engine = FlowEngine::new();
         engine.start(SimTime::ZERO, &f1, 1);
@@ -358,7 +364,10 @@ mod tests {
     fn par_join_waits_for_slowest_branch() {
         let (mut pool, a, b) = pool2();
         let cost = CostExpr::seq([
-            CostExpr::par([CostExpr::transfer(a, 3 << 20), CostExpr::transfer(b, 1 << 20)]),
+            CostExpr::par([
+                CostExpr::transfer(a, 3 << 20),
+                CostExpr::transfer(b, 1 << 20),
+            ]),
             CostExpr::transfer(b, 1 << 20),
         ]);
         let mut engine = FlowEngine::new();
@@ -372,10 +381,7 @@ mod tests {
         let (mut pool, a, b) = pool2();
         let mut engine = FlowEngine::new();
         for i in 0..100u64 {
-            let cost = CostExpr::seq([
-                CostExpr::transfer(a, 1024),
-                CostExpr::transfer(b, 1024),
-            ]);
+            let cost = CostExpr::seq([CostExpr::transfer(a, 1024), CostExpr::transfer(b, 1024)]);
             engine.start(SimTime::from_nanos(i), &cost, i);
             assert_eq!(engine.in_flight(), i as usize + 1);
         }

@@ -228,7 +228,10 @@ mod tests {
     fn time_arithmetic_round_trips() {
         let t = SimTime::from_secs(2) + SimDuration::from_millis(500);
         assert_eq!(t.as_nanos(), 2_500_000_000);
-        assert_eq!(t.since(SimTime::from_secs(2)), SimDuration::from_millis(500));
+        assert_eq!(
+            t.since(SimTime::from_secs(2)),
+            SimDuration::from_millis(500)
+        );
     }
 
     #[test]

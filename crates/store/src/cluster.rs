@@ -3,10 +3,12 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dedup_erasure::ReedSolomon;
+use dedup_obs::Registry;
 use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
 use dedup_sim::{CostExpr, SimTime};
 
 use crate::error::StoreError;
+use crate::metrics::ClusterMetrics;
 use crate::object::{ObjectName, Payload, RangeSet, StoredObject, PER_OBJECT_OVERHEAD};
 use crate::osd::Osd;
 use crate::perf::{ClientId, PerfConfig, PerfTopology};
@@ -125,6 +127,7 @@ pub struct Cluster {
     next_pool: u32,
     pub(crate) perf: PerfTopology,
     object_size_cap: u64,
+    pub(crate) metrics: ClusterMetrics,
 }
 
 /// Builds a [`Cluster`] with a regular topology.
@@ -226,6 +229,7 @@ impl ClusterBuilder {
             next_pool: 1,
             perf,
             object_size_cap: self.object_size_cap,
+            metrics: ClusterMetrics::new(Registry::new()),
         }
     }
 }
@@ -247,15 +251,21 @@ impl Cluster {
             Redundancy::Replicated(_) => None,
         };
         let pgs = PgMap::new(id, config.pg_count);
-        self.pools.insert(
-            id,
-            PoolState {
-                config,
-                pgs,
-                codec,
-            },
-        );
+        self.pools.insert(id, PoolState { config, pgs, codec });
         id
+    }
+
+    /// The metrics registry this cluster records into.
+    pub fn registry(&self) -> &Registry {
+        self.metrics.registry()
+    }
+
+    /// Rebinds the cluster's instruments to `registry`, so several layers
+    /// (e.g. the dedup engine stacked on this cluster) share one registry
+    /// and one snapshot. Counts recorded against the previous registry are
+    /// not carried over — attach before driving I/O.
+    pub fn attach_registry(&mut self, registry: Registry) {
+        self.metrics = ClusterMetrics::new(registry);
     }
 
     /// The shared cluster map.
@@ -282,10 +292,14 @@ impl Cluster {
     pub fn execute_at(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {
         let mut engine = dedup_sim::FlowEngine::new();
         engine.start(now, cost, 0);
-        engine
+        let done = engine
             .advance(&mut self.perf.pool)
             .map(|c| c.at)
-            .unwrap_or(now)
+            .unwrap_or(now);
+        self.metrics
+            .exec_latency
+            .record(done.saturating_since(now).as_nanos());
+        done
     }
 
     /// A pool's configuration.
@@ -530,6 +544,23 @@ impl Cluster {
         name: &ObjectName,
         ops: Vec<TxOp>,
     ) -> Result<Timed<()>, StoreError> {
+        let mut payload_bytes = 0u64;
+        let mut removes = false;
+        for op in &ops {
+            match op {
+                TxOp::WriteFull(data) => payload_bytes += data.len() as u64,
+                TxOp::Write { data, .. } => payload_bytes += data.len() as u64,
+                TxOp::Remove => removes = true,
+                _ => {}
+            }
+        }
+        if payload_bytes > 0 {
+            self.metrics.writes.inc();
+            self.metrics.write_bytes.add(payload_bytes);
+        }
+        if removes {
+            self.metrics.deletes.inc();
+        }
         if let Some(result) = self.try_fast_replicated_tx(ctx, name, &ops) {
             return result;
         }
@@ -689,7 +720,12 @@ impl Cluster {
             let stale: Vec<OsdId> = self
                 .holders(ctx.pool, name)
                 .into_iter()
-                .filter(|h| !self.acting(ctx.pool, name).map(|a| a.contains(h)).unwrap_or(false))
+                .filter(|h| {
+                    !self
+                        .acting(ctx.pool, name)
+                        .map(|a| a.contains(h))
+                        .unwrap_or(false)
+                })
                 .collect();
             for s in stale {
                 self.osds[s.0 as usize].remove(ctx.pool, name);
@@ -770,7 +806,8 @@ impl Cluster {
         let client_leg = self.perf.client_to_node(ctx.client, primary_node, payload);
         let fanout = CostExpr::par(acting.iter().map(|&osd| {
             CostExpr::seq([
-                self.perf.node_to_node(primary_node, self.node_of(osd), payload),
+                self.perf
+                    .node_to_node(primary_node, self.node_of(osd), payload),
                 self.perf.disk_io(osd.0 as usize, payload),
             ])
         }));
@@ -959,6 +996,8 @@ impl Cluster {
                 ])
             }
         };
+        self.metrics.reads.inc();
+        self.metrics.read_bytes.add(slice.len() as u64);
         Ok(Timed::new(slice, cost))
     }
 
@@ -1280,16 +1319,17 @@ mod tests {
         let mut c = cluster();
         let ctx = rep_pool(&mut c);
         let name = ObjectName::new("obj");
-        let _ = c.transact(
-            &ctx,
-            &name,
-            vec![
-                TxOp::WriteFull(vec![5u8; 64]),
-                TxOp::SetXattr("type".into(), b"metadata".to_vec()),
-                TxOp::SetOmap("entry.0".into(), b"chunkmap".to_vec()),
-            ],
-        )
-        .expect("tx");
+        let _ = c
+            .transact(
+                &ctx,
+                &name,
+                vec![
+                    TxOp::WriteFull(vec![5u8; 64]),
+                    TxOp::SetXattr("type".into(), b"metadata".to_vec()),
+                    TxOp::SetOmap("entry.0".into(), b"chunkmap".to_vec()),
+                ],
+            )
+            .expect("tx");
         let x = c.get_xattr(&ctx, &name, "type").expect("xattr");
         assert_eq!(x.value.as_deref(), Some(b"metadata".as_slice()));
         let o = c.get_omap(&ctx, &name, "entry.0").expect("omap");
@@ -1301,15 +1341,16 @@ mod tests {
         let mut c = cluster();
         let ctx = rep_pool(&mut c);
         let name = ObjectName::new("obj");
-        let _ = c.transact(
-            &ctx,
-            &name,
-            vec![
-                TxOp::WriteFull(vec![1u8; 10]),
-                TxOp::SetXattr("refcount".into(), vec![2]),
-            ],
-        )
-        .expect("tx");
+        let _ = c
+            .transact(
+                &ctx,
+                &name,
+                vec![
+                    TxOp::WriteFull(vec![1u8; 10]),
+                    TxOp::SetXattr("refcount".into(), vec![2]),
+                ],
+            )
+            .expect("tx");
         for h in c.holders(ctx.pool, &name) {
             let obj = c.osd_store(h).get(ctx.pool, &name).expect("replica");
             assert_eq!(obj.xattrs.get("refcount"), Some(&vec![2]));
@@ -1372,7 +1413,9 @@ mod tests {
         let pool = c.create_pool(PoolConfig::replicated("comp", 2).with_compression());
         let ctx = IoCtx::new(pool);
         let name = ObjectName::new("obj");
-        let _ = c.write_full(&ctx, &name, vec![0u8; 100_000]).expect("write");
+        let _ = c
+            .write_full(&ctx, &name, vec![0u8; 100_000])
+            .expect("write");
         let usage = c.usage(pool).expect("usage");
         assert_eq!(usage.logical_bytes, 100_000);
         assert!(
@@ -1390,7 +1433,8 @@ mod tests {
         let mut c = cluster();
         let ctx = rep_pool(&mut c);
         for n in ["b", "a", "c"] {
-            let _ = c.write_full(&ctx, &ObjectName::new(n), vec![0u8; 8])
+            let _ = c
+                .write_full(&ctx, &ObjectName::new(n), vec![0u8; 8])
                 .expect("write");
         }
         let names = c.list_objects(ctx.pool).expect("list");
@@ -1403,13 +1447,12 @@ mod tests {
         let mut c = cluster();
         let ctx = rep_pool(&mut c);
         for i in 0..200 {
-            let _ = c.write_full(&ctx, &ObjectName::new(format!("o{i}")), vec![0u8; 64])
+            let _ = c
+                .write_full(&ctx, &ObjectName::new(format!("o{i}")), vec![0u8; 64])
                 .expect("write");
         }
         let loaded = (0..16)
-            .filter(|&i| {
-                c.osd_store(OsdId(i)).stats().objects > 0
-            })
+            .filter(|&i| c.osd_store(OsdId(i)).stats().objects > 0)
             .count();
         assert!(loaded >= 14, "only {loaded}/16 OSDs used");
     }
@@ -1426,7 +1469,9 @@ mod tests {
         let t_rep = c
             .write_at(&rep, &name, 1024, vec![2u8; 8 * 1024])
             .expect("w");
-        let t_ec = c.write_at(&ec, &name, 1024, vec![2u8; 8 * 1024]).expect("w");
+        let t_ec = c
+            .write_at(&ec, &name, 1024, vec![2u8; 8 * 1024])
+            .expect("w");
         let mut perf = c.perf().pool.clone();
         let rep_done = perf.execute(SimTime::ZERO, &t_rep.cost);
         let ec_done = perf.execute(rep_done, &t_ec.cost).since(rep_done);
@@ -1439,9 +1484,8 @@ mod tests {
     #[test]
     fn degraded_replicated_pool_still_serves() {
         let mut c = ClusterBuilder::new().nodes(2).osds_per_node(1).build();
-        let pool = c.create_pool(
-            PoolConfig::replicated("r", 2).with_failure_domain(FailureDomain::Osd),
-        );
+        let pool =
+            c.create_pool(PoolConfig::replicated("r", 2).with_failure_domain(FailureDomain::Osd));
         let ctx = IoCtx::new(pool);
         let name = ObjectName::new("obj");
         let _ = c.write_full(&ctx, &name, vec![3u8; 100]).expect("write");
@@ -1449,7 +1493,9 @@ mod tests {
         // One OSD left: degraded but readable and writable.
         let r = c.read_full(&ctx, &name).expect("read");
         assert_eq!(r.value, vec![3u8; 100]);
-        let _ = c.write_full(&ctx, &name, vec![4u8; 50]).expect("write degraded");
+        let _ = c
+            .write_full(&ctx, &name, vec![4u8; 50])
+            .expect("write degraded");
     }
 
     #[test]

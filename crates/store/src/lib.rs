@@ -25,6 +25,7 @@
 
 mod cluster;
 mod error;
+mod metrics;
 mod object;
 mod osd;
 mod perf;
@@ -38,3 +39,5 @@ pub use osd::{Osd, OsdStats};
 pub use perf::{ClientId, PerfConfig, PerfTopology};
 pub use pool::{PoolConfig, PoolUsage, Redundancy};
 pub use recovery::RecoveryReport;
+
+pub use dedup_obs::Registry;

@@ -120,16 +120,18 @@ mod tests {
     fn pools_are_namespaced() {
         let mut osd = Osd::new();
         let name = ObjectName::new("same");
-        osd.put(PoolId(1), name.clone(), StoredObject::new(Payload::Full(vec![1])));
-        osd.put(PoolId(2), name.clone(), StoredObject::new(Payload::Full(vec![2, 2])));
-        assert_eq!(
-            osd.get(PoolId(1), &name).map(|o| o.stored_bytes),
-            Some(1)
+        osd.put(
+            PoolId(1),
+            name.clone(),
+            StoredObject::new(Payload::Full(vec![1])),
         );
-        assert_eq!(
-            osd.get(PoolId(2), &name).map(|o| o.stored_bytes),
-            Some(2)
+        osd.put(
+            PoolId(2),
+            name.clone(),
+            StoredObject::new(Payload::Full(vec![2, 2])),
         );
+        assert_eq!(osd.get(PoolId(1), &name).map(|o| o.stored_bytes), Some(1));
+        assert_eq!(osd.get(PoolId(2), &name).map(|o| o.stored_bytes), Some(2));
         assert_eq!(osd.names_in_pool(PoolId(1)).len(), 1);
     }
 
@@ -153,7 +155,11 @@ mod tests {
     #[test]
     fn wipe_clears_everything() {
         let mut osd = Osd::new();
-        osd.put(pool(), ObjectName::new("a"), StoredObject::new(Payload::Full(vec![1])));
+        osd.put(
+            pool(),
+            ObjectName::new("a"),
+            StoredObject::new(Payload::Full(vec![1])),
+        );
         osd.wipe();
         assert_eq!(osd.stats().objects, 0);
     }

@@ -211,10 +211,7 @@ mod tests {
     #[test]
     fn costs_execute() {
         let mut t = PerfTopology::build(PerfConfig::default(), 2, 2);
-        let c = CostExpr::seq([
-            t.client_to_node(ClientId(0), 0, 4096),
-            t.disk_io(0, 4096),
-        ]);
+        let c = CostExpr::seq([t.client_to_node(ClientId(0), 0, 4096), t.disk_io(0, 4096)]);
         let done = t.pool.execute(SimTime::ZERO, &c);
         // At least the two NIC latencies plus the disk latency.
         assert!(done.as_nanos() >= (50 + 50 + 80) * 1_000);

@@ -64,6 +64,10 @@ impl Cluster {
                 self.recover_object(pool, &name, &mut report, &mut costs)?;
             }
         }
+        self.metrics.recovery_runs.inc();
+        self.metrics.recovery_examined.add(report.objects_examined);
+        self.metrics.recovery_repaired.add(report.objects_repaired);
+        self.metrics.recovery_bytes_moved.add(report.bytes_moved);
         // Recovery proceeds in parallel across placement groups (bounded
         // in real clusters by op queues, but bandwidth-bound either way):
         // disks and NICs serialize transfers through the resource model,
@@ -94,16 +98,14 @@ impl Cluster {
             .iter()
             .copied()
             .enumerate()
-            .filter(|&(rank, osd)| {
-                match self.osd_store(osd).get(pool, name) {
-                    None => true,
-                    Some(obj) => match (&obj.payload, redundancy) {
-                        (Payload::Shard { index, .. }, Redundancy::Erasure { .. }) => {
-                            *index as usize != rank
-                        }
-                        _ => false,
-                    },
-                }
+            .filter(|&(rank, osd)| match self.osd_store(osd).get(pool, name) {
+                None => true,
+                Some(obj) => match (&obj.payload, redundancy) {
+                    (Payload::Shard { index, .. }, Redundancy::Erasure { .. }) => {
+                        *index as usize != rank
+                    }
+                    _ => false,
+                },
             })
             .map(|(_, osd)| osd)
             .collect();
@@ -136,8 +138,8 @@ impl Cluster {
             if holders.is_empty() {
                 return Err(StoreError::NoSuchObject(pool, name.clone()));
             }
-            let src = holders[(dedup_placement::hash::xxh64(name.as_bytes(), 0x5eed) as usize)
-                % holders.len()];
+            let src = holders
+                [(dedup_placement::hash::xxh64(name.as_bytes(), 0x5eed) as usize) % holders.len()];
             let src_node = self.map.osd(src).node.0 as usize;
             // Only resident bytes move: punched holes (evicted cache) cost
             // nothing, which is exactly why deduplicated clusters recover
@@ -304,6 +306,8 @@ impl Cluster {
                 }
             }
         }
+        self.metrics.scrub_runs.inc();
+        self.metrics.scrub_findings.add(findings.len() as u64);
         Ok(findings)
     }
 }
@@ -320,11 +324,13 @@ impl Cluster {
     /// Fails for unknown pools.
     pub fn deep_scrub(&self, pool: PoolId) -> Result<Vec<ScrubFinding>, StoreError> {
         let mut findings = self.scrub(pool)?;
+        // The shallow pass above already counted itself; record only the
+        // extra content-level findings below.
+        let shallow_findings = findings.len();
         let st = self.state(pool)?;
         let redundancy = st.config.redundancy;
         if let Redundancy::Erasure { k, m } = redundancy {
-            let codec = dedup_erasure::ReedSolomon::new(k, m)
-                .expect("pool validated at creation");
+            let codec = dedup_erasure::ReedSolomon::new(k, m).expect("pool validated at creation");
             for name in self.list_objects(pool)? {
                 let Ok(acting) = self.acting(pool, &name) else {
                     continue;
@@ -339,10 +345,7 @@ impl Cluster {
                         }
                     }
                 }
-                let data: Option<Vec<&[u8]>> = shards[..k]
-                    .iter()
-                    .map(|s| s.as_deref())
-                    .collect();
+                let data: Option<Vec<&[u8]>> = shards[..k].iter().map(|s| s.as_deref()).collect();
                 let Some(data) = data else { continue };
                 let Ok(parity) = codec.encode(&data) else {
                     continue;
@@ -363,6 +366,9 @@ impl Cluster {
                 }
             }
         }
+        self.metrics
+            .scrub_findings
+            .add((findings.len() - shallow_findings) as u64);
         Ok(findings)
     }
 }
@@ -440,7 +446,8 @@ impl Cluster {
                     .ok_or_else(|| StoreError::NoSuchObject(pool, name.clone()))?;
                 let bytes = logical.data.len() as u64;
                 costs.push(CostExpr::par(acting.iter().map(|&osd| {
-                    self.perf.disk_io(osd.0 as usize, bytes.max(64) / acting.len() as u64)
+                    self.perf
+                        .disk_io(osd.0 as usize, bytes.max(64) / acting.len() as u64)
                 })));
                 let ctx = crate::cluster::IoCtx::new(pool);
                 self.restore_logical(&ctx, name, logical)?;
@@ -465,7 +472,8 @@ mod tests {
         let mut datasets = Vec::new();
         for i in 0..60 {
             let data: Vec<u8> = (0..2048).map(|j| ((i * 7 + j) % 256) as u8).collect();
-            let _ = c.write_full(&ctx, &ObjectName::new(format!("obj-{i}")), data.clone())
+            let _ = c
+                .write_full(&ctx, &ObjectName::new(format!("obj-{i}")), data.clone())
                 .expect("write");
             datasets.push(data);
         }
@@ -526,10 +534,7 @@ mod tests {
     #[test]
     fn adding_osd_rebalances_with_bounded_movement() {
         let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
-        let before: u64 = c
-            .usage(ctx.pool)
-            .expect("usage")
-            .stored_bytes;
+        let before: u64 = c.usage(ctx.pool).expect("usage").stored_bytes;
         let node0 = c.map().osd(OsdId(0)).node;
         c.add_osd(node0, 1.0);
         let t = c.recover().expect("rebalance");
@@ -566,7 +571,8 @@ mod tests {
         let mut c = ClusterBuilder::new().nodes(3).osds_per_node(1).build();
         let pool = c.create_pool(PoolConfig::erasure("e", 2, 1));
         let ctx = IoCtx::new(pool);
-        let _ = c.write_full(&ctx, &ObjectName::new("x"), vec![1u8; 4096])
+        let _ = c
+            .write_full(&ctx, &ObjectName::new("x"), vec![1u8; 4096])
             .expect("write");
         // Lose two of three shards: 2+1 cannot rebuild.
         c.fail_osd(OsdId(0));
@@ -610,7 +616,9 @@ mod tests {
         // ...but deep scrub re-encodes and catches it.
         let findings = c.deep_scrub(ctx.pool).expect("deep scrub");
         assert!(
-            findings.iter().any(|f| f.name == name && f.detail.contains("parity")),
+            findings
+                .iter()
+                .any(|f| f.name == name && f.detail.contains("parity")),
             "parity corruption missed: {findings:?}"
         );
     }
@@ -683,16 +691,17 @@ mod tests {
         use crate::cluster::TxOp;
         let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
         let name = ObjectName::new("meta-obj");
-        let _ = c.transact(
-            &ctx,
-            &name,
-            vec![
-                TxOp::WriteFull(vec![9u8; 512]),
-                TxOp::SetXattr("refcount".into(), vec![42]),
-                TxOp::SetOmap("chunk.0".into(), b"entry".to_vec()),
-            ],
-        )
-        .expect("tx");
+        let _ = c
+            .transact(
+                &ctx,
+                &name,
+                vec![
+                    TxOp::WriteFull(vec![9u8; 512]),
+                    TxOp::SetXattr("refcount".into(), vec![42]),
+                    TxOp::SetOmap("chunk.0".into(), b"entry".to_vec()),
+                ],
+            )
+            .expect("tx");
         let holder = c.holders(ctx.pool, &name)[0];
         c.fail_osd(holder);
         let _ = c.recover().expect("recover");

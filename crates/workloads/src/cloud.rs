@@ -144,7 +144,10 @@ mod tests {
         let g = global_ratio(d.iter_refs(), 32 * 1024).ratio_percent();
         let l = local_ratio(d.iter_refs(), 32 * 1024, 16).ratio_percent();
         assert!(l < g, "local {l} must trail global {g}");
-        assert!(l > g / 8.0, "high-multiplicity blocks keep local non-trivial: {l}");
+        assert!(
+            l > g / 8.0,
+            "high-multiplicity blocks keep local non-trivial: {l}"
+        );
     }
 
     #[test]

@@ -258,18 +258,27 @@ mod tests {
     #[test]
     fn dataset_ratio_grows_with_load() {
         let r1 = global_ratio(
-            SfsSpec::with_load(1).files(8, 1 << 20).dataset().iter_refs(),
+            SfsSpec::with_load(1)
+                .files(8, 1 << 20)
+                .dataset()
+                .iter_refs(),
             8 * 1024,
         )
         .ratio_percent();
         let r10 = global_ratio(
-            SfsSpec::with_load(10).files(8, 1 << 20).dataset().iter_refs(),
+            SfsSpec::with_load(10)
+                .files(8, 1 << 20)
+                .dataset()
+                .iter_refs(),
             8 * 1024,
         )
         .ratio_percent();
         assert!(r1 < r10, "LD1 {r1} should be below LD10 {r10}");
         assert!(r10 > 85.0, "LD10 should dedup heavily: {r10}");
-        assert!((25.0..50.0).contains(&r1), "LD1 around the paper's 36%: {r1}");
+        assert!(
+            (25.0..50.0).contains(&r1),
+            "LD1 around the paper's 36%: {r1}"
+        );
     }
 
     #[test]

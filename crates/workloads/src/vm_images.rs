@@ -89,8 +89,11 @@ impl VmImageSpec {
         let os_blocks = (total_blocks as f64 * self.os_fraction) as u64;
         let start = (os_blocks as usize * bs).min(img.data.len());
         let tail_len = img.data.len() - start;
-        img.data[start..]
-            .copy_from_slice(&unique_block(tail_len, index as u64, self.seed ^ 0xD00D));
+        img.data[start..].copy_from_slice(&unique_block(
+            tail_len,
+            index as u64,
+            self.seed ^ 0xD00D,
+        ));
         img
     }
 }

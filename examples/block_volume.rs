@@ -24,7 +24,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut image = vec![0u8; VOLUME_SIZE as usize / 4];
     let mut state = 0x1234_5678_9abc_def0u64;
     for b in image.iter_mut() {
-        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         *b = (state >> 33) as u8;
     }
     let _ = vol0.write(0, &image, SimTime::ZERO)?;
@@ -47,7 +49,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let store = vol1.into_backend();
         let mut v0 = BlockDevice::new(store, "vol0", VOLUME_SIZE, OBJECT_SIZE, ClientId(1));
         let out = v0.read(0, image.len() as u64, SimTime::from_secs(20))?;
-        vol1 = BlockDevice::new(v0.into_backend(), "vol1", VOLUME_SIZE, OBJECT_SIZE, ClientId(1));
+        vol1 = BlockDevice::new(
+            v0.into_backend(),
+            "vol1",
+            VOLUME_SIZE,
+            OBJECT_SIZE,
+            ClientId(1),
+        );
         out
     };
     let before = vol1.backend().space_report()?.chunk_bytes;

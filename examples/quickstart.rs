@@ -24,7 +24,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             *b ^= day as u8 + 1;
         }
         let name = ObjectName::new(format!("snapshot-{day}"));
-        let _ = store.write(ClientId(0), &name, 0, &snapshot, SimTime::from_secs(day as u64))?;
+        let _ = store.write(
+            ClientId(0),
+            &name,
+            0,
+            &snapshot,
+            SimTime::from_secs(day as u64),
+        )?;
     }
 
     println!("before dedup: {} objects dirty", store.dirty_len());

@@ -1,0 +1,18 @@
+//! Offline shim for `serde`.
+//!
+//! The build environment cannot reach a crates registry, so this workspace
+//! ships a minimal stand-in: `Serialize`/`Deserialize` exist both as marker
+//! traits and as no-op derive macros (from the sibling `serde_derive`
+//! shim), which is the entire surface this codebase uses. Actual
+//! serialization in the repo is hand-rolled (markdown tables, JSON-lines
+//! metric snapshots in `dedup-obs`).
+
+#![forbid(unsafe_code)]
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+pub use serde_derive::{Deserialize, Serialize};

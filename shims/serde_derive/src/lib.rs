@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`: no-op derive macros.
+//!
+//! The sandboxed build environment has no access to crates.io, so the real
+//! serde stack cannot be vendored. Nothing in this workspace serializes
+//! through serde (reports are hand-rendered markdown / JSON-lines) and no
+//! code bounds on `Serialize`/`Deserialize`, so the derives expand to
+//! nothing while still accepting the usual `#[serde(...)]` helper
+//! attributes.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive; accepts `#[serde(...)]` helper attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

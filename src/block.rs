@@ -187,7 +187,10 @@ impl BlockBackend for DedupStore {
         len: u64,
         now: SimTime,
     ) -> Result<(Vec<u8>, CostExpr), BlockError> {
-        let size = self.cluster().stat(self.metadata_pool(), name)?.unwrap_or(0);
+        let size = self
+            .cluster()
+            .stat(self.metadata_pool(), name)?
+            .unwrap_or(0);
         if offset >= size {
             return Ok((vec![0u8; len as usize], CostExpr::Nop));
         }
@@ -295,7 +298,12 @@ impl<B: BlockBackend> BlockDevice<B> {
     /// # Errors
     ///
     /// Fails on out-of-range access or backend errors.
-    pub fn write(&mut self, offset: u64, data: &[u8], now: SimTime) -> Result<CostExpr, BlockError> {
+    pub fn write(
+        &mut self,
+        offset: u64,
+        data: &[u8],
+        now: SimTime,
+    ) -> Result<CostExpr, BlockError> {
         self.check(offset, data.len() as u64)?;
         let mut costs = Vec::new();
         let mut consumed = 0usize;
@@ -346,7 +354,13 @@ mod tests {
     fn raw_device() -> BlockDevice<(Cluster, IoCtx)> {
         let mut cluster = ClusterBuilder::new().build();
         let pool = cluster.create_pool(PoolConfig::replicated("data", 2));
-        BlockDevice::new((cluster, IoCtx::new(pool)), "vol", 4 << 20, 1 << 20, ClientId(0))
+        BlockDevice::new(
+            (cluster, IoCtx::new(pool)),
+            "vol",
+            4 << 20,
+            1 << 20,
+            ClientId(0),
+        )
     }
 
     fn dedup_device() -> BlockDevice<DedupStore> {
@@ -423,7 +437,8 @@ mod tests {
         let data = patterned(128 * 1024, 3);
         let _ = dev.write(0, &data, SimTime::ZERO).expect("write");
         let _ = dev.write(2 << 20, &data, SimTime::ZERO).expect("write");
-        let _ = dev.backend_mut()
+        let _ = dev
+            .backend_mut()
             .flush_all(SimTime::from_secs(10))
             .expect("flush");
         let report = dev.backend().space_report().expect("report");
@@ -432,7 +447,9 @@ mod tests {
             (128 * 1024) / (32 * 1024),
             "identical regions share chunks across backing objects"
         );
-        let (got, _) = dev.read(2 << 20, data.len() as u64, SimTime::from_secs(20)).expect("read");
+        let (got, _) = dev
+            .read(2 << 20, data.len() as u64, SimTime::from_secs(20))
+            .expect("read");
         assert_eq!(got, data);
     }
 
@@ -451,7 +468,8 @@ mod tests {
                 .expect("write");
             model[offset as usize..(offset + len) as usize].copy_from_slice(&data);
             if round % 10 == 9 {
-                let _ = dev.backend_mut()
+                let _ = dev
+                    .backend_mut()
                     .flush_all(SimTime::from_secs(1_000 + round))
                     .expect("flush");
             }

@@ -17,7 +17,13 @@ fn loaded_store(flush: bool) -> (DedupStore, global_dedup::workloads::Dataset) {
     );
     for obj in &dataset.objects {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(&*obj.name),
+                0,
+                &obj.data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     if flush {
@@ -123,7 +129,13 @@ fn ec_chunk_pool_survives_single_failure() {
     );
     for obj in &dataset.objects {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(&*obj.name),
+                0,
+                &obj.data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     let _ = store.flush_all(SimTime::from_secs(100)).expect("flush");
@@ -161,7 +173,13 @@ fn refcounts_survive_recovery() {
     let data = vec![9u8; 32 * 1024];
     for i in 0..5 {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(format!("o{i}")), 0, &data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(format!("o{i}")),
+                0,
+                &data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     let _ = store.flush_all(SimTime::from_secs(10)).expect("flush");

@@ -3,10 +3,8 @@
 //! the system re-converges with no lost data, no refcount leaks, and no
 //! stuck dirty state.
 
-use global_dedup::core::{
-    CachePolicy, DedupConfig, DedupStore, FailurePoint, REFCOUNT_XATTR,
-};
 use global_dedup::core::refs::{decode_refcount, BackRef};
+use global_dedup::core::{CachePolicy, DedupConfig, DedupStore, FailurePoint, REFCOUNT_XATTR};
 use global_dedup::sim::SimTime;
 use global_dedup::store::{ClientId, ClusterBuilder, IoCtx, ObjectName};
 
@@ -59,7 +57,10 @@ fn assert_refcounts_consistent(store: &mut DedupStore) {
 
 #[test]
 fn every_failure_point_converges_after_retry() {
-    for failure in [FailurePoint::BeforeChunkStore, FailurePoint::AfterChunkStore] {
+    for failure in [
+        FailurePoint::BeforeChunkStore,
+        FailurePoint::AfterChunkStore,
+    ] {
         let mut s = store();
         let name = ObjectName::new("obj");
         let data = patterned(4 * CS as usize, 11);
@@ -74,7 +75,13 @@ fn every_failure_point_converges_after_retry() {
         assert_eq!(s.recover_dirty_queue().expect("recover"), 1);
         let _ = s.flush_all(SimTime::from_secs(200)).expect("retry");
         let r = s
-            .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(300))
+            .read(
+                ClientId(0),
+                &name,
+                0,
+                data.len() as u64,
+                SimTime::from_secs(300),
+            )
             .expect("read");
         assert_eq!(r.value, data, "{failure:?}");
         assert_refcounts_consistent(&mut s);
@@ -105,7 +112,13 @@ fn repeated_crashes_then_converge() {
     }
     let _ = s.flush_all(SimTime::from_secs(500)).expect("final");
     let r = s
-        .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(600))
+        .read(
+            ClientId(0),
+            &name,
+            0,
+            data.len() as u64,
+            SimTime::from_secs(600),
+        )
         .expect("read");
     assert_eq!(r.value, data);
     assert_refcounts_consistent(&mut s);
@@ -139,7 +152,13 @@ fn crash_between_overwrites_does_not_leak_old_chunks() {
     assert_eq!(report.chunk_objects, 1, "v1 chunk must be reclaimed");
     assert_refcounts_consistent(&mut s);
     let r = s
-        .read(ClientId(0), &name, 0, v2.len() as u64, SimTime::from_secs(300))
+        .read(
+            ClientId(0),
+            &name,
+            0,
+            v2.len() as u64,
+            SimTime::from_secs(300),
+        )
         .expect("read");
     assert_eq!(r.value, v2);
 }
@@ -152,9 +171,13 @@ fn crash_with_shared_chunks_keeps_sharers_safe() {
     let data = patterned(CS as usize, 23);
     let a = ObjectName::new("a");
     let b = ObjectName::new("b");
-    let _ = s.write(ClientId(0), &a, 0, &data, SimTime::ZERO).expect("write");
+    let _ = s
+        .write(ClientId(0), &a, 0, &data, SimTime::ZERO)
+        .expect("write");
     let _ = s.flush_all(SimTime::from_secs(10)).expect("flush a");
-    let _ = s.write(ClientId(0), &b, 0, &data, SimTime::from_secs(20)).expect("write");
+    let _ = s
+        .write(ClientId(0), &b, 0, &data, SimTime::from_secs(20))
+        .expect("write");
     let _ = s
         .flush_object_with_failure(
             &b,
@@ -168,7 +191,13 @@ fn crash_with_shared_chunks_keeps_sharers_safe() {
     // Deleting b leaves a's data intact; deleting a reclaims the chunk.
     let _ = s.delete(ClientId(0), &b).expect("delete b");
     let r = s
-        .read(ClientId(0), &a, 0, data.len() as u64, SimTime::from_secs(300))
+        .read(
+            ClientId(0),
+            &a,
+            0,
+            data.len() as u64,
+            SimTime::from_secs(300),
+        )
         .expect("read");
     assert_eq!(r.value, data);
     let _ = s.delete(ClientId(0), &a).expect("delete a");
@@ -181,7 +210,9 @@ fn foreground_writes_between_crash_and_retry_win() {
     let mut s = store();
     let name = ObjectName::new("obj");
     let v1 = patterned(CS as usize, 29);
-    let _ = s.write(ClientId(0), &name, 0, &v1, SimTime::ZERO).expect("write");
+    let _ = s
+        .write(ClientId(0), &name, 0, &v1, SimTime::ZERO)
+        .expect("write");
     let _ = s
         .flush_object_with_failure(
             &name,
@@ -197,7 +228,13 @@ fn foreground_writes_between_crash_and_retry_win() {
     s.recover_dirty_queue().expect("recover");
     let _ = s.flush_all(SimTime::from_secs(200)).expect("retry");
     let r = s
-        .read(ClientId(0), &name, 0, v2.len() as u64, SimTime::from_secs(300))
+        .read(
+            ClientId(0),
+            &name,
+            0,
+            v2.len() as u64,
+            SimTime::from_secs(300),
+        )
         .expect("read");
     assert_eq!(r.value, v2, "latest write must win");
     assert_refcounts_consistent(&mut s);
@@ -209,7 +246,9 @@ fn osd_failure_combined_with_flush_crash() {
     let mut s = store();
     let name = ObjectName::new("obj");
     let data = patterned(4 * CS as usize, 37);
-    let _ = s.write(ClientId(0), &name, 0, &data, SimTime::ZERO).expect("write");
+    let _ = s
+        .write(ClientId(0), &name, 0, &data, SimTime::ZERO)
+        .expect("write");
     let _ = s
         .flush_object_with_failure(
             &name,
@@ -226,7 +265,13 @@ fn osd_failure_combined_with_flush_crash() {
     s.recover_dirty_queue().expect("recover engine");
     let _ = s.flush_all(SimTime::from_secs(200)).expect("retry");
     let r = s
-        .read(ClientId(0), &name, 0, data.len() as u64, SimTime::from_secs(300))
+        .read(
+            ClientId(0),
+            &name,
+            0,
+            data.len() as u64,
+            SimTime::from_secs(300),
+        )
         .expect("read");
     assert_eq!(r.value, data);
     assert_refcounts_consistent(&mut s);

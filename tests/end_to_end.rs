@@ -72,10 +72,7 @@ fn cloud_dataset_on_erasure_coded_chunk_pool() {
     load_and_flush(&mut store, &dataset);
     verify_all(&mut store, &dataset);
     // EC chunk pool: raw chunk bytes cost 1.5x, not 2x.
-    let usage = store
-        .cluster()
-        .usage(store.chunk_pool())
-        .expect("usage");
+    let usage = store.cluster().usage(store.chunk_pool()).expect("usage");
     let factor = usage.stored_bytes as f64 / usage.logical_bytes.max(1) as f64;
     assert!(
         (factor - 1.5).abs() < 0.01,
@@ -111,7 +108,13 @@ fn vm_images_with_compression_save_capacity_multiplicatively() {
         for i in 0..spec.images {
             let img = spec.image(i);
             let _ = store
-                .write(ClientId(0), &ObjectName::new(&*img.name), 0, &img.data, SimTime::ZERO)
+                .write(
+                    ClientId(0),
+                    &ObjectName::new(&*img.name),
+                    0,
+                    &img.data,
+                    SimTime::ZERO,
+                )
                 .expect("write");
         }
         let _ = store.flush_all(SimTime::from_secs(100)).expect("flush");
@@ -167,7 +170,9 @@ fn engine_counters_are_consistent() {
         DedupConfig::with_chunk_size(32 * 1024).cache_policy(CachePolicy::EvictAll),
     );
     load_and_flush(&mut store, &dataset);
-    let flushed = store.flush_all(SimTime::from_secs(2_000)).expect("idempotent");
+    let flushed = store
+        .flush_all(SimTime::from_secs(2_000))
+        .expect("idempotent");
     assert_eq!(flushed.value.chunks_flushed, 0, "nothing left dirty");
     let stats = store.stats();
     assert_eq!(stats.writes as usize, dataset.len());

@@ -16,11 +16,24 @@ const MAX_OBJECT: usize = 32 * 1024;
 /// One step of the randomized scenario.
 #[derive(Debug, Clone)]
 enum Step {
-    Write { obj: usize, offset: usize, len: usize, fill: u8 },
+    Write {
+        obj: usize,
+        offset: usize,
+        len: usize,
+        fill: u8,
+    },
     FlushAll,
-    FlushOne { obj: usize },
-    Read { obj: usize, offset: usize, len: usize },
-    Delete { obj: usize },
+    FlushOne {
+        obj: usize,
+    },
+    Read {
+        obj: usize,
+        offset: usize,
+        len: usize,
+    },
+    Delete {
+        obj: usize,
+    },
 }
 
 fn step_strategy() -> impl Strategy<Value = Step> {

@@ -16,7 +16,6 @@ fn rack_cluster() -> global_dedup::store::Cluster {
         .build()
 }
 
-
 /// All OSD ids living in the given rack.
 fn osds_in_rack(cluster: &global_dedup::store::Cluster, rack: RackId) -> Vec<OsdId> {
     cluster
@@ -59,7 +58,13 @@ fn whole_rack_failure_is_survivable_with_rack_domain() {
     let dataset = FioSpec::new(8 << 20, 0.5).dataset();
     for obj in &dataset.objects {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(&*obj.name),
+                0,
+                &obj.data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     let _ = store.flush_all(SimTime::from_secs(10)).expect("flush");
@@ -105,7 +110,13 @@ fn node_domain_does_not_survive_rack_loss() {
     let dataset = FioSpec::new(8 << 20, 0.5).dataset();
     for obj in &dataset.objects {
         let _ = store
-            .write(ClientId(0), &ObjectName::new(&*obj.name), 0, &obj.data, SimTime::ZERO)
+            .write(
+                ClientId(0),
+                &ObjectName::new(&*obj.name),
+                0,
+                &obj.data,
+                SimTime::ZERO,
+            )
             .expect("write");
     }
     let _ = store.flush_all(SimTime::from_secs(10)).expect("flush");
