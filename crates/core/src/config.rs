@@ -107,6 +107,17 @@ pub struct DedupConfig {
     /// over-approximate until [`crate::DedupStore::gc_chunk_pool`] validates
     /// back references and reclaims unreferenced chunks.
     pub lazy_dereference: bool,
+    /// Worker threads used to fingerprint a staged flush batch (the
+    /// pipeline's stage 2). `0` means "use the host's available
+    /// parallelism". This is a wall-clock knob only: the virtual timing
+    /// plane keeps charging fingerprint CPU to the metadata node as if
+    /// serial, so simulated results are identical at any setting.
+    pub flush_parallelism: usize,
+    /// Maximum dirty objects staged per background flush pass
+    /// ([`crate::DedupStore::dedup_tick`] admits up to this many per
+    /// call, budget permitting). `1` reproduces the classic
+    /// one-object-per-tick behaviour exactly.
+    pub flush_batch_size: usize,
 }
 
 impl Default for DedupConfig {
@@ -119,6 +130,8 @@ impl Default for DedupConfig {
             hitset: HitSetConfig::default(),
             fingerprint_cost: FingerprintCostModel::default(),
             lazy_dereference: false,
+            flush_parallelism: 0,
+            flush_batch_size: 1,
         }
     }
 }
@@ -161,6 +174,24 @@ impl DedupConfig {
         self.lazy_dereference = true;
         self
     }
+
+    /// Overrides the fingerprint worker-pool width (`0` = available
+    /// cores).
+    pub fn flush_parallelism(mut self, workers: usize) -> Self {
+        self.flush_parallelism = workers;
+        self
+    }
+
+    /// Overrides how many dirty objects one background pass may stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `objects` is zero.
+    pub fn flush_batch_size(mut self, objects: usize) -> Self {
+        assert!(objects > 0, "flush batch size must be positive");
+        self.flush_batch_size = objects;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -174,6 +205,23 @@ mod tests {
         assert_eq!(c.mode, DedupMode::PostProcess);
         assert_eq!(c.watermarks.mid_ratio, 100);
         assert_eq!(c.watermarks.high_ratio, 500);
+        assert_eq!(c.flush_parallelism, 0, "0 = auto (available cores)");
+        assert_eq!(c.flush_batch_size, 1, "classic one-object ticks");
+    }
+
+    #[test]
+    fn pipeline_builders_compose() {
+        let c = DedupConfig::default()
+            .flush_parallelism(4)
+            .flush_batch_size(16);
+        assert_eq!(c.flush_parallelism, 4);
+        assert_eq!(c.flush_batch_size, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "flush batch size must be positive")]
+    fn zero_batch_rejected() {
+        let _ = DedupConfig::default().flush_batch_size(0);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! object omap/xattr), *post-processing* with watermark rate control, and a
 //! hotness-aware cache manager.
 
-use std::collections::{HashSet, VecDeque};
+use std::time::Instant;
 
 use dedup_chunk::FixedChunker;
 use dedup_fingerprint::Fingerprint;
@@ -21,6 +21,8 @@ use crate::config::{CachePolicy, DedupConfig, DedupMode};
 use crate::error::DedupError;
 use crate::hitset::HitSet;
 use crate::metrics::EngineMetrics;
+use crate::pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
+use crate::queue::DirtyQueue;
 use crate::ratecontrol::RateController;
 use crate::refs::{decode_refcount, encode_refcount, BackRef, REFCOUNT_XATTR};
 
@@ -57,6 +59,31 @@ pub struct FlushReport {
     pub aborted: bool,
 }
 
+impl FlushReport {
+    /// Accumulates `other` into `self` (batch and flush-all aggregation).
+    pub fn absorb(&mut self, other: &FlushReport) {
+        self.chunks_flushed += other.chunks_flushed;
+        self.chunks_deduped += other.chunks_deduped;
+        self.chunks_created += other.chunks_created;
+        self.derefs += other.derefs;
+        self.chunks_reclaimed += other.chunks_reclaimed;
+        self.chunks_evicted += other.chunks_evicted;
+        self.skipped_hot |= other.skipped_hot;
+        self.aborted |= other.aborted;
+    }
+}
+
+/// What staging one dirty-queue candidate produced.
+enum StageOutcome {
+    /// No dirty chunks left; the queue entry was retired.
+    Clean,
+    /// Hot object under [`CachePolicy::HotnessAware`]; requeued at the
+    /// back, still dirty.
+    Hot,
+    /// Dirty chunks read and snapshotted, ready for fingerprint + commit.
+    Staged(StagedObject),
+}
+
 /// Aggregate engine counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct EngineStats {
@@ -87,8 +114,7 @@ pub struct DedupStore {
     chunk_pool: PoolId,
     config: DedupConfig,
     chunker: FixedChunker,
-    dirty_queue: VecDeque<ObjectName>,
-    dirty_set: HashSet<ObjectName>,
+    dirty: DirtyQueue,
     hitset: HitSet,
     rate: RateController,
     stats: EngineStats,
@@ -120,8 +146,7 @@ impl DedupStore {
             chunk_pool,
             config,
             chunker,
-            dirty_queue: VecDeque::new(),
-            dirty_set: HashSet::new(),
+            dirty: DirtyQueue::new(),
             hitset,
             rate,
             stats: EngineStats::default(),
@@ -179,7 +204,19 @@ impl DedupStore {
 
     /// Objects currently queued for background deduplication.
     pub fn dirty_len(&self) -> usize {
-        self.dirty_queue.len()
+        self.dirty.len()
+    }
+
+    /// Worker threads the fingerprint stage will use: the configured
+    /// [`DedupConfig::flush_parallelism`], with `0` resolved to the host's
+    /// available parallelism.
+    pub fn fingerprint_parallelism(&self) -> usize {
+        match self.config.flush_parallelism {
+            0 => std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            n => n,
+        }
     }
 
     /// The rate controller (to observe foreground IOPS).
@@ -209,16 +246,14 @@ impl DedupStore {
     }
 
     fn mark_dirty(&mut self, name: &ObjectName) {
-        if self.dirty_set.insert(name.clone()) {
-            self.dirty_queue.push_back(name.clone());
-            self.sync_queue_depth();
-        }
+        // Enqueues when absent; bumps the write epoch when already queued,
+        // invalidating any staged-but-uncommitted snapshot of the object.
+        self.dirty.mark(name);
+        self.sync_queue_depth();
     }
 
     fn sync_queue_depth(&self) {
-        self.metrics
-            .flush_queue_depth
-            .set(self.dirty_queue.len() as i64);
+        self.metrics.flush_queue_depth.set(self.dirty.len() as i64);
     }
 
     fn update_rate_band(&mut self, now: SimTime) {
@@ -692,6 +727,10 @@ impl DedupStore {
         costs.push(t.cost);
         if dirtied {
             self.mark_dirty(name);
+        } else {
+            // A pure shrink still rewrites the chunk map: invalidate any
+            // staged-but-uncommitted flush snapshot of this object.
+            self.dirty.bump_epoch(name);
         }
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
@@ -720,8 +759,7 @@ impl DedupStore {
             Err(StoreError::NoSuchObject(..)) => {}
             Err(e) => return Err(e.into()),
         }
-        self.dirty_set.remove(name);
-        self.dirty_queue.retain(|n| n != name);
+        self.dirty.remove(name);
         self.sync_queue_depth();
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
@@ -920,13 +958,41 @@ impl DedupStore {
         now: SimTime,
         failure: Option<FailurePoint>,
     ) -> Result<Timed<FlushReport>, DedupError> {
-        let mut report = FlushReport::default();
-        let mut costs: Vec<CostExpr> = Vec::new();
+        match self.stage_object(name, now)? {
+            StageOutcome::Clean => Ok(Timed::new(FlushReport::default(), CostExpr::Nop)),
+            StageOutcome::Hot => {
+                let report = FlushReport {
+                    skipped_hot: true,
+                    ..Default::default()
+                };
+                Ok(Timed::new(report, CostExpr::Nop))
+            }
+            StageOutcome::Staged(staged) => {
+                let batch = StagedBatch {
+                    objects: vec![staged],
+                    ..Default::default()
+                };
+                self.fingerprint_and_commit(batch, failure)
+            }
+        }
+    }
+
+    /// Pipeline stage 1 for one dirty-queue candidate: the cache-manager
+    /// decision (paper §4.3), then reading every dirty chunk — deferred
+    /// read-modify-write merges included — into a [`StagedObject`]
+    /// snapshot. The object *stays queued*; its
+    /// [`DirtyTicket`](crate::queue::DirtyTicket) ties the snapshot to the
+    /// current write epoch so the commit can detect racing mutations.
+    fn stage_object(
+        &mut self,
+        name: &ObjectName,
+        now: SimTime,
+    ) -> Result<StageOutcome, DedupError> {
         let entries = self.load_chunk_map(name)?;
         let dirty: Vec<ChunkMapEntry> = entries.iter().copied().filter(|e| e.dirty).collect();
         if dirty.is_empty() {
             self.finish_clean(name);
-            return Ok(Timed::new(report, CostExpr::Nop));
+            return Ok(StageOutcome::Clean);
         }
 
         // Cache-manager decision (paper §4.3): hot objects are left alone.
@@ -934,24 +1000,19 @@ impl DedupStore {
         if hot && self.config.cache_policy == CachePolicy::HotnessAware {
             self.stats.hot_skips += 1;
             self.metrics.hot_skips.inc();
-            report.skipped_hot = true;
             // Stays dirty; re-queue at the back.
-            if self.dirty_set.contains(name) {
-                self.dirty_queue.retain(|n| n != name);
-                self.dirty_queue.push_back(name.clone());
-            }
-            return Ok(Timed::new(report, CostExpr::Nop));
+            self.dirty.requeue_back(name);
+            self.sync_queue_depth();
+            return Ok(StageOutcome::Hot);
         }
 
-        let ctx = self.meta_ctx(ClientId::INTERNAL);
         let meta_node = self.primary_node(self.metadata_pool, name)?;
         let keep_cached = match self.config.cache_policy {
             CachePolicy::KeepAll => true,
             CachePolicy::EvictAll => false,
             CachePolicy::HotnessAware => hot,
         };
-
-        let mut ops: Vec<TxOp> = Vec::new();
+        let mut chunks = Vec::with_capacity(dirty.len());
         for e in dirty {
             // (2) Read the cached dirty chunk from the metadata object,
             // merging any punched sub-ranges from the previous chunk object
@@ -960,16 +1021,201 @@ impl DedupStore {
             if merged {
                 self.metrics.deferred_rmw_merges.inc();
             }
-            costs.extend(read_costs);
-            // (3) Fingerprint on the metadata node's CPU.
-            let fp = Fingerprint::of(&content);
+            chunks.push(StagedChunk {
+                entry: e,
+                content,
+                read_costs,
+                merged,
+                fingerprint: None,
+            });
+        }
+        Ok(StageOutcome::Staged(StagedObject {
+            name: name.clone(),
+            ticket: self.dirty.ticket(name),
+            meta_node,
+            keep_cached,
+            chunks,
+        }))
+    }
+
+    /// Pipeline stage 1 over the queue: stages up to `max_objects`
+    /// candidates from the front of the dirty queue. With
+    /// `rate_controlled`, each candidate consumes one rate-control
+    /// admission; a denial stops the batch (and is counted only when the
+    /// pass has done nothing yet, preserving classic per-tick denial
+    /// counts at batch size 1).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn stage_batch(
+        &mut self,
+        max_objects: usize,
+        now: SimTime,
+        rate_controlled: bool,
+    ) -> Result<StagedBatch, DedupError> {
+        let start = Instant::now();
+        let mut batch = StagedBatch::default();
+        let candidates: Vec<ObjectName> = self
+            .dirty
+            .live_prefix(max_objects)
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect();
+        for name in candidates {
+            if rate_controlled {
+                if !self.rate.admit_dedup(now) {
+                    if batch.is_empty() {
+                        self.stats.rate_denials += 1;
+                        self.metrics.rate_denied.inc();
+                    }
+                    self.update_rate_band(now);
+                    break;
+                }
+                self.metrics.rate_admitted.inc();
+                self.update_rate_band(now);
+            }
+            match self.stage_object(&name, now)? {
+                StageOutcome::Clean => batch.clean += 1,
+                StageOutcome::Hot => batch.skipped_hot += 1,
+                StageOutcome::Staged(s) => batch.objects.push(s),
+            }
+        }
+        self.metrics
+            .flush_batch_size
+            .set(batch.objects.len() as i64);
+        self.metrics
+            .stage_wall_ns
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(batch)
+    }
+
+    /// Pipeline stage 1 for one background tick: rate-controlled staging of
+    /// up to [`DedupConfig::flush_batch_size`] objects. Returns `None` when
+    /// there is nothing to do (idle queue, or throttled before any
+    /// candidate was admitted).
+    ///
+    /// This is the lock-splitting entry point: callers holding the engine
+    /// behind a mutex stage here, release the lock to run
+    /// [`crate::pipeline::fingerprint_batch`], then reacquire it for
+    /// [`DedupStore::commit_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn stage_tick_batch(&mut self, now: SimTime) -> Result<Option<StagedBatch>, DedupError> {
+        let batch = self.stage_batch(self.config.flush_batch_size, now, true)?;
+        if batch.is_empty() {
+            Ok(None)
+        } else {
+            Ok(Some(batch))
+        }
+    }
+
+    /// Pipeline stages 2+3 under one borrow: fingerprint the staged batch
+    /// (recording the wall-clock histogram), then commit it.
+    fn fingerprint_and_commit(
+        &mut self,
+        mut batch: StagedBatch,
+        failure: Option<FailurePoint>,
+    ) -> Result<Timed<FlushReport>, DedupError> {
+        let start = Instant::now();
+        let parallelism = self.fingerprint_parallelism();
+        fingerprint_batch(&mut batch, parallelism);
+        self.metrics
+            .fingerprint_wall_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.commit_batch(batch, failure)
+    }
+
+    /// Pipeline stage 3: commits a fingerprinted batch. Each object's
+    /// ticket is re-validated first; objects whose write epoch moved while
+    /// the lock was released are skipped (they stay dirty and queued for a
+    /// later pass). Returns the aggregate report and the virtual-time cost
+    /// of the whole batch.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does (an injected crash is *not* an error: the
+    /// report has `aborted = true`).
+    pub fn commit_batch(
+        &mut self,
+        batch: StagedBatch,
+        failure: Option<FailurePoint>,
+    ) -> Result<Timed<FlushReport>, DedupError> {
+        let start = Instant::now();
+        let mut total = FlushReport {
+            skipped_hot: batch.skipped_hot > 0,
+            ..Default::default()
+        };
+        let mut costs: Vec<CostExpr> = Vec::new();
+        for staged in batch.objects {
+            if let Some(t) = self.commit_staged(staged, failure)? {
+                total.absorb(&t.value);
+                costs.push(t.cost);
+                if t.value.aborted {
+                    // An injected crash kills the engine: nothing after it
+                    // commits.
+                    break;
+                }
+            }
+        }
+        self.metrics
+            .commit_wall_ns
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(Timed::new(total, CostExpr::seq(costs)))
+    }
+
+    /// Commits one staged object (engine steps 3–6 of §4.4.1). Returns
+    /// `None` when the staged ticket no longer matches — a foreground
+    /// write, truncate, or delete raced the unlocked fingerprint stage and
+    /// the snapshot is stale.
+    ///
+    /// The per-chunk cost sequence is assembled exactly as the classic
+    /// serial flush did — reads, fingerprint CPU on the metadata node,
+    /// deref, inter-node hop, store, final transact — so virtual-time
+    /// results are unchanged by the pipeline split.
+    fn commit_staged(
+        &mut self,
+        staged: StagedObject,
+        failure: Option<FailurePoint>,
+    ) -> Result<Option<Timed<FlushReport>>, DedupError> {
+        let StagedObject {
+            name,
+            ticket,
+            meta_node,
+            keep_cached,
+            chunks,
+        } = staged;
+        if let Some(ticket) = ticket {
+            if !self.dirty.check(&name, ticket) {
+                self.metrics.stage_conflicts.inc();
+                return Ok(None);
+            }
+        }
+        let mut report = FlushReport::default();
+        let mut costs: Vec<CostExpr> = Vec::new();
+        let ctx = self.meta_ctx(ClientId::INTERNAL);
+        let mut ops: Vec<TxOp> = Vec::new();
+        for chunk in chunks {
+            let e = chunk.entry;
+            let content = chunk.content;
+            let merged = chunk.merged;
+            costs.extend(chunk.read_costs);
+            // (3) The fingerprint was computed in stage 2 (possibly on a
+            // worker thread with the engine lock released); its CPU cost is
+            // charged to the metadata node here, exactly as the serial
+            // engine did.
+            let fp = chunk
+                .fingerprint
+                .unwrap_or_else(|| Fingerprint::of(&content));
             costs.push(self.fingerprint_cost(meta_node, e.len as u64));
             report.chunks_flushed += 1;
 
             if failure == Some(FailurePoint::BeforeChunkStore) {
                 report.aborted = true;
                 self.record_flush_report(&report);
-                return Ok(Timed::new(report, CostExpr::seq(costs)));
+                return Ok(Some(Timed::new(report, CostExpr::seq(costs))));
             }
 
             if e.chunk_id == Some(fp) {
@@ -989,7 +1235,7 @@ impl DedupStore {
                     costs.push(t.cost);
                 }
                 // (4–5) Store or reference the chunk in the chunk pool.
-                let t = self.store_chunk(ClientId::INTERNAL, fp, &content, name, e.offset)?;
+                let t = self.store_chunk(ClientId::INTERNAL, fp, &content, &name, e.offset)?;
                 match t.value {
                     ChunkStoreOutcome::Created => report.chunks_created += 1,
                     ChunkStoreOutcome::Deduplicated | ChunkStoreOutcome::AlreadyReferenced => {
@@ -1010,7 +1256,7 @@ impl DedupStore {
             if failure == Some(FailurePoint::AfterChunkStore) {
                 report.aborted = true;
                 self.record_flush_report(&report);
-                return Ok(Timed::new(report, CostExpr::seq(costs)));
+                return Ok(Some(Timed::new(report, CostExpr::seq(costs))));
             }
 
             // (6) Chunk-map update for this entry.
@@ -1037,11 +1283,11 @@ impl DedupStore {
                 });
             }
         }
-        let t = self.cluster.transact(&ctx, name, ops)?;
+        let t = self.cluster.transact(&ctx, &name, ops)?;
         costs.push(t.cost);
-        self.finish_clean(name);
+        self.finish_clean(&name);
         self.record_flush_report(&report);
-        Ok(Timed::new(report, CostExpr::seq(costs)))
+        Ok(Some(Timed::new(report, CostExpr::seq(costs))))
     }
 
     fn record_flush_report(&self, report: &FlushReport) {
@@ -1053,32 +1299,24 @@ impl DedupStore {
     }
 
     fn finish_clean(&mut self, name: &ObjectName) {
-        self.dirty_set.remove(name);
-        self.dirty_queue.retain(|n| n != name);
+        self.dirty.remove(name);
         self.sync_queue_depth();
     }
 
-    /// One background-engine step: honours rate control, pops the oldest
-    /// dirty object, and flushes it. Returns `None` when idle or throttled.
+    /// One background-engine step: honours rate control, pops up to
+    /// [`DedupConfig::flush_batch_size`] of the oldest dirty objects, and
+    /// flushes them through the stage → fingerprint → commit pipeline.
+    /// Returns `None` when idle or throttled. At the default batch size of
+    /// 1 this behaves exactly like the classic one-object tick.
     ///
     /// # Errors
     ///
     /// Fails if the store does.
     pub fn dedup_tick(&mut self, now: SimTime) -> Result<Option<Timed<FlushReport>>, DedupError> {
-        if self.dirty_queue.is_empty() {
-            return Ok(None);
+        match self.stage_tick_batch(now)? {
+            None => Ok(None),
+            Some(batch) => self.fingerprint_and_commit(batch, None).map(Some),
         }
-        if !self.rate.admit_dedup(now) {
-            self.stats.rate_denials += 1;
-            self.metrics.rate_denied.inc();
-            self.update_rate_band(now);
-            return Ok(None);
-        }
-        self.metrics.rate_admitted.inc();
-        self.update_rate_band(now);
-        let name = self.dirty_queue.front().cloned().expect("non-empty queue");
-        let t = self.flush_object(&name, now)?;
-        Ok(Some(t))
     }
 
     /// Flushes the oldest dirty object, ignoring rate control (the
@@ -1089,37 +1327,55 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn flush_next(&mut self, now: SimTime) -> Result<Option<Timed<FlushReport>>, DedupError> {
-        match self.dirty_queue.front().cloned() {
+        match self.dirty.front() {
             None => Ok(None),
             Some(name) => Ok(Some(self.flush_object(&name, now)?)),
         }
     }
 
     /// Flushes every dirty object ignoring rate control and hotness; used
-    /// by capacity experiments that want the steady state.
+    /// by capacity experiments that want the steady state. Internally runs
+    /// the pipeline in bounded batches (staged chunk contents are held in
+    /// memory between stage and commit).
     ///
     /// # Errors
     ///
     /// Fails if the store does.
     pub fn flush_all(&mut self, now: SimTime) -> Result<Timed<FlushReport>, DedupError> {
+        /// Objects staged per internal pass; bounds staged memory.
+        const FLUSH_ALL_BATCH: usize = 64;
         let saved_policy = self.config.cache_policy;
         if saved_policy == CachePolicy::HotnessAware {
             self.config.cache_policy = CachePolicy::EvictAll;
         }
         let mut total = FlushReport::default();
         let mut costs = Vec::new();
-        while let Some(name) = self.dirty_queue.front().cloned() {
-            let t = self.flush_object(&name, now)?;
-            total.chunks_flushed += t.value.chunks_flushed;
-            total.chunks_deduped += t.value.chunks_deduped;
-            total.chunks_created += t.value.chunks_created;
-            total.derefs += t.value.derefs;
-            total.chunks_reclaimed += t.value.chunks_reclaimed;
-            total.chunks_evicted += t.value.chunks_evicted;
-            costs.push(t.cost);
-        }
+        let result = loop {
+            if self.dirty.is_empty() {
+                break Ok(Timed::new(total, CostExpr::seq(costs)));
+            }
+            let before = self.dirty.len();
+            let batch = match self.stage_batch(FLUSH_ALL_BATCH, now, false) {
+                Ok(b) => b,
+                Err(e) => break Err(e),
+            };
+            let had_objects = !batch.objects.is_empty();
+            match self.fingerprint_and_commit(batch, None) {
+                Ok(t) => {
+                    total.absorb(&t.value);
+                    costs.push(t.cost);
+                }
+                Err(e) => break Err(e),
+            }
+            if !had_objects && self.dirty.len() >= before {
+                // Defensive: nothing staged and nothing left the queue.
+                // Cannot happen with the hotness override above, but a
+                // silent livelock would be worse than a partial flush.
+                break Ok(Timed::new(total, CostExpr::seq(costs)));
+            }
+        };
         self.config.cache_policy = saved_policy;
-        Ok(Timed::new(total, CostExpr::seq(costs)))
+        result
     }
 
     /// Garbage-collects the chunk pool (the companion of
@@ -1215,8 +1471,8 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn recover_dirty_queue(&mut self) -> Result<usize, DedupError> {
-        self.dirty_queue.clear();
-        self.dirty_set.clear();
+        self.dirty.clear();
+        self.sync_queue_depth();
         let names = self.cluster.list_objects(self.metadata_pool)?;
         for name in names {
             let entries = self.load_chunk_map(&name)?;
@@ -1224,7 +1480,7 @@ impl DedupStore {
                 self.mark_dirty(&name);
             }
         }
-        Ok(self.dirty_queue.len())
+        Ok(self.dirty.len())
     }
 }
 

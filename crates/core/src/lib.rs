@@ -53,6 +53,8 @@ pub mod chunkmap;
 pub mod config;
 pub mod engine;
 pub mod hitset;
+pub mod pipeline;
+pub mod queue;
 pub mod ratecontrol;
 pub mod refs;
 pub mod service;
@@ -67,6 +69,8 @@ pub use config::{CachePolicy, DedupConfig, DedupMode, HitSetConfig, Watermarks};
 pub use engine::{DedupStore, EngineStats, FailurePoint, FlushReport, GcReport};
 pub use error::DedupError;
 pub use hitset::{BloomFilter, HitSet};
+pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
+pub use queue::{DirtyQueue, DirtyTicket};
 pub use ratecontrol::RateController;
 pub use refs::{BackRef, REFCOUNT_XATTR, REF_ENTRY_BYTES};
 pub use service::DedupService;

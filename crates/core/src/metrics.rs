@@ -6,7 +6,7 @@
 //! single snapshot covers foreground I/O, the background flush engine,
 //! rate control, and the data plane underneath.
 
-use dedup_obs::{Counter, Gauge, Meter, Registry};
+use dedup_obs::{Counter, Gauge, Histogram, Meter, Registry};
 use dedup_sim::SimDuration;
 
 /// Instrument handles for one dedup engine.
@@ -34,6 +34,20 @@ pub(crate) struct EngineMetrics {
     /// Dirty chunks whose flush merged punched sub-ranges from the
     /// previous chunk object (the deferred read-modify-write).
     pub deferred_rmw_merges: Counter,
+    /// Objects staged per flush-pipeline pass (last batch).
+    pub flush_batch_size: Gauge,
+    /// Wall-clock nanoseconds spent staging a flush batch (pipeline
+    /// stage 1, engine lock held).
+    pub stage_wall_ns: Histogram,
+    /// Wall-clock nanoseconds spent fingerprinting a flush batch
+    /// (pipeline stage 2, lock-free in the service).
+    pub fingerprint_wall_ns: Histogram,
+    /// Wall-clock nanoseconds spent committing a flush batch (pipeline
+    /// stage 3, engine lock held).
+    pub commit_wall_ns: Histogram,
+    /// Staged objects thrown away at commit because a foreground
+    /// mutation raced the unlocked fingerprint stage.
+    pub stage_conflicts: Counter,
     /// Dirty chunks processed by flushes.
     pub chunks_flushed: Counter,
     /// Chunks found already present in the chunk pool (deduplicated).
@@ -72,6 +86,11 @@ impl EngineMetrics {
             hot_skips: registry.counter("engine.hot_skips"),
             flush_queue_depth: registry.gauge("engine.flush.queue_depth"),
             deferred_rmw_merges: registry.counter("engine.flush.deferred_rmw_merges"),
+            flush_batch_size: registry.gauge("engine.flush.batch_size"),
+            stage_wall_ns: registry.histogram("engine.flush.stage_wall_ns"),
+            fingerprint_wall_ns: registry.histogram("engine.flush.fingerprint_wall_ns"),
+            commit_wall_ns: registry.histogram("engine.flush.commit_wall_ns"),
+            stage_conflicts: registry.counter("engine.flush.stage_conflicts"),
             chunks_flushed: registry.counter("engine.flush.chunks_flushed"),
             chunks_deduped: registry.counter("engine.flush.chunks_deduped"),
             chunks_created: registry.counter("engine.flush.chunks_created"),

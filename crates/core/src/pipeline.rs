@@ -1,0 +1,206 @@
+//! The batched **stage → fingerprint → commit** flush pipeline.
+//!
+//! The paper's background dedup engine (§4.4.1) reads every dirty chunk,
+//! fingerprints it, and commits it to the chunk pool. Executing that
+//! serially under one engine lock makes CPU-heavy hashing serialize with
+//! foreground I/O. The pipeline splits a flush into three stages:
+//!
+//! 1. **Stage** (engine lock held): pop a batch of admitted dirty
+//!    objects, read their dirty-chunk contents — including deferred
+//!    read-modify-write merges from the previous chunk objects — and
+//!    snapshot each object's [`DirtyTicket`].
+//! 2. **Fingerprint** (no engine state needed): hash every staged chunk,
+//!    optionally across a scoped worker pool
+//!    ([`Fingerprint::of_batch`]). [`DedupService`](crate::DedupService)
+//!    runs this with the engine lock *released*, so foreground I/O keeps
+//!    flowing while hashes crunch.
+//! 3. **Commit** (engine lock reacquired): dereference old chunks, store
+//!    or reference new ones, and transact the chunk-map updates. Each
+//!    object's ticket is re-checked first; a foreground mutation that
+//!    raced stage 2 invalidates the staged snapshot and the object simply
+//!    stays dirty for a later pass.
+//!
+//! **Virtual-time cost accounting is unchanged.** The timing plane still
+//! charges fingerprinting to the metadata node's CPU via the engine's
+//! cost model, and every staged cost is assembled into the exact
+//! `CostExpr` sequence the serial implementation produced — only
+//! wall-clock time improves. Figure and table outputs are bit-identical.
+
+use dedup_fingerprint::Fingerprint;
+use dedup_sim::CostExpr;
+use dedup_store::ObjectName;
+
+use crate::chunkmap::ChunkMapEntry;
+use crate::queue::DirtyTicket;
+
+/// One dirty chunk staged for flushing: its chunk-map entry and fully
+/// merged content, plus the virtual-time read costs incurred staging it.
+#[derive(Debug)]
+pub struct StagedChunk {
+    pub(crate) entry: ChunkMapEntry,
+    pub(crate) content: Vec<u8>,
+    pub(crate) read_costs: Vec<CostExpr>,
+    pub(crate) merged: bool,
+    pub(crate) fingerprint: Option<Fingerprint>,
+}
+
+/// One metadata object staged for flushing.
+#[derive(Debug)]
+pub struct StagedObject {
+    pub(crate) name: ObjectName,
+    /// `None` when staged and committed under one `&mut` borrow (no
+    /// interleaving possible); `Some` when the commit must re-validate.
+    pub(crate) ticket: Option<DirtyTicket>,
+    pub(crate) meta_node: usize,
+    pub(crate) keep_cached: bool,
+    pub(crate) chunks: Vec<StagedChunk>,
+}
+
+impl StagedObject {
+    /// The object this staging snapshot belongs to.
+    pub fn name(&self) -> &ObjectName {
+        &self.name
+    }
+
+    /// Staged dirty chunks.
+    pub fn chunk_count(&self) -> usize {
+        self.chunks.len()
+    }
+}
+
+/// A batch of staged objects plus bookkeeping about queue candidates that
+/// produced no staged work.
+#[derive(Debug, Default)]
+pub struct StagedBatch {
+    pub(crate) objects: Vec<StagedObject>,
+    /// Candidates skipped because the hitset says they are hot (they were
+    /// requeued at the back).
+    pub(crate) skipped_hot: u64,
+    /// Candidates that turned out to have no dirty chunks (their queue
+    /// entries were retired).
+    pub(crate) clean: u64,
+}
+
+impl StagedBatch {
+    /// Objects staged for fingerprint + commit.
+    pub fn len(&self) -> usize {
+        self.objects.len()
+    }
+
+    /// Whether the batch contains nothing at all — no staged objects, no
+    /// hot skips, no clean retirements.
+    pub fn is_empty(&self) -> bool {
+        self.objects.is_empty() && self.skipped_hot == 0 && self.clean == 0
+    }
+
+    /// Total dirty chunks staged across the batch.
+    pub fn chunk_count(&self) -> usize {
+        self.objects.iter().map(|o| o.chunks.len()).sum()
+    }
+
+    /// Hot candidates skipped (and requeued) while staging.
+    pub fn skipped_hot(&self) -> u64 {
+        self.skipped_hot
+    }
+
+    /// Clean candidates retired while staging.
+    pub fn clean(&self) -> u64 {
+        self.clean
+    }
+
+    /// Staged objects, in commit order.
+    pub fn objects(&self) -> &[StagedObject] {
+        &self.objects
+    }
+}
+
+/// Stage 2: fingerprints every staged chunk in `batch`, hashing across a
+/// scoped pool of up to `parallelism` worker threads.
+///
+/// Needs no engine state, so callers holding a [`crate::DedupStore`]
+/// behind a lock can (and should) run it with the lock released. The
+/// virtual-time CPU cost of hashing is *not* recorded here — the commit
+/// stage charges it to the metadata node exactly as the serial engine
+/// did, so parallelism never perturbs simulated results.
+pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
+    let contents: Vec<&[u8]> = batch
+        .objects
+        .iter()
+        .flat_map(|o| o.chunks.iter().map(|c| c.content.as_slice()))
+        .collect();
+    if contents.is_empty() {
+        return;
+    }
+    let fps = Fingerprint::of_batch(&contents, parallelism);
+    let mut it = fps.into_iter();
+    for obj in &mut batch.objects {
+        for chunk in &mut obj.chunks {
+            chunk.fingerprint = Some(it.next().expect("one fingerprint per staged chunk"));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn staged(name: &str, contents: &[&[u8]]) -> StagedObject {
+        StagedObject {
+            name: ObjectName::new(name),
+            ticket: None,
+            meta_node: 0,
+            keep_cached: false,
+            chunks: contents
+                .iter()
+                .enumerate()
+                .map(|(i, c)| StagedChunk {
+                    entry: ChunkMapEntry::new_dirty(i as u64 * 1024, c.len() as u32),
+                    content: c.to_vec(),
+                    read_costs: Vec::new(),
+                    merged: false,
+                    fingerprint: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_every_chunk_positionally() {
+        let mut batch = StagedBatch {
+            objects: vec![
+                staged("a", &[b"alpha", b"beta"]),
+                staged("b", &[b"gamma"]),
+                staged("c", &[]),
+            ],
+            ..Default::default()
+        };
+        assert_eq!(batch.chunk_count(), 3);
+        for parallelism in [1, 4] {
+            for obj in &mut batch.objects {
+                for c in &mut obj.chunks {
+                    c.fingerprint = None;
+                }
+            }
+            fingerprint_batch(&mut batch, parallelism);
+            assert_eq!(
+                batch.objects[0].chunks[0].fingerprint,
+                Some(Fingerprint::of(b"alpha"))
+            );
+            assert_eq!(
+                batch.objects[0].chunks[1].fingerprint,
+                Some(Fingerprint::of(b"beta"))
+            );
+            assert_eq!(
+                batch.objects[1].chunks[0].fingerprint,
+                Some(Fingerprint::of(b"gamma"))
+            );
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut batch = StagedBatch::default();
+        fingerprint_batch(&mut batch, 8);
+        assert!(batch.is_empty());
+    }
+}

@@ -1,0 +1,333 @@
+//! The dirty-object queue: FIFO with O(1) membership, removal, and
+//! requeue, plus per-object write epochs.
+//!
+//! The background engine used to keep a plain `VecDeque<ObjectName>` and
+//! remove names with `retain(|n| n != name)` — an O(n) scan on every
+//! flush completion, delete, and hot-skip requeue, which turns a deep
+//! backlog into quadratic work. [`DirtyQueue`] instead stamps every queue
+//! slot with a monotonic sequence number and keeps a `name → (seq, epoch)`
+//! index: removal just drops the index entry, leaving a *tombstone* slot
+//! that is skipped (and reclaimed) lazily. Amortized cost of push, remove,
+//! and requeue is O(1).
+//!
+//! The *epoch* is the concurrency hook for the flush pipeline: every
+//! foreground mutation of a dirty object bumps its epoch. The pipeline
+//! stages chunk contents under the engine lock, fingerprints them with the
+//! lock released, and re-checks the staged [`DirtyTicket`] (slot sequence
+//! and epoch) at commit time — a mismatch means a write, truncate, or
+//! delete raced the unlocked stage and the staged data must be thrown
+//! away.
+
+use std::collections::{HashMap, VecDeque};
+
+use dedup_store::ObjectName;
+
+/// Identity of one staged snapshot of a dirty object: the queue slot it
+/// occupied and the write epoch it was staged at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirtyTicket {
+    seq: u64,
+    epoch: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct IndexEntry {
+    /// Sequence number of the live queue slot for this name.
+    seq: u64,
+    /// Bumped on every foreground mutation while the object is queued.
+    epoch: u64,
+}
+
+/// FIFO queue of dirty objects with an O(1) name index.
+#[derive(Debug, Default)]
+pub struct DirtyQueue {
+    /// `(seq, name)` in arrival order. A slot whose seq no longer matches
+    /// the index entry for its name is a tombstone.
+    slots: VecDeque<(u64, ObjectName)>,
+    index: HashMap<ObjectName, IndexEntry>,
+    next_seq: u64,
+    /// Live tombstone count; triggers compaction when it dominates.
+    dead: usize,
+}
+
+impl DirtyQueue {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live (queued) objects.
+    pub fn len(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Whether no objects are queued.
+    pub fn is_empty(&self) -> bool {
+        self.index.is_empty()
+    }
+
+    /// Whether `name` is queued.
+    pub fn contains(&self, name: &ObjectName) -> bool {
+        self.index.contains_key(name)
+    }
+
+    /// Marks `name` dirty: enqueues it if absent (returns `true`), or
+    /// bumps its write epoch if already queued (returns `false`) so any
+    /// in-flight staged snapshot of it is invalidated.
+    pub fn mark(&mut self, name: &ObjectName) -> bool {
+        if let Some(entry) = self.index.get_mut(name) {
+            entry.epoch += 1;
+            return false;
+        }
+        let seq = self.alloc_seq();
+        self.slots.push_back((seq, name.clone()));
+        self.index
+            .insert(name.clone(), IndexEntry { seq, epoch: 0 });
+        true
+    }
+
+    /// Bumps `name`'s write epoch without (re)queueing it. No-op when the
+    /// object is not queued.
+    pub fn bump_epoch(&mut self, name: &ObjectName) {
+        if let Some(entry) = self.index.get_mut(name) {
+            entry.epoch += 1;
+        }
+    }
+
+    /// Removes `name` from the queue (flush completed or object deleted).
+    /// Returns whether it was queued. O(1): the slot becomes a tombstone.
+    pub fn remove(&mut self, name: &ObjectName) -> bool {
+        let removed = self.index.remove(name).is_some();
+        if removed {
+            self.dead += 1;
+            self.maybe_compact();
+        }
+        removed
+    }
+
+    /// Moves `name` to the back of the queue (hot-skip requeue), keeping
+    /// its epoch. No-op when the object is not queued. O(1) amortized.
+    pub fn requeue_back(&mut self, name: &ObjectName) {
+        let seq = self.alloc_seq();
+        let Some(entry) = self.index.get_mut(name) else {
+            return;
+        };
+        entry.seq = seq;
+        self.slots.push_back((seq, name.clone()));
+        self.dead += 1; // the old slot is now a tombstone
+        self.maybe_compact();
+    }
+
+    /// The oldest queued object, if any.
+    pub fn front(&mut self) -> Option<ObjectName> {
+        self.prune_front();
+        self.slots.front().map(|(_, n)| n.clone())
+    }
+
+    /// The oldest `max` queued objects in FIFO order, each with the
+    /// [`DirtyTicket`] identifying its current slot and epoch.
+    pub fn live_prefix(&mut self, max: usize) -> Vec<(ObjectName, DirtyTicket)> {
+        self.prune_front();
+        let mut out = Vec::new();
+        for (seq, name) in &self.slots {
+            if out.len() >= max {
+                break;
+            }
+            if let Some(entry) = self.index.get(name) {
+                if entry.seq == *seq {
+                    out.push((
+                        name.clone(),
+                        DirtyTicket {
+                            seq: *seq,
+                            epoch: entry.epoch,
+                        },
+                    ));
+                }
+            }
+        }
+        out
+    }
+
+    /// The current ticket for `name`, if queued.
+    pub fn ticket(&self, name: &ObjectName) -> Option<DirtyTicket> {
+        self.index.get(name).map(|e| DirtyTicket {
+            seq: e.seq,
+            epoch: e.epoch,
+        })
+    }
+
+    /// Whether `name` is still queued in the same slot and at the same
+    /// epoch as when `ticket` was issued — i.e. no mutation raced the
+    /// staged snapshot.
+    pub fn check(&self, name: &ObjectName, ticket: DirtyTicket) -> bool {
+        self.index
+            .get(name)
+            .is_some_and(|e| e.seq == ticket.seq && e.epoch == ticket.epoch)
+    }
+
+    /// Empties the queue.
+    pub fn clear(&mut self) {
+        self.slots.clear();
+        self.index.clear();
+        self.dead = 0;
+    }
+
+    fn alloc_seq(&mut self) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        seq
+    }
+
+    /// Drops tombstones sitting at the head so `front`/`live_prefix` stay
+    /// amortized O(1).
+    fn prune_front(&mut self) {
+        while let Some((seq, name)) = self.slots.front() {
+            let live = self.index.get(name).is_some_and(|e| e.seq == *seq);
+            if live {
+                break;
+            }
+            self.slots.pop_front();
+            self.dead = self.dead.saturating_sub(1);
+        }
+    }
+
+    /// Rebuilds the slot ring once tombstones outnumber live entries;
+    /// keeps every operation O(1) amortized.
+    fn maybe_compact(&mut self) {
+        if self.dead <= self.index.len() || self.dead < 64 {
+            return;
+        }
+        let index = &self.index;
+        self.slots
+            .retain(|(seq, name)| index.get(name).is_some_and(|e| e.seq == *seq));
+        self.dead = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> ObjectName {
+        ObjectName::new(format!("obj-{i}"))
+    }
+
+    #[test]
+    fn fifo_order_and_membership() {
+        let mut q = DirtyQueue::new();
+        assert!(q.mark(&n(1)));
+        assert!(q.mark(&n(2)));
+        assert!(!q.mark(&n(1)), "re-mark keeps position");
+        assert_eq!(q.len(), 2);
+        assert!(q.contains(&n(1)));
+        assert_eq!(q.front(), Some(n(1)));
+        assert!(q.remove(&n(1)));
+        assert!(!q.remove(&n(1)));
+        assert_eq!(q.front(), Some(n(2)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn requeue_moves_to_back_and_keeps_epoch() {
+        let mut q = DirtyQueue::new();
+        q.mark(&n(1));
+        q.mark(&n(2));
+        q.mark(&n(1)); // epoch bump
+        let before = q.ticket(&n(1)).expect("queued");
+        q.requeue_back(&n(1));
+        assert_eq!(q.front(), Some(n(2)));
+        let after = q.ticket(&n(1)).expect("still queued");
+        assert!(!q.check(&n(1), before), "slot changed");
+        assert!(q.check(&n(1), after));
+        let order: Vec<ObjectName> = q.live_prefix(10).into_iter().map(|(x, _)| x).collect();
+        assert_eq!(order, vec![n(2), n(1)]);
+    }
+
+    #[test]
+    fn epoch_invalidates_staged_tickets() {
+        let mut q = DirtyQueue::new();
+        q.mark(&n(7));
+        let staged = q.ticket(&n(7)).expect("queued");
+        assert!(q.check(&n(7), staged));
+        q.mark(&n(7)); // a racing write
+        assert!(!q.check(&n(7), staged), "epoch bump invalidates");
+        q.remove(&n(7));
+        assert!(!q.check(&n(7), staged), "absence invalidates");
+        // Re-queue after removal: fresh slot, old ticket still dead.
+        q.mark(&n(7));
+        assert!(!q.check(&n(7), staged), "new seq invalidates");
+    }
+
+    #[test]
+    fn bump_epoch_only_affects_queued_names() {
+        let mut q = DirtyQueue::new();
+        q.bump_epoch(&n(1)); // absent: no-op, no panic
+        q.mark(&n(1));
+        let t = q.ticket(&n(1)).expect("queued");
+        q.bump_epoch(&n(1));
+        assert!(!q.check(&n(1), t));
+    }
+
+    #[test]
+    fn live_prefix_skips_tombstones() {
+        let mut q = DirtyQueue::new();
+        for i in 0..10 {
+            q.mark(&n(i));
+        }
+        for i in (0..10).step_by(2) {
+            q.remove(&n(i));
+        }
+        let live: Vec<ObjectName> = q.live_prefix(100).into_iter().map(|(x, _)| x).collect();
+        assert_eq!(live, vec![n(1), n(3), n(5), n(7), n(9)]);
+        assert_eq!(q.front(), Some(n(1)));
+    }
+
+    /// The satellite regression: a 10k-object dirty set with heavy
+    /// interleaved removals and requeues stays fast (amortized O(1) per
+    /// op) and correct. With the old `retain` scans this pattern is ~n²
+    /// (~10⁸ comparisons); here it finishes instantly.
+    #[test]
+    fn ten_thousand_objects_remove_and_requeue_quickly() {
+        let mut q = DirtyQueue::new();
+        let count = 10_000;
+        for i in 0..count {
+            q.mark(&n(i));
+        }
+        assert_eq!(q.len(), count);
+        // Requeue every 3rd object (hot skips), remove every other one in
+        // between (flush completions), interleaved — the worst case for a
+        // scan-based queue.
+        for i in 0..count {
+            if i % 3 == 0 {
+                q.requeue_back(&n(i));
+            } else {
+                q.remove(&n(i));
+            }
+        }
+        let expected: usize = (0..count).filter(|i| i % 3 == 0).count();
+        assert_eq!(q.len(), expected);
+        // Drain in FIFO order; every drained name must be a live multiple
+        // of three, each exactly once.
+        let mut seen = std::collections::HashSet::new();
+        while let Some(name) = q.front() {
+            assert!(seen.insert(name.clone()), "duplicate pop {name}");
+            assert!(q.remove(&name));
+        }
+        assert_eq!(seen.len(), expected);
+        assert!(q.is_empty());
+        assert!(q.slots.is_empty(), "compaction reclaimed tombstones");
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let mut q = DirtyQueue::new();
+        for i in 0..100 {
+            q.mark(&n(i));
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.front(), None);
+        q.mark(&n(1));
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -6,8 +6,14 @@
 //! one store between any number of client threads behind a
 //! [`parking_lot::Mutex`], and runs the paper's background engine on a
 //! dedicated worker thread fed virtual-time ticks over a
-//! [`crossbeam::channel`]. Rate control and hotness still apply: the worker
-//! simply calls [`DedupStore::dedup_tick`].
+//! [`crossbeam::channel`]. Rate control and hotness still apply.
+//!
+//! The worker drives the engine's **stage → fingerprint → commit**
+//! pipeline (see [`crate::pipeline`]): dirty chunks are staged and
+//! committed with the store locked, but the CPU-heavy fingerprint stage
+//! runs with the lock *released* — across
+//! [`DedupConfig`](crate::DedupConfig)::`flush_parallelism` worker threads
+//! — so foreground reads and writes keep flowing while hashes crunch.
 //!
 //! Handles are cloneable; every clone drives the same store and worker,
 //! and the worker stops once the last handle goes away. Engine errors the
@@ -42,12 +48,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
+use dedup_obs::Counter;
 use dedup_sim::SimTime;
 use dedup_store::{ClientId, ObjectName, Timed};
 use parking_lot::Mutex;
 
 use crate::engine::DedupStore;
 use crate::error::DedupError;
+use crate::pipeline::fingerprint_batch;
 
 enum Command {
     /// Run background deduplication ticks at this virtual time until the
@@ -63,6 +71,15 @@ enum Command {
 struct WorkerState {
     errors: AtomicU64,
     last_error: Mutex<Option<DedupError>>,
+}
+
+fn record_worker_error(state: &WorkerState, errors: &Counter, e: DedupError) {
+    // An engine failure must not vanish with the tick: record it where
+    // callers (and metrics snapshots) can see it; the worker stays alive
+    // for subsequent commands.
+    state.errors.fetch_add(1, Ordering::Relaxed);
+    errors.inc();
+    *state.last_error.lock() = Some(e);
 }
 
 /// Shared, thread-safe deduplication service. Cloning the handle is cheap;
@@ -92,13 +109,15 @@ impl DedupService {
         });
         // The worker publishes its progress into the stack's shared
         // registry, so snapshots show background activity too.
-        let (ticks, flushes, errors) = {
+        let (ticks, flushes, errors, fingerprint_wall, parallelism) = {
             let s = store.lock();
             let r = s.registry();
             (
                 r.counter("service.worker.ticks"),
                 r.counter("service.worker.flushes"),
                 r.counter("service.worker.errors"),
+                r.histogram("engine.flush.fingerprint_wall_ns"),
+                s.fingerprint_parallelism(),
             )
         };
         let worker_store = Arc::clone(&store);
@@ -111,28 +130,46 @@ impl DedupService {
                         Command::Tick(now) => {
                             ticks.inc();
                             // Drain as much as rate control admits at this
-                            // instant; release the lock between flushes so
-                            // foreground threads interleave.
+                            // instant, one pipeline pass per iteration:
+                            // stage under the lock, fingerprint with the
+                            // lock *released* (foreground threads
+                            // interleave here), commit under the lock.
                             loop {
-                                let flushed = {
+                                let staged = {
                                     let mut s = worker_store.lock();
-                                    s.dedup_tick(now)
+                                    s.stage_tick_batch(now)
                                 };
-                                match flushed {
-                                    Ok(Some(_)) => {
-                                        flushes.inc();
-                                        continue;
-                                    }
+                                let mut batch = match staged {
+                                    Ok(Some(batch)) => batch,
                                     Ok(None) => break,
                                     Err(e) => {
-                                        // An engine failure must not vanish
-                                        // with the tick: record it where
-                                        // callers (and metrics snapshots)
-                                        // can see it, then stay alive for
-                                        // subsequent commands.
-                                        worker_state.errors.fetch_add(1, Ordering::Relaxed);
-                                        errors.inc();
-                                        *worker_state.last_error.lock() = Some(e);
+                                        record_worker_error(&worker_state, &errors, e);
+                                        break;
+                                    }
+                                };
+                                let clean = batch.clean();
+                                let fp_start = std::time::Instant::now();
+                                fingerprint_batch(&mut batch, parallelism);
+                                fingerprint_wall.record(fp_start.elapsed().as_nanos() as u64);
+                                let committed = {
+                                    let mut s = worker_store.lock();
+                                    s.commit_batch(batch, None)
+                                };
+                                match committed {
+                                    Ok(t) => {
+                                        flushes.inc();
+                                        // A pass that neither flushed chunks
+                                        // nor retired clean queue entries
+                                        // (e.g. a lone hot object being
+                                        // requeued over and over) makes no
+                                        // progress: looping on it would spin
+                                        // this thread forever.
+                                        if t.value.chunks_flushed == 0 && clean == 0 {
+                                            break;
+                                        }
+                                    }
+                                    Err(e) => {
+                                        record_worker_error(&worker_state, &errors, e);
                                         break;
                                     }
                                 }

@@ -10,8 +10,13 @@ use serde::{Deserialize, Serialize};
 pub const PER_OBJECT_OVERHEAD: u64 = 512;
 
 /// An object name within a pool.
+///
+/// Backed by `Arc<str>`: names travel through dirty queues, hitsets, and
+/// flush batches and get cloned on every hop, so cloning is a refcount
+/// bump, not a heap copy. Ordering, hashing, and equality all delegate to
+/// the underlying string, as they did when this was a plain `String`.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
-pub struct ObjectName(String);
+pub struct ObjectName(std::sync::Arc<str>);
 
 impl ObjectName {
     /// Creates a name.
@@ -22,7 +27,7 @@ impl ObjectName {
     pub fn new(name: impl Into<String>) -> Self {
         let name = name.into();
         assert!(!name.is_empty(), "object names must be non-empty");
-        ObjectName(name)
+        ObjectName(name.into())
     }
 
     /// The name as a string slice.
@@ -259,6 +264,33 @@ mod tests {
         assert_eq!(n.as_bytes(), b"obj-1");
         assert_eq!(n.to_string(), "obj-1");
         assert_eq!(ObjectName::from("x"), ObjectName::new("x"));
+    }
+
+    #[test]
+    fn name_clone_shares_the_allocation() {
+        let n = ObjectName::new("shared");
+        let c = n.clone();
+        assert_eq!(n, c);
+        // Same pointer: a clone is a refcount bump, not a copy.
+        assert!(std::ptr::eq(n.as_str(), c.as_str()));
+    }
+
+    #[test]
+    fn name_ordering_and_hashing_match_strings() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = ObjectName::new("aardvark");
+        let b = ObjectName::new("bobcat");
+        assert!(a < b, "Ord delegates to the string");
+        let hash = |n: &ObjectName| {
+            let mut h = DefaultHasher::new();
+            n.hash(&mut h);
+            h.finish()
+        };
+        assert_eq!(hash(&a), hash(&ObjectName::new("aardvark")));
+        let mut set = std::collections::HashSet::new();
+        set.insert(a.clone());
+        assert!(set.contains(&ObjectName::new("aardvark")));
     }
 
     #[test]

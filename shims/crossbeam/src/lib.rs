@@ -5,6 +5,11 @@
 //! matter here: `Sender` is `Sync` (std's is only `Send`) and both ends are
 //! cheap handles. A mutex around the std sender restores `Sync`; contention
 //! is irrelevant at the command rates the service worker sees.
+//!
+//! Also provides `crossbeam::thread::scope` — scoped worker threads that may
+//! borrow from the caller's stack — backed by `std::thread::scope`. One
+//! semantic difference is preserved from crossbeam: a panicking child thread
+//! surfaces as an `Err` from `scope` rather than aborting the caller.
 
 #![forbid(unsafe_code)]
 
@@ -104,6 +109,99 @@ pub mod channel {
         fn sender_is_sync() {
             fn assert_sync<T: Sync>() {}
             assert_sync::<super::Sender<u64>>();
+        }
+    }
+}
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API subset this
+    //! workspace uses: `scope(|s| { s.spawn(|_| ...); })`.
+
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a [`scope`] call or a [`ScopedJoinHandle::join`]: `Err`
+    /// carries the panic payload of a child thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle for spawning scoped threads; passed to the `scope` closure
+    /// and to every spawned closure (so workers can spawn siblings).
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; it is joined (at the latest) when the
+        /// enclosing [`scope`] returns.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result (`Err` if
+        /// it panicked).
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Runs `f` with a [`Scope`]; every thread spawned in it is joined
+    /// before `scope` returns. A panic in an unjoined child (or in `f`
+    /// itself) is returned as `Err` instead of propagating.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::scope;
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[test]
+        fn workers_borrow_stack_data() {
+            let data = [1u64, 2, 3, 4];
+            let sum = AtomicU64::new(0);
+            scope(|s| {
+                for chunk in data.chunks(2) {
+                    s.spawn(|_| {
+                        sum.fetch_add(chunk.iter().sum::<u64>(), Ordering::Relaxed);
+                    });
+                }
+            })
+            .expect("no panics");
+            assert_eq!(sum.load(Ordering::Relaxed), 10);
+        }
+
+        #[test]
+        fn join_returns_thread_result() {
+            let r = scope(|s| s.spawn(|_| 6 * 7).join().expect("join")).expect("scope");
+            assert_eq!(r, 42);
+        }
+
+        #[test]
+        fn child_panic_is_an_err() {
+            let r = scope(|s| {
+                s.spawn(|_| panic!("boom"));
+            });
+            assert!(r.is_err());
         }
     }
 }

@@ -1,0 +1,189 @@
+//! Audit of the `engine.flush.queue_depth` gauge: every mutation of the
+//! dirty queue — enqueue on write, retire on flush, delete, truncate,
+//! hot-skip requeue, rate-denied ticks, crash recovery — must leave the
+//! gauge equal to [`DedupStore::dirty_len`].
+
+use global_dedup::core::{CachePolicy, DedupConfig, DedupStore, HitSetConfig, Watermarks};
+use global_dedup::sim::SimTime;
+use global_dedup::store::{ClientId, ClusterBuilder, ObjectName};
+
+const CS: u32 = 8 * 1024;
+
+fn store_with(config: DedupConfig) -> DedupStore {
+    let cluster = ClusterBuilder::new().nodes(4).osds_per_node(2).build();
+    DedupStore::with_default_pools(cluster, config)
+}
+
+fn gauge(s: &DedupStore) -> i64 {
+    s.registry().gauge("engine.flush.queue_depth").get()
+}
+
+/// The invariant under audit.
+fn assert_gauge_synced(s: &DedupStore, context: &str) {
+    assert_eq!(
+        gauge(s),
+        s.dirty_len() as i64,
+        "queue-depth gauge out of sync after {context}"
+    );
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+fn fill(s: &mut DedupStore, name: &str, seed: u8, now: SimTime) {
+    let data = vec![seed; 2 * CS as usize];
+    let _ = s
+        .write(ClientId(0), &ObjectName::new(name), 0, &data, now)
+        .expect("write");
+}
+
+#[test]
+fn gauge_tracks_enqueue_flush_and_redirty() {
+    let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::EvictAll));
+    assert_eq!(gauge(&s), 0);
+    fill(&mut s, "a", 1, t(0));
+    assert_eq!(gauge(&s), 1);
+    assert_gauge_synced(&s, "first write");
+    fill(&mut s, "b", 2, t(0));
+    assert_eq!(gauge(&s), 2);
+    // Re-dirtying a queued object must not double-count.
+    fill(&mut s, "a", 3, t(0));
+    assert_eq!(gauge(&s), 2);
+    assert_gauge_synced(&s, "re-dirty");
+
+    let _ = s.flush_next(t(100)).expect("flush");
+    assert_eq!(gauge(&s), 1);
+    assert_gauge_synced(&s, "flush_next");
+    let _ = s.flush_all(t(200)).expect("flush all");
+    assert_eq!(gauge(&s), 0);
+    assert_gauge_synced(&s, "flush_all");
+}
+
+#[test]
+fn gauge_tracks_delete_of_queued_object() {
+    let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::EvictAll));
+    fill(&mut s, "doomed", 1, t(0));
+    fill(&mut s, "kept", 2, t(0));
+    assert_eq!(gauge(&s), 2);
+    let _ = s
+        .delete(ClientId(0), &ObjectName::new("doomed"))
+        .expect("delete");
+    assert_eq!(gauge(&s), 1);
+    assert_gauge_synced(&s, "delete of dirty object");
+    // Deleting a never-dirty name is a queue no-op; the gauge must not
+    // drift negative.
+    let _ = s.delete(ClientId(0), &ObjectName::new("kept"));
+    assert_eq!(gauge(&s), 0);
+    assert_gauge_synced(&s, "delete of last dirty object");
+}
+
+#[test]
+fn gauge_survives_truncate_then_clean_retirement() {
+    let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::EvictAll));
+    fill(&mut s, "shrunk", 1, t(0));
+    assert_eq!(gauge(&s), 1);
+    // Truncate to zero removes every chunk entry but leaves the object
+    // queued; the gauge must still match.
+    let _ = s
+        .truncate(ClientId(0), &ObjectName::new("shrunk"), 0, t(1))
+        .expect("truncate");
+    assert_gauge_synced(&s, "truncate to zero");
+    // The next tick finds no dirty chunks and retires the queue entry.
+    let _ = s.dedup_tick(t(100)).expect("tick");
+    assert_eq!(gauge(&s), 0);
+    assert_gauge_synced(&s, "clean retirement");
+}
+
+#[test]
+fn gauge_unchanged_by_hot_skip_requeue_and_rate_denial() {
+    let mut s = store_with(
+        DedupConfig::with_chunk_size(CS)
+            .cache_policy(CachePolicy::HotnessAware)
+            .watermarks(Watermarks {
+                low_iops: 0.5,
+                high_iops: 10_000.0,
+                mid_ratio: 1_000_000,
+                high_ratio: 1_000_000,
+            }),
+    );
+    // Hammer one object across distinct hitset intervals so it reads as
+    // hot.
+    let hs = HitSetConfig::default();
+    let rounds = (hs.hit_count + 2) as u64;
+    for i in 0..rounds {
+        fill(&mut s, "hot", i as u8, t(i * hs.interval_secs));
+    }
+    let now = t((rounds - 1) * hs.interval_secs);
+    assert_eq!(gauge(&s), 1);
+    // Rate-denied tick: foreground IOPS sit above the low watermark and
+    // the mid-ratio budget is nowhere near met, so the tick is denied.
+    let denials_before = s.stats().rate_denials;
+    let r = s.dedup_tick(now).expect("tick");
+    assert!(r.is_none(), "tick should be throttled");
+    assert!(s.stats().rate_denials > denials_before);
+    assert_eq!(gauge(&s), 1);
+    assert_gauge_synced(&s, "rate-denied tick");
+    // Hot-skip requeue (bypassing rate control): the object stays queued,
+    // moved to the back; depth is unchanged and in sync.
+    let rep = s
+        .flush_object(&ObjectName::new("hot"), now)
+        .expect("flush attempt");
+    assert!(rep.value.skipped_hot, "object should be hot");
+    assert_eq!(s.dirty_len(), 1);
+    assert_eq!(gauge(&s), 1);
+    assert_gauge_synced(&s, "hot-skip requeue");
+    // Once cool, it flushes and the gauge returns to zero.
+    let _ = s.flush_all(t(10_000)).expect("flush all");
+    assert_eq!(gauge(&s), 0);
+    assert_gauge_synced(&s, "post-cooldown flush");
+}
+
+#[test]
+fn gauge_matches_recovery_rebuild() {
+    let mut s = store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::EvictAll));
+    for i in 0..5u8 {
+        fill(&mut s, &format!("o{i}"), i + 1, t(0));
+    }
+    assert_eq!(gauge(&s), 5);
+    // Crash-restart: the rebuilt queue and the gauge agree.
+    let found = s.recover_dirty_queue().expect("recover");
+    assert_eq!(found, 5);
+    assert_eq!(gauge(&s), 5);
+    assert_gauge_synced(&s, "recovery with dirty objects");
+    let _ = s.flush_all(t(100)).expect("flush");
+    let found = s.recover_dirty_queue().expect("recover again");
+    assert_eq!(found, 0);
+    assert_eq!(gauge(&s), 0);
+    assert_gauge_synced(&s, "recovery with clean store");
+}
+
+#[test]
+fn staged_batches_update_pipeline_metrics() {
+    let mut s = store_with(
+        DedupConfig::with_chunk_size(CS)
+            .cache_policy(CachePolicy::EvictAll)
+            .flush_batch_size(4),
+    );
+    for i in 0..4u8 {
+        fill(&mut s, &format!("o{i}"), i + 1, t(0));
+    }
+    let _ = s.dedup_tick(t(100)).expect("tick");
+    assert_eq!(
+        s.registry().gauge("engine.flush.batch_size").get(),
+        4,
+        "batched tick staged all four objects"
+    );
+    assert!(
+        s.registry().histogram("engine.flush.stage_wall_ns").count() > 0,
+        "stage histogram recorded"
+    );
+    assert!(
+        s.registry()
+            .histogram("engine.flush.commit_wall_ns")
+            .count()
+            > 0,
+        "commit histogram recorded"
+    );
+    assert_gauge_synced(&s, "batched tick");
+}
