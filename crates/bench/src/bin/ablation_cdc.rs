@@ -1,4 +1,5 @@
 //! Ablation study. See `dedup_bench::experiments::ablations::cdc`.
 fn main() {
+    dedup_bench::report::parse_trace_flag();
     dedup_bench::experiments::ablations::cdc::run();
 }

@@ -1,0 +1,148 @@
+//! Proves the tracing-disabled path costs nothing.
+//!
+//! Runs a fig05-style workload (sequential writes racing an unthrottled
+//! background engine, then redirection reads) twice over identical seeds:
+//! once with no tracer attached and once with a [`dedup_obs::Tracer`] on
+//! the stack. Virtual-time results must be **byte-identical** — semantic
+//! labels are timing-transparent and the disabled path allocates nothing —
+//! and the report prints the wall-clock cost of both runs so a regression
+//! in the disabled path is visible.
+//!
+//! `--smoke` shrinks the workload for CI: it asserts the byte-identity
+//! invariant and exits non-zero on mismatch.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use dedup_bench::drivers::{run_closed_loop, run_closed_loop_with_background, OpSpec, RunStats};
+use dedup_bench::systems::{BackgroundMode, DedupSystem, StorageSystem};
+use dedup_core::{CachePolicy, DedupConfig};
+use dedup_obs::Tracer;
+use dedup_store::ClientId;
+
+const CHUNK: u32 = 32 * 1024;
+
+fn workload(i: u64, block: u64, streams: u64) -> OpSpec {
+    let stream = i % streams;
+    let pos = i / streams;
+    let per_obj = (1u64 << 20) / block;
+    OpSpec::write(
+        format!("seq-{stream}-{}", pos / per_obj),
+        (pos % per_obj) * block,
+        vec![(i % 251) as u8; block as usize],
+        ClientId((stream % 3) as u32),
+    )
+}
+
+/// Everything a figure would print about a run, as one string: if any
+/// byte differs between the traced and untraced runs, tracing leaked
+/// into the virtual timing plane.
+fn signature(write: &RunStats, read: &RunStats) -> String {
+    let mut s = String::new();
+    for (name, r) in [("write", write), ("read", read)] {
+        let _ = writeln!(
+            s,
+            "{name}: ops={} bytes={} elapsed_ns={} mean_ns={} p50_ns={} p95_ns={} p99_ns={} \
+             max_ns={} mbps={:.6} iops={:.6}",
+            r.ops,
+            r.bytes,
+            r.elapsed.as_nanos(),
+            r.latency.mean().as_nanos(),
+            r.latency.percentile(50.0).as_nanos(),
+            r.latency.percentile(95.0).as_nanos(),
+            r.latency.percentile(99.0).as_nanos(),
+            r.latency.max().as_nanos(),
+            r.throughput_mbps(),
+            r.iops(),
+        );
+    }
+    s
+}
+
+/// One fig05-style pass; `traced` attaches a tracer to the stack first.
+fn run_once(ops: u64, backlog: u64, traced: bool) -> (String, f64, u64) {
+    let mut sys = DedupSystem::new(
+        "overhead",
+        DedupConfig::with_chunk_size(CHUNK).cache_policy(CachePolicy::EvictAll),
+    )
+    .background(BackgroundMode::Unthrottled)
+    .workers(8);
+    if traced {
+        sys.store_mut().attach_tracer(Tracer::new());
+    }
+    let t0 = Instant::now();
+    for b in 0..backlog {
+        let data: Vec<u8> = (0..CHUNK as u64)
+            .map(|j| ((b * 131 + j * 7) % 251) as u8)
+            .collect();
+        let _ = sys
+            .store_mut()
+            .write(
+                ClientId(0),
+                &dedup_store::ObjectName::new(format!("backlog-{}", b / 32)),
+                (b % 32) * CHUNK as u64,
+                &data,
+                dedup_sim::SimTime::ZERO,
+            )
+            .expect("backlog write");
+    }
+    sys.cluster_mut().perf_mut().pool.reset_all();
+    let writes = run_closed_loop_with_background(&mut sys, 8, ops, 2, true, |i, _| {
+        workload(i, CHUNK as u64, 8)
+    });
+    let objects = (backlog / 32).max(1);
+    let reads = run_closed_loop(&mut sys, 4, ops / 4, 3, |i, _| {
+        OpSpec::read(
+            format!("backlog-{}", i % objects),
+            (i % 32) * CHUNK as u64,
+            CHUNK as u64,
+            ClientId(0),
+        )
+    });
+    let wall = t0.elapsed().as_secs_f64();
+    let spans = sys
+        .tracer()
+        .map(|t| {
+            let e = t.export();
+            e.ops.iter().map(|o| o.spans.len() as u64).sum::<u64>() + e.wall_spans.len() as u64
+        })
+        .unwrap_or(0);
+    (signature(&writes, &reads), wall, spans)
+}
+
+fn main() {
+    // This benchmark controls tracer attachment itself; an inherited
+    // DEDUP_TRACE_DIR would silently trace the "untraced" runs.
+    std::env::remove_var("DEDUP_TRACE_DIR");
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (ops, backlog) = if smoke { (600, 1024) } else { (6_000, 8_192) };
+
+    println!("# bench_trace_overhead ({} ops, backlog {})", ops, backlog);
+    let (plain_a, wall_plain_a, _) = run_once(ops, backlog, false);
+    let (plain_b, wall_plain_b, _) = run_once(ops, backlog, false);
+    let (traced, wall_traced, spans) = run_once(ops, backlog, true);
+
+    assert_eq!(
+        plain_a, plain_b,
+        "untraced runs must be deterministic over the same seed"
+    );
+    assert_eq!(
+        plain_a, traced,
+        "tracing must not perturb virtual-time results"
+    );
+    println!("virtual-time results byte-identical with and without tracing ✓");
+    print!("{plain_a}");
+    println!(
+        "wall-clock: untraced {:.3}s / {:.3}s, traced {:.3}s ({} spans recorded)",
+        wall_plain_a, wall_plain_b, wall_traced, spans
+    );
+    // Wall-clock noise between two untraced runs bounds what "no
+    // measurable regression" can mean on shared CI hardware; report the
+    // ratio rather than asserting on it.
+    let noise = (wall_plain_a - wall_plain_b).abs() / wall_plain_a.max(1e-9);
+    println!(
+        "traced/untraced wall ratio: {:.3} (untraced run-to-run noise {:.3})",
+        wall_traced / wall_plain_a.max(1e-9),
+        noise
+    );
+}

@@ -1,0 +1,60 @@
+//! Schema-checks Chrome-trace sidecars (CI gate).
+//!
+//! For every path given on the command line, parses the file with
+//! [`dedup_obs::validate_chrome_trace`] — valid JSON, a `traceEvents`
+//! array, and `ph`/`ts`/`pid`/`tid` on every event — and prints the event
+//! count. With `--expect-redirect`, additionally requires the trace to
+//! contain the decomposed proxied-read legs (`redirect.lookup` and
+//! `redirect.chunk_read` spans) along with separated `queue` and
+//! `service` segments. Exits non-zero on the first failure.
+
+use dedup_obs::validate_chrome_trace;
+
+fn main() {
+    let mut expect_redirect = false;
+    let mut paths: Vec<String> = Vec::new();
+    for a in std::env::args().skip(1) {
+        if a == "--expect-redirect" {
+            expect_redirect = true;
+        } else {
+            paths.push(a);
+        }
+    }
+    if paths.is_empty() {
+        eprintln!("usage: check_trace [--expect-redirect] <trace.json>...");
+        std::process::exit(2);
+    }
+    let mut failed = false;
+    for path in &paths {
+        let body = match std::fs::read_to_string(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("{path}: unreadable: {e}");
+                failed = true;
+                continue;
+            }
+        };
+        match validate_chrome_trace(&body) {
+            Ok(events) => println!("{path}: ok ({events} events)"),
+            Err(e) => {
+                eprintln!("{path}: schema violation: {e}");
+                failed = true;
+                continue;
+            }
+        }
+        if expect_redirect {
+            for needle in [
+                "\"redirect.lookup\"",
+                "\"redirect.chunk_read\"",
+                "\"queue\"",
+                "\"service\"",
+            ] {
+                if !body.contains(needle) {
+                    eprintln!("{path}: expected a {needle} span (proxied redirection read)");
+                    failed = true;
+                }
+            }
+        }
+    }
+    std::process::exit(if failed { 1 } else { 0 });
+}

@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig03 results. See `dedup_bench::experiments::fig03`.
 fn main() {
+    dedup_bench::report::parse_trace_flag();
     dedup_bench::experiments::fig03::run();
 }

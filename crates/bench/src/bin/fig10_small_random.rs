@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig10 results. See `dedup_bench::experiments::fig10`.
 fn main() {
+    dedup_bench::report::parse_trace_flag();
     dedup_bench::experiments::fig10::run();
 }

@@ -1,4 +1,5 @@
 //! Regenerates the paper's fig13 results. See `dedup_bench::experiments::fig13`.
 fn main() {
+    dedup_bench::report::parse_trace_flag();
     dedup_bench::experiments::fig13::run();
 }

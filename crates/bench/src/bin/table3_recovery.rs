@@ -1,4 +1,5 @@
 //! Regenerates the paper's table3 results. See `dedup_bench::experiments::table3`.
 fn main() {
+    dedup_bench::report::parse_trace_flag();
     dedup_bench::experiments::table3::run();
 }

@@ -7,7 +7,7 @@
 
 use std::collections::BTreeMap;
 
-use dedup_obs::Histogram;
+use dedup_obs::{Histogram, Tracer};
 use dedup_sim::{FlowEngine, LatencyStats, SimDuration, SimTime, TimeSeries};
 use dedup_store::ClientId;
 use rand::rngs::StdRng;
@@ -159,13 +159,30 @@ fn is_bg(tag: u64) -> bool {
     tag >= BG_BASE
 }
 
+/// Hooks the system's tracer (if any) into the flow engine so every leg
+/// the engine executes lands in a span tree, and returns a handle for
+/// per-op bookkeeping. No tracer → the engine keeps its null sink.
+fn attach_tracing(system: &dyn StorageSystem, engine: &mut FlowEngine) -> Option<Tracer> {
+    let tracer = system.tracer().cloned()?;
+    engine.set_trace_sink(Box::new(tracer.clone()));
+    Some(tracer)
+}
+
 fn issue_flow(
     system: &mut dyn StorageSystem,
     engine: &mut FlowEngine,
+    tracer: Option<&Tracer>,
     at: SimTime,
     op: &OpSpec,
     tag: u64,
 ) {
+    // Bind before start(): the engine reports queue entry for every leg
+    // of the cost DAG at start time, and unbound flows are dropped.
+    if let Some(t) = tracer {
+        let kind = if op.data.is_some() { "write" } else { "read" };
+        let ctx = t.begin_op(kind, &op.object, at);
+        t.bind_flow(tag, &ctx);
+    }
     let cost = match op.data {
         Some(ref data) => system.write(op.client, &op.object, op.offset, data, at),
         None => system.read(op.client, &op.object, op.offset, op.len, at),
@@ -176,18 +193,33 @@ fn issue_flow(
 fn attempt_background(
     system: &mut dyn StorageSystem,
     engine: &mut FlowEngine,
+    tracer: Option<&Tracer>,
     at: SimTime,
     tag: u64,
 ) {
     match system.tick_background(at) {
-        Some(cost) => engine.start(at, &cost, tag),
+        Some(cost) => {
+            // Idle polls (the `None` arm) are deliberately not traced:
+            // a Nop flow with no binding is ignored by the sink.
+            if let Some(t) = tracer {
+                let worker = (tag - BG_BASE) as u32;
+                let ctx = t.begin_op("flush", &format!("worker-{worker}"), at);
+                t.bind_flow(tag, &ctx);
+            }
+            engine.start(at, &cost, tag)
+        }
         None => engine.start(at + BG_IDLE_POLL, &dedup_sim::CostExpr::Nop, tag),
     }
 }
 
-fn spawn_background(system: &mut dyn StorageSystem, engine: &mut FlowEngine, at: SimTime) {
+fn spawn_background(
+    system: &mut dyn StorageSystem,
+    engine: &mut FlowEngine,
+    tracer: Option<&Tracer>,
+    at: SimTime,
+) {
     for w in 0..system.background_workers().min(256) {
-        attempt_background(system, engine, at, BG_BASE + w as u64);
+        attempt_background(system, engine, tracer, at, BG_BASE + w as u64);
     }
 }
 
@@ -219,6 +251,7 @@ pub fn run_closed_loop_with_background(
     assert!(streams > 0, "need at least one stream");
     let mut rng = StdRng::seed_from_u64(seed);
     let mut engine = FlowEngine::new();
+    let tracer = attach_tracing(system, &mut engine);
     let mut stats = RunStats::new();
     let metrics = DriverMetrics::new(system);
     let mut issued = 0u64;
@@ -234,10 +267,17 @@ pub fn run_closed_loop_with_background(
         issued += 1;
         let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
         *slot = (SimTime::ZERO, bytes, op.class, op.data.is_some());
-        issue_flow(system, &mut engine, SimTime::ZERO, &op, s as u64);
+        issue_flow(
+            system,
+            &mut engine,
+            tracer.as_ref(),
+            SimTime::ZERO,
+            &op,
+            s as u64,
+        );
     }
     if background {
-        spawn_background(system, &mut engine, SimTime::ZERO);
+        spawn_background(system, &mut engine, tracer.as_ref(), SimTime::ZERO);
     }
 
     loop {
@@ -248,7 +288,7 @@ pub fn run_closed_loop_with_background(
         let Some(c) = completion else { break };
         if is_bg(c.tag) {
             if background && (issued < total_ops || system.background_pending()) {
-                attempt_background(system, &mut engine, c.at, c.tag);
+                attempt_background(system, &mut engine, tracer.as_ref(), c.at, c.tag);
             }
             continue;
         }
@@ -261,7 +301,7 @@ pub fn run_closed_loop_with_background(
             issued += 1;
             let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
             in_flight[stream] = (c.at, bytes, op.class, op.data.is_some());
-            issue_flow(system, &mut engine, c.at, &op, c.tag);
+            issue_flow(system, &mut engine, tracer.as_ref(), c.at, &op, c.tag);
         }
     }
     stats
@@ -276,12 +316,13 @@ pub fn run_open_loop(
     background: bool,
 ) -> RunStats {
     let mut engine = FlowEngine::new();
+    let tracer = attach_tracing(system, &mut engine);
     let mut stats = RunStats::new();
     let metrics = DriverMetrics::new(system);
     // tag -> (issue time, bytes, class, op kind)
     let mut meta: Vec<(SimTime, u64, u8, bool)> = Vec::new();
     if background {
-        spawn_background(system, &mut engine, SimTime::ZERO);
+        spawn_background(system, &mut engine, tracer.as_ref(), SimTime::ZERO);
     }
     #[allow(clippy::too_many_arguments)]
     fn handle(
@@ -292,11 +333,12 @@ pub fn run_open_loop(
         metrics: &DriverMetrics,
         system: &mut dyn StorageSystem,
         engine: &mut FlowEngine,
+        tracer: Option<&Tracer>,
         draining: bool,
     ) {
         if is_bg(c.tag) {
             if background && (!draining || system.background_pending()) {
-                attempt_background(system, engine, c.at, c.tag);
+                attempt_background(system, engine, tracer, c.at, c.tag);
             }
         } else {
             let (start, bytes, class, is_write) = meta[c.tag as usize];
@@ -320,13 +362,14 @@ pub fn run_open_loop(
                 &metrics,
                 system,
                 &mut engine,
+                tracer.as_ref(),
                 false,
             );
         }
         let tag = meta.len() as u64;
         let bytes = op.data.as_ref().map(|d| d.len() as u64).unwrap_or(op.len);
         meta.push((at, bytes, op.class, op.data.is_some()));
-        issue_flow(system, &mut engine, at, &op, tag);
+        issue_flow(system, &mut engine, tracer.as_ref(), at, &op, tag);
     }
     // Drain.
     loop {
@@ -343,6 +386,7 @@ pub fn run_open_loop(
             &metrics,
             system,
             &mut engine,
+            tracer.as_ref(),
             true,
         );
     }

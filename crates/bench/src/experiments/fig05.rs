@@ -152,4 +152,27 @@ pub fn run() {
     sidecar.capture("quiet", &quiet, base.elapsed);
     sidecar.capture("unthrottled", &noisy, busy.elapsed);
     sidecar.write();
+
+    // Redirection-read probe: the unthrottled run left the backlog
+    // deduplicated with its cached copies evicted, so these reads proxy
+    // through the metadata pool to the chunk pool. Silent on stdout (the
+    // figure's printed output must not depend on tracing) and after the
+    // metrics capture; its purpose is the trace sidecar, where each read
+    // decomposes into redirect.lookup / redirect.chunk_read /
+    // redirect.relay legs with separate queue and service segments.
+    let _ = run_closed_loop(&mut noisy, 4, 64, 3, |i, _| {
+        OpSpec::read(
+            format!("backlog-{}", i % 512),
+            (i % 32) * CHUNK as u64,
+            CHUNK as u64,
+            ClientId(0),
+        )
+    });
+
+    let mut traces = report::TraceSidecar::new("fig05");
+    traces.capture("original", &original);
+    traces.capture("inline", &inline);
+    traces.capture("quiet", &quiet);
+    traces.capture("unthrottled", &noisy);
+    traces.write();
 }

@@ -178,4 +178,10 @@ pub fn run() {
     sidecar.capture("uncontrolled", &uncontrolled_sys, uncontrolled.elapsed);
     sidecar.capture("controlled", &controlled_sys, controlled.elapsed);
     sidecar.write();
+
+    let mut traces = report::TraceSidecar::new("fig14");
+    traces.capture("ideal", &ideal_sys);
+    traces.capture("uncontrolled", &uncontrolled_sys);
+    traces.capture("controlled", &controlled_sys);
+    traces.write();
 }

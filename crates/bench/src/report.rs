@@ -5,7 +5,7 @@
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use dedup_obs::sample_resources;
+use dedup_obs::{sample_resources, TraceExport};
 use dedup_sim::SimTime;
 
 use crate::systems::StorageSystem;
@@ -15,6 +15,27 @@ pub fn metrics_dir() -> PathBuf {
     std::env::var_os("DEDUP_METRICS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(|| PathBuf::from("target/metrics"))
+}
+
+/// Where trace sidecars go, when tracing is on: `$DEDUP_TRACE_DIR`.
+/// Unlike metrics there is no default — no env var means no tracing.
+pub fn trace_dir() -> Option<PathBuf> {
+    std::env::var_os("DEDUP_TRACE_DIR").map(PathBuf::from)
+}
+
+/// Handles the figure binaries' `--trace[=DIR]` flag by setting
+/// `DEDUP_TRACE_DIR` (default `target/traces`), so the systems built
+/// afterwards attach tracers. Call before constructing any system.
+pub fn parse_trace_flag() {
+    for a in std::env::args().skip(1) {
+        if a == "--trace" {
+            if std::env::var_os("DEDUP_TRACE_DIR").is_none() {
+                std::env::set_var("DEDUP_TRACE_DIR", "target/traces");
+            }
+        } else if let Some(dir) = a.strip_prefix("--trace=") {
+            std::env::set_var("DEDUP_TRACE_DIR", dir);
+        }
+    }
 }
 
 /// Accumulates labelled registry snapshots from the systems an experiment
@@ -50,7 +71,15 @@ impl MetricsSidecar {
     pub fn capture_registry(&mut self, label: &str, registry: &dedup_obs::Registry, now: SimTime) {
         let mut snaps = registry.snapshot(now);
         for snap in &mut snaps {
-            snap.labels.push(("system".to_string(), label.to_string()));
+            // Registry labels are sorted by key; keep the injected label in
+            // order so sidecar lines are byte-deterministic regardless of
+            // each metric's own label set.
+            let pos = snap
+                .labels
+                .binary_search_by(|(k, _)| k.as_str().cmp("system"))
+                .unwrap_or_else(|p| p);
+            snap.labels
+                .insert(pos, ("system".to_string(), label.to_string()));
             self.lines.push(snap.to_json());
         }
     }
@@ -79,6 +108,68 @@ impl MetricsSidecar {
             }
             Err(e) => {
                 eprintln!("metrics sidecar skipped ({}: {e})", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Accumulates labelled [`TraceExport`]s from the systems an experiment
+/// ran and writes them as one Chrome-trace `<figure>.trace.json` sidecar
+/// (loadable in Perfetto / `chrome://tracing`).
+///
+/// Does nothing unless `DEDUP_TRACE_DIR` is set: capture is a no-op for
+/// untraced systems and [`TraceSidecar::write`] without captures writes
+/// no file, so figure binaries can call this unconditionally.
+pub struct TraceSidecar {
+    figure: String,
+    exports: Vec<(String, TraceExport)>,
+}
+
+impl TraceSidecar {
+    /// Starts a trace sidecar for `figure` (e.g. `"fig05"`).
+    pub fn new(figure: impl Into<String>) -> Self {
+        TraceSidecar {
+            figure: figure.into(),
+            exports: Vec::new(),
+        }
+    }
+
+    /// Captures `system`'s span trees under the `label` track group; no-op
+    /// when the system has no tracer attached.
+    pub fn capture(&mut self, label: &str, system: &dyn StorageSystem) {
+        if let Some(t) = system.tracer() {
+            self.exports.push((label.to_string(), t.export()));
+        }
+    }
+
+    /// Captures from a bare tracer (stacks driven without a
+    /// [`StorageSystem`]).
+    pub fn capture_tracer(&mut self, label: &str, tracer: &dedup_obs::Tracer) {
+        self.exports.push((label.to_string(), tracer.export()));
+    }
+
+    /// Writes `<figure>.trace.json` under `DEDUP_TRACE_DIR` and prints its
+    /// path. Returns `None` (silently) when tracing is off or nothing was
+    /// captured; IO errors are reported but not fatal.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = trace_dir()?;
+        if self.exports.is_empty() {
+            return None;
+        }
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("trace sidecar skipped ({}: {e})", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.trace.json", self.figure));
+        let body = dedup_obs::render(&self.exports);
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("trace sidecar: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("trace sidecar skipped ({}: {e})", path.display());
                 None
             }
         }

@@ -2,10 +2,17 @@
 //! ("Proposed") behind one interface.
 
 use dedup_core::{DedupConfig, DedupStore};
-use dedup_obs::Registry;
+use dedup_obs::{Registry, Tracer};
 use dedup_sim::{CostExpr, SimTime};
 use dedup_store::{ClientId, Cluster, ClusterBuilder, IoCtx, ObjectName, PoolConfig};
 use dedup_workloads::Dataset;
+
+/// Whether `DEDUP_TRACE_DIR` asks for per-op tracing. When set, system
+/// constructors attach a [`Tracer`] to the stack and figure binaries drop
+/// a Chrome-trace sidecar next to their metrics.
+pub fn tracing_requested() -> bool {
+    std::env::var_os("DEDUP_TRACE_DIR").is_some()
+}
 
 /// A storage system a driver can load. Implementations panic on store
 /// errors: the harness runs fixed, known-good scenarios, and an error is a
@@ -59,6 +66,11 @@ pub trait StorageSystem {
         self.cluster().registry()
     }
 
+    /// The tracer attached to this system's stack, if tracing is on.
+    fn tracer(&self) -> Option<&Tracer> {
+        self.cluster().tracer()
+    }
+
     /// Executes a cost on the timing plane.
     fn execute(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {
         self.cluster_mut().execute_at(now, cost)
@@ -81,6 +93,11 @@ impl OriginalSystem {
     /// Builds on a caller-provided cluster.
     pub fn with_cluster(label: impl Into<String>, mut cluster: Cluster, pool: PoolConfig) -> Self {
         let pool = cluster.create_pool(pool);
+        if tracing_requested() {
+            let tracer = Tracer::new();
+            tracer.attach_registry(cluster.registry());
+            cluster.attach_tracer(tracer);
+        }
         OriginalSystem {
             label: label.into(),
             cluster,
@@ -90,7 +107,7 @@ impl OriginalSystem {
 
     /// The data pool's ioctx.
     pub fn ctx(&self) -> IoCtx {
-        self.ctx
+        self.ctx.clone()
     }
 }
 
@@ -107,7 +124,7 @@ impl StorageSystem for OriginalSystem {
         data: &[u8],
         _now: SimTime,
     ) -> CostExpr {
-        let ctx = self.ctx.with_client(client);
+        let ctx = self.ctx.clone().with_client(client);
         self.cluster
             .write_at(&ctx, &ObjectName::new(name), offset, data.to_vec())
             .expect("original write")
@@ -122,7 +139,7 @@ impl StorageSystem for OriginalSystem {
         len: u64,
         _now: SimTime,
     ) -> CostExpr {
-        let ctx = self.ctx.with_client(client);
+        let ctx = self.ctx.clone().with_client(client);
         self.cluster
             .read_at(&ctx, &ObjectName::new(name), offset, len)
             .expect("original read")
@@ -162,13 +179,22 @@ pub struct DedupSystem {
     workers: usize,
 }
 
+/// Attaches a tracer to a freshly built store when `DEDUP_TRACE_DIR` asks
+/// for one.
+fn maybe_trace(mut store: DedupStore) -> DedupStore {
+    if tracing_requested() {
+        store.attach_tracer(Tracer::new());
+    }
+    store
+}
+
 impl DedupSystem {
     /// Builds on the paper's testbed with replicated ×2 pools.
     pub fn new(label: impl Into<String>, config: DedupConfig) -> Self {
         let cluster = ClusterBuilder::new().build();
         DedupSystem {
             label: label.into(),
-            store: DedupStore::with_default_pools(cluster, config),
+            store: maybe_trace(DedupStore::with_default_pools(cluster, config)),
             background: BackgroundMode::RateControlled,
             workers: 1,
         }
@@ -179,7 +205,7 @@ impl DedupSystem {
     pub fn with_cluster(label: impl Into<String>, cluster: Cluster, config: DedupConfig) -> Self {
         DedupSystem {
             label: label.into(),
-            store: DedupStore::with_default_pools(cluster, config),
+            store: maybe_trace(DedupStore::with_default_pools(cluster, config)),
             background: BackgroundMode::RateControlled,
             workers: 1,
         }
@@ -195,7 +221,7 @@ impl DedupSystem {
         let cluster = ClusterBuilder::new().build();
         DedupSystem {
             label: label.into(),
-            store: DedupStore::new(cluster, metadata_pool, chunk_pool, config),
+            store: maybe_trace(DedupStore::new(cluster, metadata_pool, chunk_pool, config)),
             background: BackgroundMode::RateControlled,
             workers: 1,
         }

@@ -11,7 +11,7 @@ use std::time::Instant;
 
 use dedup_chunk::FixedChunker;
 use dedup_fingerprint::Fingerprint;
-use dedup_obs::Registry;
+use dedup_obs::{Registry, Tracer};
 use dedup_placement::PoolId;
 use dedup_sim::{CostExpr, SimDuration, SimTime};
 use dedup_store::{ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp};
@@ -119,6 +119,7 @@ pub struct DedupStore {
     rate: RateController,
     stats: EngineStats,
     metrics: EngineMetrics,
+    tracer: Option<Tracer>,
 }
 
 impl DedupStore {
@@ -151,6 +152,7 @@ impl DedupStore {
             rate,
             stats: EngineStats::default(),
             metrics,
+            tracer: None,
         }
     }
 
@@ -224,12 +226,44 @@ impl DedupStore {
         &mut self.rate
     }
 
+    /// Attaches a tracer to the whole stack: the engine labels its dedup
+    /// cost legs, the underlying cluster labels its replication/EC legs,
+    /// and the tracer's slow-op counter lands in this engine's registry.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        self.cluster.attach_tracer(tracer.clone());
+        tracer.attach_registry(self.registry());
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Tags `cost` with a semantic label when a tracer is attached;
+    /// returns it untouched (no allocation) otherwise.
+    fn label(&self, label: &str, cost: CostExpr) -> CostExpr {
+        if self.tracer.is_some() {
+            CostExpr::tagged(label, cost)
+        } else {
+            cost
+        }
+    }
+
     fn meta_ctx(&self, client: ClientId) -> IoCtx {
-        IoCtx::new(self.metadata_pool).with_client(client)
+        let ctx = IoCtx::new(self.metadata_pool).with_client(client);
+        match &self.tracer {
+            Some(t) => ctx.with_trace(t.ctx()),
+            None => ctx,
+        }
     }
 
     fn chunk_ctx(&self, client: ClientId) -> IoCtx {
-        IoCtx::new(self.chunk_pool).with_client(client)
+        let ctx = IoCtx::new(self.chunk_pool).with_client(client);
+        match &self.tracer {
+            Some(t) => ctx.with_trace(t.ctx()),
+            None => ctx,
+        }
     }
 
     fn load_chunk_map(&mut self, name: &ObjectName) -> Result<Vec<ChunkMapEntry>, DedupError> {
@@ -338,7 +372,7 @@ impl DedupStore {
             data: data.to_vec(),
         });
         let t = self.cluster.transact(&ctx, name, ops)?;
-        costs.push(t.cost);
+        costs.push(self.label("write.commit", t.cost));
         self.mark_dirty(name);
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
@@ -494,7 +528,7 @@ impl DedupStore {
                         .read_at(&ctx, name, tail_start, want_end - tail_start)?;
                     out[(tail_start - offset) as usize..(want_end - offset) as usize]
                         .copy_from_slice(&t.value);
-                    chunk_costs.push(t.cost);
+                    chunk_costs.push(self.label("read.tail", t.cost));
                 }
                 if want_start >= covered_end {
                     continue;
@@ -522,7 +556,7 @@ impl DedupStore {
                 let t = self.cluster.read_at(&ctx, name, want_start, span)?;
                 out[(want_start - offset) as usize..(want_end - offset) as usize]
                     .copy_from_slice(&t.value);
-                chunk_costs.push(t.cost);
+                chunk_costs.push(self.label("read.cached", t.cost));
                 if !fully_resident {
                     if let Some(fp) = entry.and_then(|e| e.chunk_id) {
                         let chunk_name = ObjectName::new(fp.to_object_name());
@@ -536,7 +570,7 @@ impl DedupStore {
                                     .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
                             out[(hs - offset) as usize..(he - offset) as usize]
                                 .copy_from_slice(&t.value);
-                            chunk_costs.push(t.cost);
+                            chunk_costs.push(self.label("read.chunk_fallback", t.cost));
                         }
                     }
                 }
@@ -575,7 +609,11 @@ impl DedupStore {
                 // Data arrives at the proxy, then goes out to the client.
                 let proxy_in = CostExpr::transfer(perf.nics[meta_node], span);
                 let relay = perf.client_to_node(client, meta_node, span);
-                chunk_costs.push(CostExpr::seq([request_hop, t.cost, proxy_in, relay]));
+                chunk_costs.push(CostExpr::seq([
+                    self.label("redirect.lookup", request_hop),
+                    self.label("redirect.chunk_read", t.cost),
+                    self.label("redirect.relay", CostExpr::seq([proxy_in, relay])),
+                ]));
             }
         }
         costs.push(map_cost);
@@ -590,7 +628,7 @@ impl DedupStore {
             && self.hitset.is_hot(name.as_bytes(), now)
         {
             let t = self.promote_chunks(name, offset, len)?;
-            costs.push(t.cost);
+            costs.push(self.label("read.promote", t.cost));
         }
         Ok(Timed::new(out, CostExpr::seq(costs)))
     }
@@ -1084,9 +1122,12 @@ impl DedupStore {
         self.metrics
             .flush_batch_size
             .set(batch.objects.len() as i64);
-        self.metrics
-            .stage_wall_ns
-            .record(start.elapsed().as_nanos() as u64);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.metrics.stage_wall_ns.record(elapsed);
+        if let Some(t) = &self.tracer {
+            let end = t.wall_now_ns();
+            t.wall_span("flush.stage", end.saturating_sub(elapsed), end);
+        }
         Ok(batch)
     }
 
@@ -1122,9 +1163,12 @@ impl DedupStore {
         let start = Instant::now();
         let parallelism = self.fingerprint_parallelism();
         fingerprint_batch(&mut batch, parallelism);
-        self.metrics
-            .fingerprint_wall_ns
-            .record(start.elapsed().as_nanos() as u64);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.metrics.fingerprint_wall_ns.record(elapsed);
+        if let Some(t) = &self.tracer {
+            let end = t.wall_now_ns();
+            t.wall_span("flush.fingerprint", end.saturating_sub(elapsed), end);
+        }
         self.commit_batch(batch, failure)
     }
 
@@ -1160,9 +1204,12 @@ impl DedupStore {
                 }
             }
         }
-        self.metrics
-            .commit_wall_ns
-            .record(start.elapsed().as_nanos() as u64);
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.metrics.commit_wall_ns.record(elapsed);
+        if let Some(t) = &self.tracer {
+            let end = t.wall_now_ns();
+            t.wall_span("flush.commit", end.saturating_sub(elapsed), end);
+        }
         Ok(Timed::new(total, CostExpr::seq(costs)))
     }
 
@@ -1209,7 +1256,8 @@ impl DedupStore {
             let fp = chunk
                 .fingerprint
                 .unwrap_or_else(|| Fingerprint::of(&content));
-            costs.push(self.fingerprint_cost(meta_node, e.len as u64));
+            let fp_cost = self.fingerprint_cost(meta_node, e.len as u64);
+            costs.push(self.label("flush.fingerprint_cpu", fp_cost));
             report.chunks_flushed += 1;
 
             if failure == Some(FailurePoint::BeforeChunkStore) {
@@ -1232,7 +1280,7 @@ impl DedupStore {
                     if t.value {
                         report.chunks_reclaimed += 1;
                     }
-                    costs.push(t.cost);
+                    costs.push(self.label("flush.deref", t.cost));
                 }
                 // (4–5) Store or reference the chunk in the chunk pool.
                 let t = self.store_chunk(ClientId::INTERNAL, fp, &content, &name, e.offset)?;
@@ -1245,12 +1293,12 @@ impl DedupStore {
                 // Data travels metadata node → chunk pool.
                 let chunk_name = ObjectName::new(fp.to_object_name());
                 let chunk_node = self.primary_node(self.chunk_pool, &chunk_name)?;
-                costs.push(
-                    self.cluster
-                        .perf()
-                        .node_to_node(meta_node, chunk_node, e.len as u64),
-                );
-                costs.push(t.cost);
+                let hop = self
+                    .cluster
+                    .perf()
+                    .node_to_node(meta_node, chunk_node, e.len as u64);
+                costs.push(self.label("flush.chunk_hop", hop));
+                costs.push(self.label("flush.chunk_store", t.cost));
             }
 
             if failure == Some(FailurePoint::AfterChunkStore) {
@@ -1284,7 +1332,7 @@ impl DedupStore {
             }
         }
         let t = self.cluster.transact(&ctx, &name, ops)?;
-        costs.push(t.cost);
+        costs.push(self.label("flush.map_update", t.cost));
         self.finish_clean(&name);
         self.record_flush_report(&report);
         Ok(Some(Timed::new(report, CostExpr::seq(costs))))

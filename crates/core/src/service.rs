@@ -109,7 +109,7 @@ impl DedupService {
         });
         // The worker publishes its progress into the stack's shared
         // registry, so snapshots show background activity too.
-        let (ticks, flushes, errors, fingerprint_wall, parallelism) = {
+        let (ticks, flushes, errors, fingerprint_wall, parallelism, tracer) = {
             let s = store.lock();
             let r = s.registry();
             (
@@ -118,6 +118,7 @@ impl DedupService {
                 r.counter("service.worker.errors"),
                 r.histogram("engine.flush.fingerprint_wall_ns"),
                 s.fingerprint_parallelism(),
+                s.tracer().cloned(),
             )
         };
         let worker_store = Arc::clone(&store);
@@ -129,6 +130,16 @@ impl DedupService {
                     match cmd {
                         Command::Tick(now) => {
                             ticks.inc();
+                            // Each worker tick is a wall-clock op on this
+                            // thread's track; the engine adds stage/commit
+                            // spans inside it while fingerprinting lands
+                            // here (the lock-released stretch).
+                            let tick_ctx = tracer.as_ref().map(|t| {
+                                t.begin_wall_op(
+                                    "service.tick",
+                                    &format!("now_s={:.3}", now.as_secs_f64()),
+                                )
+                            });
                             // Drain as much as rate control admits at this
                             // instant, one pipeline pass per iteration:
                             // stage under the lock, fingerprint with the
@@ -150,7 +161,16 @@ impl DedupService {
                                 let clean = batch.clean();
                                 let fp_start = std::time::Instant::now();
                                 fingerprint_batch(&mut batch, parallelism);
-                                fingerprint_wall.record(fp_start.elapsed().as_nanos() as u64);
+                                let fp_ns = fp_start.elapsed().as_nanos() as u64;
+                                fingerprint_wall.record(fp_ns);
+                                if let Some(t) = &tracer {
+                                    let end = t.wall_now_ns();
+                                    t.wall_span(
+                                        "flush.fingerprint",
+                                        end.saturating_sub(fp_ns),
+                                        end,
+                                    );
+                                }
                                 let committed = {
                                     let mut s = worker_store.lock();
                                     s.commit_batch(batch, None)
@@ -173,6 +193,9 @@ impl DedupService {
                                         break;
                                     }
                                 }
+                            }
+                            if let (Some(t), Some(ctx)) = (&tracer, &tick_ctx) {
+                                t.finish_wall_op(ctx);
                             }
                         }
                         Command::Sync(ack) => {

@@ -12,18 +12,35 @@
 //!   JSON-lines snapshot export used as the metrics sidecar format by the
 //!   figure binaries.
 //! - [`probe`] — free functions sampling simulator state (per-resource
-//!   utilisation, flow-engine queue depth) into a registry without the
-//!   simulator depending on this crate.
+//!   utilisation, flow-engine queue depth and per-resource in-flight leg
+//!   backlog) into a registry without the simulator depending on this
+//!   crate.
+//! - [`trace`] — per-op causal tracing: a [`Tracer`] implements the
+//!   simulator's `TraceSink` so every cost-DAG leg an engine executes
+//!   becomes a span (with queueing and service time separated), grouped
+//!   into span trees per foreground op / background flush.
+//! - [`optracker`] — Ceph-style op tracker behind the tracer: ring
+//!   buffers of in-flight and historic ops, rolling-p95 slow-op
+//!   detection, JSON dumps.
+//! - [`chrome`] — Chrome `trace_event` (Perfetto-loadable) export of
+//!   recorded traces, plus a dependency-free schema validator for CI.
 //!
 //! One `Registry` is created per storage stack (the engine builds it and
 //! shares it with its cluster) so a single snapshot shows the whole
 //! system: foreground op latencies next to flush-queue depth next to disk
-//! utilisation.
+//! utilisation. A `Tracer` is attached the same way when `DEDUP_TRACE_DIR`
+//! is set, producing `<figure>.trace.json` sidecars.
 
+pub mod chrome;
+pub mod optracker;
 pub mod probe;
 pub mod registry;
+pub mod trace;
 
+pub use chrome::{render, validate_chrome_trace};
+pub use optracker::{Clock, OpTrace, OpTracker, SlowOpEvent, Span, Track, TrackerConfig};
 pub use probe::{sample_flow_engine, sample_resources};
 pub use registry::{
     Counter, Gauge, Histogram, Labels, Meter, MetricSnapshot, Registry, SnapshotValue,
 };
+pub use trace::{TraceCtx, TraceExport, Tracer};

@@ -1,0 +1,465 @@
+//! Ring-buffered op tracking with slow-op detection.
+//!
+//! Modelled on Ceph's OpTracker (`dump_ops_in_flight` /
+//! `dump_historic_ops`): every traced operation lives in an **in-flight**
+//! table from begin to finish, then moves to a bounded **historic** ring.
+//! At finish time the op's latency is compared against the rolling p95 of
+//! recently completed ops of the same kind; ops slower than
+//! [`slow_factor`](TrackerConfig::slow_factor) × p95 are flagged, counted,
+//! and appended to a structured slow-op event log.
+//!
+//! The tracker is clock-agnostic: foreground ops and background flushes
+//! measure in virtual nanoseconds, service-worker ticks in wall-clock
+//! nanoseconds. Slow-op windows are kept per op kind, so the two domains
+//! never share a baseline.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt::Write as _;
+
+use crate::registry::json_escape;
+
+/// Which clock an op's timestamps are measured on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Clock {
+    /// Simulator virtual time ([`dedup_sim::SimTime`] nanoseconds).
+    Virtual,
+    /// Wall-clock nanoseconds since the tracer's epoch.
+    Wall,
+}
+
+impl Clock {
+    fn as_str(self) -> &'static str {
+        match self {
+            Clock::Virtual => "virtual",
+            Clock::Wall => "wall",
+        }
+    }
+}
+
+/// Where a span is drawn: one track per simulated resource, one per
+/// wall-clock thread.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Track {
+    /// A simulated resource, by pool index (resolved to its spec name at
+    /// export time).
+    Resource(u32),
+    /// A named wall-clock thread (flush workers) or a virtual pseudo-track
+    /// (`"delay"` for resource-free legs).
+    Thread(String),
+}
+
+/// One node of an op's span tree.
+#[derive(Debug, Clone)]
+pub struct Span {
+    /// Step name: the cost-DAG label path (e.g. `"read/redirect.chunk_read"`)
+    /// or a structural name (`"queue"`, `"service"`, `"flush.stage"`).
+    pub name: String,
+    /// The track the span is drawn on.
+    pub track: Track,
+    /// Start, in the owning op's clock domain (nanoseconds).
+    pub start_ns: u64,
+    /// End, in the owning op's clock domain (nanoseconds).
+    pub end_ns: u64,
+    /// Parent span index within the op; `None` = child of the op root.
+    pub parent: Option<u32>,
+    /// Payload bytes for transfer legs (0 otherwise).
+    pub bytes: u64,
+}
+
+/// One traced operation: identity, lifetime, and its span tree.
+#[derive(Debug, Clone)]
+pub struct OpTrace {
+    /// Unique id (monotonic per tracer).
+    pub id: u64,
+    /// Op kind: `"write"`, `"read"`, `"flush"`, `"service.tick"`, ...
+    pub kind: String,
+    /// Free-form detail, typically the object name.
+    pub detail: String,
+    /// The clock `start_ns`/`end_ns` are measured on.
+    pub clock: Clock,
+    /// Begin time in nanoseconds.
+    pub start_ns: u64,
+    /// End time; `None` while in flight.
+    pub end_ns: Option<u64>,
+    /// Flagged slower than `slow_factor` × rolling p95 of its kind.
+    pub slow: bool,
+    /// Span tree (parent links point into this vector).
+    pub spans: Vec<Span>,
+    /// Spans discarded after `max_spans_per_op` was hit.
+    pub dropped_spans: u64,
+}
+
+impl OpTrace {
+    /// Completed latency in nanoseconds (`None` while in flight).
+    pub fn latency_ns(&self) -> Option<u64> {
+        self.end_ns.map(|e| e.saturating_sub(self.start_ns))
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"id\":{},\"kind\":\"{}\",\"detail\":\"{}\",\"clock\":\"{}\",\"start_ns\":{},",
+            self.id,
+            json_escape(&self.kind),
+            json_escape(&self.detail),
+            self.clock.as_str(),
+            self.start_ns
+        );
+        match self.end_ns {
+            Some(e) => {
+                let _ = write!(
+                    out,
+                    "\"end_ns\":{e},\"latency_ns\":{},",
+                    e.saturating_sub(self.start_ns)
+                );
+            }
+            None => out.push_str("\"end_ns\":null,"),
+        }
+        let _ = write!(
+            out,
+            "\"slow\":{},\"spans\":{},\"dropped_spans\":{}}}",
+            self.slow,
+            self.spans.len(),
+            self.dropped_spans
+        );
+        out
+    }
+}
+
+/// One slow-op detection, kept in a bounded structured log.
+#[derive(Debug, Clone)]
+pub struct SlowOpEvent {
+    /// The flagged op's id.
+    pub op: u64,
+    /// The flagged op's kind.
+    pub kind: String,
+    /// The flagged op's detail.
+    pub detail: String,
+    /// Its latency in nanoseconds.
+    pub latency_ns: u64,
+    /// The rolling p95 it was compared against.
+    pub p95_ns: u64,
+}
+
+/// Capacity and slow-op tuning for an [`OpTracker`].
+#[derive(Debug, Clone)]
+pub struct TrackerConfig {
+    /// Max ops tracked in flight; the oldest is force-retired beyond this.
+    pub in_flight_capacity: usize,
+    /// Historic ring size.
+    pub historic_capacity: usize,
+    /// Completed latencies per kind feeding the rolling p95.
+    pub slow_window: usize,
+    /// Flag ops slower than this multiple of the rolling p95.
+    pub slow_factor: f64,
+    /// Completions of a kind required before flagging starts.
+    pub slow_min_samples: usize,
+    /// Span-tree size cap per op; further spans are counted, not stored.
+    pub max_spans_per_op: usize,
+    /// Slow-op event log ring size.
+    pub max_slow_events: usize,
+}
+
+impl Default for TrackerConfig {
+    fn default() -> Self {
+        TrackerConfig {
+            in_flight_capacity: 1024,
+            historic_capacity: 4096,
+            slow_window: 128,
+            slow_factor: 4.0,
+            slow_min_samples: 32,
+            max_spans_per_op: 8192,
+            max_slow_events: 256,
+        }
+    }
+}
+
+/// Ring buffer of in-flight and historic ops with slow-op detection.
+#[derive(Debug, Default)]
+pub struct OpTracker {
+    config: TrackerConfig,
+    /// Keyed by op id; ids are monotonic, so iteration order = begin order.
+    in_flight: BTreeMap<u64, OpTrace>,
+    historic: VecDeque<OpTrace>,
+    /// Rolling completed-latency windows, one per op kind.
+    windows: HashMap<String, VecDeque<u64>>,
+    slow_ops: u64,
+    slow_events: VecDeque<SlowOpEvent>,
+}
+
+impl OpTracker {
+    /// Creates a tracker with the given capacities.
+    pub fn new(config: TrackerConfig) -> Self {
+        OpTracker {
+            config,
+            in_flight: BTreeMap::new(),
+            historic: VecDeque::new(),
+            windows: HashMap::new(),
+            slow_ops: 0,
+            slow_events: VecDeque::new(),
+        }
+    }
+
+    /// Starts tracking op `id`.
+    pub fn begin(&mut self, id: u64, kind: &str, detail: &str, clock: Clock, start_ns: u64) {
+        if self.in_flight.len() >= self.config.in_flight_capacity {
+            // Ring semantics: force-retire the oldest op (still unfinished)
+            // so a leak of unfinished ops cannot grow without bound.
+            if let Some((&oldest, _)) = self.in_flight.iter().next() {
+                let op = self.in_flight.remove(&oldest).expect("present");
+                self.retire(op);
+            }
+        }
+        self.in_flight.insert(
+            id,
+            OpTrace {
+                id,
+                kind: kind.to_string(),
+                detail: detail.to_string(),
+                clock,
+                start_ns,
+                end_ns: None,
+                slow: false,
+                spans: Vec::new(),
+                dropped_spans: 0,
+            },
+        );
+    }
+
+    /// Appends a span to op `id`'s tree; returns its index for parenting,
+    /// or `None` if the op is not in flight or its tree is full.
+    pub fn add_span(&mut self, id: u64, span: Span) -> Option<u32> {
+        let op = self.in_flight.get_mut(&id)?;
+        if op.spans.len() >= self.config.max_spans_per_op {
+            op.dropped_spans += 1;
+            return None;
+        }
+        op.spans.push(span);
+        Some((op.spans.len() - 1) as u32)
+    }
+
+    /// Finishes op `id` at `end_ns`: runs slow-op detection and moves it
+    /// to the historic ring. Returns the slow-op event if it was flagged.
+    pub fn finish(&mut self, id: u64, end_ns: u64) -> Option<SlowOpEvent> {
+        let mut op = self.in_flight.remove(&id)?;
+        op.end_ns = Some(end_ns);
+        let latency = end_ns.saturating_sub(op.start_ns);
+        let window = self.windows.entry(op.kind.clone()).or_default();
+        let mut event = None;
+        if window.len() >= self.config.slow_min_samples {
+            let p95 = rolling_p95(window);
+            let threshold = (p95 as f64 * self.config.slow_factor) as u64;
+            if p95 > 0 && latency > threshold {
+                op.slow = true;
+                self.slow_ops += 1;
+                let e = SlowOpEvent {
+                    op: op.id,
+                    kind: op.kind.clone(),
+                    detail: op.detail.clone(),
+                    latency_ns: latency,
+                    p95_ns: p95,
+                };
+                if self.slow_events.len() >= self.config.max_slow_events {
+                    self.slow_events.pop_front();
+                }
+                self.slow_events.push_back(e.clone());
+                event = Some(e);
+            }
+        }
+        if window.len() >= self.config.slow_window {
+            window.pop_front();
+        }
+        window.push_back(latency);
+        self.retire(op);
+        event
+    }
+
+    fn retire(&mut self, op: OpTrace) {
+        if self.historic.len() >= self.config.historic_capacity {
+            self.historic.pop_front();
+        }
+        self.historic.push_back(op);
+    }
+
+    /// Ops currently in flight, oldest first.
+    pub fn in_flight(&self) -> impl Iterator<Item = &OpTrace> {
+        self.in_flight.values()
+    }
+
+    /// Completed (or force-retired) ops, oldest first.
+    pub fn historic(&self) -> impl Iterator<Item = &OpTrace> {
+        self.historic.iter()
+    }
+
+    /// Total ops flagged slow.
+    pub fn slow_ops(&self) -> u64 {
+        self.slow_ops
+    }
+
+    /// The bounded slow-op event log, oldest first.
+    pub fn slow_events(&self) -> impl Iterator<Item = &SlowOpEvent> {
+        self.slow_events.iter()
+    }
+
+    /// In-flight ops as a JSON array (Ceph's `dump_ops_in_flight`).
+    pub fn dump_in_flight(&self) -> String {
+        dump(self.in_flight.values())
+    }
+
+    /// Historic ops as a JSON array (Ceph's `dump_historic_ops`).
+    pub fn dump_historic(&self) -> String {
+        dump(self.historic.iter())
+    }
+}
+
+fn dump<'a>(ops: impl Iterator<Item = &'a OpTrace>) -> String {
+    let mut out = String::from("[");
+    for (i, op) in ops.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&op.to_json());
+    }
+    out.push(']');
+    out
+}
+
+/// p95 over the window by the nearest-rank method.
+fn rolling_p95(window: &VecDeque<u64>) -> u64 {
+    let mut sorted: Vec<u64> = window.iter().copied().collect();
+    sorted.sort_unstable();
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((0.95 * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tracker(cfg: TrackerConfig) -> OpTracker {
+        OpTracker::new(cfg)
+    }
+
+    fn quick_cfg() -> TrackerConfig {
+        TrackerConfig {
+            slow_min_samples: 4,
+            slow_window: 16,
+            slow_factor: 2.0,
+            ..TrackerConfig::default()
+        }
+    }
+
+    #[test]
+    fn ops_move_from_in_flight_to_historic() {
+        let mut t = tracker(TrackerConfig::default());
+        t.begin(1, "write", "obj-a", Clock::Virtual, 100);
+        assert_eq!(t.in_flight().count(), 1);
+        assert!(t.finish(1, 500).is_none());
+        assert_eq!(t.in_flight().count(), 0);
+        let done: Vec<&OpTrace> = t.historic().collect();
+        assert_eq!(done.len(), 1);
+        assert_eq!(done[0].latency_ns(), Some(400));
+    }
+
+    #[test]
+    fn slow_ops_are_flagged_against_rolling_p95() {
+        let mut t = tracker(quick_cfg());
+        for i in 0..8 {
+            t.begin(i, "read", "x", Clock::Virtual, 0);
+            assert!(t.finish(i, 1000).is_none(), "baseline ops are not slow");
+        }
+        t.begin(99, "read", "laggard", Clock::Virtual, 0);
+        let e = t.finish(99, 10_000).expect("10x p95 is slow");
+        assert_eq!(e.op, 99);
+        assert_eq!(e.p95_ns, 1000);
+        assert_eq!(t.slow_ops(), 1);
+        assert_eq!(t.slow_events().count(), 1);
+        let slow: Vec<&OpTrace> = t.historic().filter(|o| o.slow).collect();
+        assert_eq!(slow.len(), 1);
+        assert_eq!(slow[0].id, 99);
+    }
+
+    #[test]
+    fn different_kinds_keep_separate_baselines() {
+        let mut t = tracker(quick_cfg());
+        for i in 0..8 {
+            t.begin(i, "read", "x", Clock::Virtual, 0);
+            t.finish(i, 100);
+        }
+        // A "flush" op 100x slower than reads must not be flagged: its own
+        // kind has no baseline yet.
+        t.begin(50, "flush", "y", Clock::Wall, 0);
+        assert!(t.finish(50, 10_000).is_none());
+    }
+
+    #[test]
+    fn historic_ring_is_bounded() {
+        let mut t = tracker(TrackerConfig {
+            historic_capacity: 4,
+            ..TrackerConfig::default()
+        });
+        for i in 0..10 {
+            t.begin(i, "w", "", Clock::Virtual, 0);
+            t.finish(i, 1);
+        }
+        let ids: Vec<u64> = t.historic().map(|o| o.id).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn in_flight_overflow_force_retires_oldest() {
+        let mut t = tracker(TrackerConfig {
+            in_flight_capacity: 2,
+            ..TrackerConfig::default()
+        });
+        t.begin(1, "w", "", Clock::Virtual, 0);
+        t.begin(2, "w", "", Clock::Virtual, 0);
+        t.begin(3, "w", "", Clock::Virtual, 0);
+        assert_eq!(t.in_flight().count(), 2);
+        let retired: Vec<&OpTrace> = t.historic().collect();
+        assert_eq!(retired.len(), 1);
+        assert_eq!(retired[0].id, 1);
+        assert_eq!(retired[0].end_ns, None, "retired unfinished");
+    }
+
+    #[test]
+    fn span_cap_counts_drops() {
+        let mut t = tracker(TrackerConfig {
+            max_spans_per_op: 2,
+            ..TrackerConfig::default()
+        });
+        t.begin(1, "w", "", Clock::Virtual, 0);
+        let span = Span {
+            name: "s".into(),
+            track: Track::Thread("delay".into()),
+            start_ns: 0,
+            end_ns: 1,
+            parent: None,
+            bytes: 0,
+        };
+        assert_eq!(t.add_span(1, span.clone()), Some(0));
+        assert_eq!(t.add_span(1, span.clone()), Some(1));
+        assert_eq!(t.add_span(1, span), None);
+        t.finish(1, 10);
+        assert_eq!(t.historic().next().unwrap().dropped_spans, 1);
+    }
+
+    #[test]
+    fn dumps_are_json_arrays() {
+        let mut t = tracker(TrackerConfig::default());
+        t.begin(1, "write", "obj \"q\"", Clock::Virtual, 5);
+        t.begin(2, "read", "r", Clock::Wall, 7);
+        t.finish(2, 19);
+        let inflight = t.dump_in_flight();
+        assert!(inflight.starts_with('[') && inflight.ends_with(']'));
+        assert!(inflight.contains("\"end_ns\":null"));
+        assert!(inflight.contains("obj \\\"q\\\""));
+        let historic = t.dump_historic();
+        assert!(historic.contains("\"latency_ns\":12"));
+        assert!(historic.contains("\"clock\":\"wall\""));
+    }
+}

@@ -43,11 +43,21 @@ pub fn sample_resources(registry: &Registry, pool: &ResourcePool, until: SimTime
 }
 
 /// Publishes flow-engine queue depth: `sim.flow.in_flight` is the number
-/// of flows started but not yet completed.
-pub fn sample_flow_engine(registry: &Registry, engine: &FlowEngine) {
+/// of flows started but not yet completed, and for every resource in
+/// `pool` a `sim.flow.pending_legs` gauge (labelled by spec name) counts
+/// cost-DAG legs currently queued on or being served by that resource —
+/// the live backlog behind each device, as opposed to the historical wait
+/// statistics from [`sample_resources`].
+pub fn sample_flow_engine(registry: &Registry, engine: &FlowEngine, pool: &ResourcePool) {
     registry
         .gauge("sim.flow.in_flight")
         .set(engine.in_flight() as i64);
+    for (id, resource) in pool.iter() {
+        let name = resource.spec().name.as_str();
+        registry
+            .gauge_with("sim.flow.pending_legs", &[("resource", name)])
+            .set(engine.pending_legs(id) as i64);
+    }
 }
 
 #[cfg(test)]
@@ -90,10 +100,48 @@ mod tests {
         let mut engine = FlowEngine::new();
         engine.start(SimTime::ZERO, &CostExpr::transfer(disk, 4096), 1);
         let registry = Registry::new();
-        sample_flow_engine(&registry, &engine);
+        sample_flow_engine(&registry, &engine, &pool);
         assert_eq!(registry.gauge("sim.flow.in_flight").get(), 1);
         while engine.advance(&mut pool).is_some() {}
-        sample_flow_engine(&registry, &engine);
+        sample_flow_engine(&registry, &engine, &pool);
         assert_eq!(registry.gauge("sim.flow.in_flight").get(), 0);
+    }
+
+    #[test]
+    fn flow_probe_publishes_per_resource_leg_backlog() {
+        let mut pool = ResourcePool::new();
+        let disk = pool.register(ResourceSpec::disk("osd.0/disk", 1 << 20, 0));
+        let nic = pool.register(ResourceSpec::nic("node.0/nic", 1 << 30, 0));
+        let mut engine = FlowEngine::new();
+        // Three flows touch the disk, one also touches the NIC afterwards.
+        for tag in 0..3 {
+            engine.start(SimTime::ZERO, &CostExpr::transfer(disk, 1 << 20), tag);
+        }
+        engine.start(
+            SimTime::ZERO,
+            &CostExpr::seq([
+                CostExpr::transfer(disk, 1 << 20),
+                CostExpr::transfer(nic, 4096),
+            ]),
+            3,
+        );
+        let registry = Registry::new();
+        sample_flow_engine(&registry, &engine, &pool);
+        let disk_legs = registry
+            .gauge_with("sim.flow.pending_legs", &[("resource", "osd.0/disk")])
+            .get();
+        let nic_legs = registry
+            .gauge_with("sim.flow.pending_legs", &[("resource", "node.0/nic")])
+            .get();
+        assert_eq!(disk_legs, 4, "all four disk legs are live at start");
+        assert_eq!(nic_legs, 1, "the seq flow's NIC leg is pending too");
+        while engine.advance(&mut pool).is_some() {}
+        sample_flow_engine(&registry, &engine, &pool);
+        assert_eq!(
+            registry
+                .gauge_with("sim.flow.pending_legs", &[("resource", "osd.0/disk")])
+                .get(),
+            0
+        );
     }
 }

@@ -483,7 +483,7 @@ impl Registry {
     }
 }
 
-fn json_escape(s: &str) -> String {
+pub(crate) fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -677,5 +677,43 @@ mod tests {
         assert!(lines[1].contains("\\\"")); // escaped quote in label value
         assert!(lines[2].contains("\"p99\":"));
         assert!(lines[3].contains("\"rate_per_sec\":5"));
+    }
+
+    #[test]
+    fn snapshots_are_deterministic_across_registration_order() {
+        // Two registries with the same instruments registered in opposite
+        // orders (and labels given in different orders) must snapshot to
+        // byte-identical JSON-lines: diffable sidecars across runs.
+        type Step = Box<dyn Fn(&Registry)>;
+        let populate = |reg: &Registry, reverse: bool| {
+            let mut steps: Vec<Step> = vec![
+                Box::new(|r: &Registry| r.counter("z.ops").add(7)),
+                Box::new(|r: &Registry| {
+                    r.gauge_with("a.depth", &[("pool", "base"), ("node", "0")])
+                        .set(4)
+                }),
+                Box::new(|r: &Registry| {
+                    // Same labels, other order: must coalesce identically.
+                    r.gauge_with("a.depth", &[("node", "1"), ("pool", "base")])
+                        .set(5)
+                }),
+                Box::new(|r: &Registry| r.histogram("m.lat").record(1000)),
+            ];
+            if reverse {
+                steps.reverse();
+            }
+            for step in steps {
+                step(reg);
+            }
+        };
+        let fwd = Registry::new();
+        populate(&fwd, false);
+        let rev = Registry::new();
+        populate(&rev, true);
+        let now = SimTime::from_secs(1);
+        assert_eq!(fwd.to_jsonl(now), rev.to_jsonl(now));
+        // And the order itself is (name, labels)-sorted.
+        let names: Vec<String> = fwd.snapshot(now).into_iter().map(|s| s.name).collect();
+        assert_eq!(names, vec!["a.depth", "a.depth", "m.lat", "z.ops"]);
     }
 }

@@ -6,6 +6,8 @@
 //! Executing the tree against a [`ResourcePool`] threads virtual time through
 //! the resources, queueing where they are already busy.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::resource::{ResourceId, ResourcePool};
@@ -41,6 +43,15 @@ pub enum CostExpr {
     /// Children start together; the expression completes when all complete
     /// (fan-out to replicas, EC shards, ...).
     Par(Vec<CostExpr>),
+    /// A semantic label on a subtree, for tracing: legs compiled from
+    /// `inner` report `label` (labels nest as `outer/inner` paths).
+    /// Timing-transparent — execution is exactly that of `inner`.
+    Tagged {
+        /// The semantic step name, e.g. `"redirect.chunk_read"`.
+        label: Arc<str>,
+        /// The subtree being labelled.
+        inner: Box<CostExpr>,
+    },
 }
 
 impl CostExpr {
@@ -98,6 +109,19 @@ impl CostExpr {
         CostExpr::seq([self, next])
     }
 
+    /// Labels `inner` with a semantic step name for tracing. No-op
+    /// subtrees stay no-ops (a label on nothing carries no information),
+    /// so cost-tree simplification is unaffected.
+    pub fn tagged(label: impl Into<Arc<str>>, inner: CostExpr) -> Self {
+        if inner.is_nop() {
+            return CostExpr::Nop;
+        }
+        CostExpr::Tagged {
+            label: label.into(),
+            inner: Box::new(inner),
+        }
+    }
+
     /// Total bytes transferred anywhere in the tree (for accounting).
     pub fn total_bytes(&self) -> u64 {
         match self {
@@ -105,6 +129,7 @@ impl CostExpr {
             CostExpr::Seq(parts) | CostExpr::Par(parts) => {
                 parts.iter().map(CostExpr::total_bytes).sum()
             }
+            CostExpr::Tagged { inner, .. } => inner.total_bytes(),
             _ => 0,
         }
     }
@@ -114,6 +139,7 @@ impl CostExpr {
         match self {
             CostExpr::Nop => true,
             CostExpr::Seq(parts) | CostExpr::Par(parts) => parts.iter().all(CostExpr::is_nop),
+            CostExpr::Tagged { inner, .. } => inner.is_nop(),
             _ => false,
         }
     }
@@ -153,6 +179,7 @@ impl ResourcePool {
                 .iter()
                 .map(|p| self.execute(now, p))
                 .fold(now, SimTime::max),
+            CostExpr::Tagged { inner, .. } => self.execute(now, inner),
         }
     }
 }
@@ -238,6 +265,38 @@ mod tests {
             CostExpr::par([CostExpr::transfer(b, 50), CostExpr::transfer(a, 25)]),
         ]);
         assert_eq!(cost.total_bytes(), 175);
+    }
+
+    #[test]
+    fn tagged_is_timing_transparent() {
+        let (mut pool, a, b) = pool_with_two();
+        let plain = CostExpr::seq([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::transfer(b, 1 << 20),
+        ]);
+        let tagged = CostExpr::tagged(
+            "op",
+            CostExpr::seq([
+                CostExpr::tagged("first", CostExpr::transfer(a, 1 << 20)),
+                CostExpr::transfer(b, 1 << 20),
+            ]),
+        );
+        let mut reference = pool.clone();
+        assert_eq!(
+            pool.execute(SimTime::ZERO, &tagged),
+            reference.execute(SimTime::ZERO, &plain)
+        );
+        assert_eq!(tagged.total_bytes(), plain.total_bytes());
+        assert!(!tagged.is_nop());
+    }
+
+    #[test]
+    fn tagging_a_nop_stays_nop() {
+        assert!(CostExpr::tagged("x", CostExpr::Nop).is_nop());
+        assert!(matches!(
+            CostExpr::tagged("x", CostExpr::seq([])),
+            CostExpr::Nop
+        ));
     }
 
     #[test]

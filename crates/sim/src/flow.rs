@@ -22,10 +22,14 @@
 //! assert_eq!(done.at, SimTime::from_secs(1));
 //! ```
 
+use std::fmt;
+use std::sync::Arc;
+
 use crate::cost::CostExpr;
 use crate::driver::EventQueue;
 use crate::resource::{ResourceId, ResourcePool};
 use crate::time::{SimDuration, SimTime};
+use crate::trace::{LegKind, LegRecord, TraceSink};
 
 /// One executable leg of a flow.
 #[derive(Debug, Clone, Copy)]
@@ -40,6 +44,8 @@ enum Step {
 #[derive(Debug, Clone)]
 struct FlowNode {
     step: Step,
+    /// Label path from enclosing `CostExpr::Tagged` nodes (tracing only).
+    label: Option<Arc<str>>,
     succs: Vec<usize>,
     preds_left: usize,
     /// Latest predecessor completion seen so far.
@@ -64,12 +70,28 @@ pub struct FlowCompletion {
 }
 
 /// Executes many cost trees concurrently with correct leg interleaving.
-#[derive(Debug, Default)]
+#[derive(Default)]
 pub struct FlowEngine {
     events: EventQueue<(usize, usize)>,
     flows: Vec<Option<Flow>>,
     free_slots: Vec<usize>,
     in_flight: usize,
+    /// Legs started but not yet executed, indexed by resource (grown on
+    /// demand). Delays and structural nodes are not counted.
+    pending_legs: Vec<usize>,
+    /// Optional trace receiver; `None` disables all reporting.
+    sink: Option<Box<dyn TraceSink>>,
+}
+
+impl fmt::Debug for FlowEngine {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FlowEngine")
+            .field("in_flight", &self.in_flight)
+            .field("flows", &self.flows)
+            .field("pending_legs", &self.pending_legs)
+            .field("traced", &self.sink.is_some())
+            .finish_non_exhaustive()
+    }
 }
 
 impl FlowEngine {
@@ -83,6 +105,31 @@ impl FlowEngine {
         self.in_flight
     }
 
+    /// Attaches a trace sink; every subsequently executed leg is reported
+    /// to it. Tracing never changes virtual-time results.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink>) {
+        self.sink = Some(sink);
+    }
+
+    /// Detaches the trace sink, returning reporting to the free path.
+    pub fn clear_trace_sink(&mut self) {
+        self.sink = None;
+    }
+
+    /// Whether a trace sink is attached.
+    pub fn is_traced(&self) -> bool {
+        self.sink.is_some()
+    }
+
+    /// Number of started-but-unexecuted legs targeting `resource` right
+    /// now — per-resource contention visible without tracing.
+    pub fn pending_legs(&self, resource: ResourceId) -> usize {
+        self.pending_legs
+            .get(resource.index())
+            .copied()
+            .unwrap_or(0)
+    }
+
     /// Time of the next pending leg, if any.
     pub fn peek_time(&self) -> Option<SimTime> {
         self.events.peek_time()
@@ -93,16 +140,26 @@ impl FlowEngine {
     /// `tag`.
     pub fn start(&mut self, at: SimTime, cost: &CostExpr, tag: u64) {
         let mut nodes = Vec::new();
-        let (entries, _exits) = compile(cost, &mut nodes);
+        let (entries, _exits) = compile(cost, &mut nodes, None);
         if nodes.is_empty() {
             // Pure no-op: model as a single structural node so the flow
             // still completes through the queue (usable as a timer).
             nodes.push(FlowNode {
                 step: Step::Nop,
+                label: None,
                 succs: Vec::new(),
                 preds_left: 0,
                 ready_at: at,
             });
+        }
+        for node in &nodes {
+            if let Step::Transfer(r, _) | Step::Busy(r, _) = node.step {
+                let i = r.index();
+                if self.pending_legs.len() <= i {
+                    self.pending_legs.resize(i + 1, 0);
+                }
+                self.pending_legs[i] += 1;
+            }
         }
         let remaining = nodes.len();
         let flow = Flow {
@@ -122,6 +179,9 @@ impl FlowEngine {
             }
         };
         self.in_flight += 1;
+        if let Some(sink) = &self.sink {
+            sink.flow_started(tag, at);
+        }
         let flow = self.flows[slot].as_mut().expect("just inserted");
         if entries.is_empty() {
             // The synthetic Nop node is the only entry.
@@ -177,14 +237,48 @@ impl FlowEngine {
         let flow = self.flows[slot].as_mut().expect("live flow");
         let node = &flow.nodes[node_idx];
         let ready = node.ready_at.max(at);
-        let done = match node.step {
-            Step::Transfer(r, bytes) => pool.get_mut(r).serve(ready, bytes),
-            Step::Busy(r, nanos) => pool
-                .get_mut(r)
-                .serve_for(ready, SimDuration::from_nanos(nanos)),
-            Step::Delay(nanos) => ready + SimDuration::from_nanos(nanos),
-            Step::Nop => ready,
+        // `service_start` mirrors the `now.max(next_free)` the resource
+        // computes inside `serve`; reading it here lets tracing separate
+        // queueing from service without perturbing the serving path.
+        let (done, service_start) = match node.step {
+            Step::Transfer(r, bytes) => {
+                let res = pool.get_mut(r);
+                let start = ready.max(res.next_free());
+                (res.serve(ready, bytes), start)
+            }
+            Step::Busy(r, nanos) => {
+                let res = pool.get_mut(r);
+                let start = ready.max(res.next_free());
+                (res.serve_for(ready, SimDuration::from_nanos(nanos)), start)
+            }
+            Step::Delay(nanos) => (ready + SimDuration::from_nanos(nanos), ready),
+            Step::Nop => (ready, ready),
         };
+        if let Step::Transfer(r, _) | Step::Busy(r, _) = node.step {
+            self.pending_legs[r.index()] -= 1;
+        }
+        if let Some(sink) = &self.sink {
+            let record = match node.step {
+                Step::Transfer(r, bytes) => Some((Some(r), LegKind::Transfer, bytes)),
+                Step::Busy(r, _) => Some((Some(r), LegKind::Busy, 0)),
+                Step::Delay(_) => Some((None, LegKind::Delay, 0)),
+                Step::Nop => None,
+            };
+            if let Some((resource, kind, bytes)) = record {
+                sink.leg(
+                    flow.tag,
+                    &LegRecord {
+                        resource,
+                        kind,
+                        bytes,
+                        label: node.label.clone(),
+                        queued_at: ready,
+                        service_start,
+                        completed_at: done,
+                    },
+                );
+            }
+        }
         flow.finished_at = flow.finished_at.max(done);
         flow.remaining -= 1;
         let succs = flow.nodes[node_idx].succs.clone();
@@ -204,6 +298,9 @@ impl FlowEngine {
             self.flows[slot] = None;
             self.free_slots.push(slot);
             self.in_flight -= 1;
+            if let Some(sink) = &self.sink {
+                sink.flow_completed(completion.tag, completion.at);
+            }
             return Some(completion);
         }
         None
@@ -211,26 +308,31 @@ impl FlowEngine {
 }
 
 /// Compiles a cost tree into DAG nodes; returns (entry ids, exit ids).
-fn compile(cost: &CostExpr, nodes: &mut Vec<FlowNode>) -> (Vec<usize>, Vec<usize>) {
+/// `label` is the label path accumulated from enclosing `Tagged` nodes.
+fn compile(
+    cost: &CostExpr,
+    nodes: &mut Vec<FlowNode>,
+    label: Option<&Arc<str>>,
+) -> (Vec<usize>, Vec<usize>) {
     match cost {
         CostExpr::Nop => (Vec::new(), Vec::new()),
         CostExpr::Transfer { resource, bytes } => {
-            let id = push_leaf(nodes, Step::Transfer(*resource, *bytes));
+            let id = push_leaf(nodes, Step::Transfer(*resource, *bytes), label);
             (vec![id], vec![id])
         }
         CostExpr::Busy { resource, nanos } => {
-            let id = push_leaf(nodes, Step::Busy(*resource, *nanos));
+            let id = push_leaf(nodes, Step::Busy(*resource, *nanos), label);
             (vec![id], vec![id])
         }
         CostExpr::Delay(nanos) => {
-            let id = push_leaf(nodes, Step::Delay(*nanos));
+            let id = push_leaf(nodes, Step::Delay(*nanos), label);
             (vec![id], vec![id])
         }
         CostExpr::Seq(parts) => {
             let mut entries: Vec<usize> = Vec::new();
             let mut exits: Vec<usize> = Vec::new();
             for part in parts {
-                let (e, x) = compile(part, nodes);
+                let (e, x) = compile(part, nodes, label);
                 if e.is_empty() {
                     continue; // nested no-op
                 }
@@ -241,7 +343,7 @@ fn compile(cost: &CostExpr, nodes: &mut Vec<FlowNode>) -> (Vec<usize>, Vec<usize
                     // With multiple exits and entries, insert a join node to
                     // keep edge counts simple.
                     let (froms, tos) = if exits.len() > 1 && e.len() > 1 {
-                        let join = push_leaf(nodes, Step::Nop);
+                        let join = push_leaf(nodes, Step::Nop, None);
                         connect(nodes, &exits, &[join]);
                         (vec![join], e)
                     } else {
@@ -257,18 +359,26 @@ fn compile(cost: &CostExpr, nodes: &mut Vec<FlowNode>) -> (Vec<usize>, Vec<usize
             let mut entries = Vec::new();
             let mut exits = Vec::new();
             for part in parts {
-                let (e, x) = compile(part, nodes);
+                let (e, x) = compile(part, nodes, label);
                 entries.extend(e);
                 exits.extend(x);
             }
             (entries, exits)
         }
+        CostExpr::Tagged { label: l, inner } => {
+            let combined = match label {
+                None => l.clone(),
+                Some(outer) => Arc::from(format!("{outer}/{l}")),
+            };
+            compile(inner, nodes, Some(&combined))
+        }
     }
 }
 
-fn push_leaf(nodes: &mut Vec<FlowNode>, step: Step) -> usize {
+fn push_leaf(nodes: &mut Vec<FlowNode>, step: Step, label: Option<&Arc<str>>) -> usize {
     nodes.push(FlowNode {
         step,
+        label: label.cloned(),
         succs: Vec::new(),
         preds_left: 0,
         ready_at: SimTime::ZERO,
@@ -391,6 +501,109 @@ mod tests {
         }
         assert_eq!(seen.len(), 100);
         assert_eq!(engine.in_flight(), 0);
+    }
+
+    #[derive(Default, Clone)]
+    struct RecordingSink {
+        legs: std::sync::Arc<std::sync::Mutex<Vec<(u64, LegRecord)>>>,
+        completions: std::sync::Arc<std::sync::Mutex<Vec<(u64, SimTime)>>>,
+    }
+
+    impl TraceSink for RecordingSink {
+        fn leg(&self, tag: u64, leg: &LegRecord) {
+            self.legs.lock().unwrap().push((tag, leg.clone()));
+        }
+        fn flow_completed(&self, tag: u64, at: SimTime) {
+            self.completions.lock().unwrap().push((tag, at));
+        }
+    }
+
+    #[test]
+    fn sink_sees_queue_and_service_separately() {
+        let (mut pool, a, _) = pool2();
+        let sink = RecordingSink::default();
+        let mut engine = FlowEngine::new();
+        engine.set_trace_sink(Box::new(sink.clone()));
+        // Two 1 MiB transfers on the same 1 MiB/s disk: the second queues
+        // a full second behind the first.
+        engine.start(SimTime::ZERO, &CostExpr::transfer(a, 1 << 20), 1);
+        engine.start(SimTime::ZERO, &CostExpr::transfer(a, 1 << 20), 2);
+        while engine.advance(&mut pool).is_some() {}
+        let legs = sink.legs.lock().unwrap();
+        assert_eq!(legs.len(), 2);
+        let first = &legs[0].1;
+        let second = &legs[1].1;
+        assert_eq!(first.queue_nanos(), 0);
+        assert_eq!(first.service_nanos(), 1_000_000_000);
+        assert_eq!(second.queue_nanos(), 1_000_000_000, "queued behind first");
+        assert_eq!(second.service_nanos(), 1_000_000_000);
+        assert_eq!(second.resource, Some(a));
+        assert_eq!(sink.completions.lock().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn sink_sees_nested_labels_as_paths() {
+        let (mut pool, a, b) = pool2();
+        let sink = RecordingSink::default();
+        let mut engine = FlowEngine::new();
+        engine.set_trace_sink(Box::new(sink.clone()));
+        let cost = CostExpr::tagged(
+            "read",
+            CostExpr::seq([
+                CostExpr::tagged("lookup", CostExpr::transfer(a, 64)),
+                CostExpr::transfer(b, 4096),
+            ]),
+        );
+        engine.start(SimTime::ZERO, &cost, 7);
+        while engine.advance(&mut pool).is_some() {}
+        let legs = sink.legs.lock().unwrap();
+        let labels: Vec<Option<String>> = legs
+            .iter()
+            .map(|(_, l)| l.label.as_deref().map(String::from))
+            .collect();
+        assert_eq!(
+            labels,
+            vec![Some("read/lookup".to_string()), Some("read".to_string())]
+        );
+    }
+
+    #[test]
+    fn tracing_does_not_change_completion_times() {
+        let (mut traced_pool, a, b) = pool2();
+        let mut plain_pool = traced_pool.clone();
+        let cost = CostExpr::seq([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::par([
+                CostExpr::transfer(b, 1 << 20),
+                CostExpr::transfer(a, 1 << 19),
+            ]),
+        ]);
+        let tagged = CostExpr::tagged("op", cost.clone());
+        let mut plain = FlowEngine::new();
+        plain.start(SimTime::ZERO, &cost, 1);
+        let expect = plain.advance(&mut plain_pool).expect("flow");
+        let mut traced = FlowEngine::new();
+        traced.set_trace_sink(Box::new(RecordingSink::default()));
+        traced.start(SimTime::ZERO, &tagged, 1);
+        let got = traced.advance(&mut traced_pool).expect("flow");
+        assert_eq!(got.at, expect.at);
+    }
+
+    #[test]
+    fn pending_legs_track_per_resource_backlog() {
+        let (mut pool, a, b) = pool2();
+        let mut engine = FlowEngine::new();
+        let cost = CostExpr::seq([
+            CostExpr::transfer(a, 1 << 20),
+            CostExpr::transfer(b, 1 << 20),
+        ]);
+        engine.start(SimTime::ZERO, &cost, 1);
+        engine.start(SimTime::ZERO, &CostExpr::transfer(a, 1 << 20), 2);
+        assert_eq!(engine.pending_legs(a), 2);
+        assert_eq!(engine.pending_legs(b), 1);
+        while engine.advance(&mut pool).is_some() {}
+        assert_eq!(engine.pending_legs(a), 0);
+        assert_eq!(engine.pending_legs(b), 0);
     }
 
     #[test]

@@ -33,6 +33,7 @@ mod resource;
 mod series;
 mod stats;
 mod time;
+mod trace;
 
 pub use cost::CostExpr;
 pub use driver::{ClosedLoopDriver, EventQueue, ScheduledEvent};
@@ -41,3 +42,4 @@ pub use resource::{Resource, ResourceId, ResourcePool, ResourceSpec};
 pub use series::{TimeBin, TimeSeries};
 pub use stats::{LatencyStats, SlidingWindowCounter};
 pub use time::{SimDuration, SimTime};
+pub use trace::{LegKind, LegRecord, TraceSink};

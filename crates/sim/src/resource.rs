@@ -134,6 +134,14 @@ impl Resource {
         self.busy
     }
 
+    /// Virtual time at which the serial section becomes free: a request
+    /// arriving at `now` starts service at `now.max(next_free())`. Lets
+    /// tracing separate queueing delay from service time without touching
+    /// the serving path.
+    pub fn next_free(&self) -> SimTime {
+        self.next_free
+    }
+
     /// Utilisation of the serial section over `[SimTime::ZERO, until]`.
     pub fn utilization(&self, until: SimTime) -> f64 {
         if until == SimTime::ZERO {

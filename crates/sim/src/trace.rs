@@ -1,0 +1,105 @@
+//! Trace hooks for the timing plane.
+//!
+//! The simulator stays free of tracing plumbing the same way it stays free
+//! of metrics plumbing: instead of `dedup-sim` depending on an
+//! observability crate, the [`FlowEngine`](crate::FlowEngine) accepts an
+//! optional [`TraceSink`] and reports every executed leg to it — resource,
+//! queue-entry time, service start and completion, so queueing and service
+//! time are separable downstream. When no sink is attached the engine
+//! skips all reporting (one `Option` test per leg), so the disabled path
+//! costs nothing and virtual-time results are bit-identical either way.
+//!
+//! Legs can carry a label (set with [`CostExpr::tagged`](crate::CostExpr))
+//! naming the semantic step they implement — e.g. a proxied redirection
+//! read tags its base-pool lookup hop and its chunk-pool read separately.
+//! Labels nest: a leaf inside `Tagged("a", Tagged("b", ..))` reports the
+//! path `"a/b"`.
+
+use std::sync::Arc;
+
+use crate::resource::ResourceId;
+use crate::time::SimTime;
+
+/// What kind of work a traced leg performed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LegKind {
+    /// Bytes moved through a resource's serial section.
+    Transfer,
+    /// A resource occupied for a fixed duration.
+    Busy,
+    /// A pure delay, not tied to any resource.
+    Delay,
+}
+
+/// One executed leg of a flow, reported to a [`TraceSink`].
+#[derive(Debug, Clone)]
+pub struct LegRecord {
+    /// The resource the leg ran on; `None` for pure delays.
+    pub resource: Option<ResourceId>,
+    /// The kind of work performed.
+    pub kind: LegKind,
+    /// Payload bytes for transfers (0 otherwise).
+    pub bytes: u64,
+    /// Label path from enclosing [`CostExpr::Tagged`](crate::CostExpr)
+    /// nodes, if any (outermost first, `/`-joined).
+    pub label: Option<Arc<str>>,
+    /// When the leg became runnable (all predecessors done): queue entry.
+    pub queued_at: SimTime,
+    /// When the resource actually started serving it; the gap after
+    /// `queued_at` is time spent queueing behind other legs.
+    pub service_start: SimTime,
+    /// When the leg completed (including any pipelined latency).
+    pub completed_at: SimTime,
+}
+
+impl LegRecord {
+    /// Nanoseconds the leg waited for its resource.
+    pub fn queue_nanos(&self) -> u64 {
+        self.service_start
+            .as_nanos()
+            .saturating_sub(self.queued_at.as_nanos())
+    }
+
+    /// Nanoseconds from service start to completion.
+    pub fn service_nanos(&self) -> u64 {
+        self.completed_at
+            .as_nanos()
+            .saturating_sub(self.service_start.as_nanos())
+    }
+}
+
+/// Receiver for flow-engine trace events.
+///
+/// Implementations must be cheap: the engine calls [`TraceSink::leg`] once
+/// per executed leg while holding no locks of its own. All methods have
+/// empty defaults so sinks implement only what they need.
+pub trait TraceSink: Send {
+    /// A flow was started (its cost tree entered the event queue).
+    fn flow_started(&self, _tag: u64, _at: SimTime) {}
+
+    /// One leg of a flow executed. Structural no-op legs are not reported.
+    fn leg(&self, _tag: u64, _leg: &LegRecord) {}
+
+    /// A flow completed (every leg done) at `at`.
+    fn flow_completed(&self, _tag: u64, _at: SimTime) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn leg_record_splits_queue_and_service() {
+        let leg = LegRecord {
+            resource: None,
+            kind: LegKind::Delay,
+            bytes: 0,
+            label: None,
+            queued_at: SimTime::from_nanos(100),
+            service_start: SimTime::from_nanos(150),
+            completed_at: SimTime::from_nanos(400),
+        };
+        assert_eq!(leg.queue_nanos(), 50);
+        assert_eq!(leg.service_nanos(), 250);
+    }
+}

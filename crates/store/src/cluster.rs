@@ -3,7 +3,7 @@
 use std::collections::{BTreeMap, BTreeSet};
 
 use dedup_erasure::ReedSolomon;
-use dedup_obs::Registry;
+use dedup_obs::{Registry, TraceCtx, Tracer};
 use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
 use dedup_sim::{CostExpr, SimTime};
 
@@ -43,13 +43,29 @@ impl<T> Timed<T> {
 
 /// An I/O context: which pool to address and which client host issues the
 /// request (chooses the client-side NIC), mirroring a RADOS `ioctx`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+///
+/// A context may also carry a [`TraceCtx`]: when it does, cluster ops tag
+/// the cost legs they assemble with semantic step names so traced runs
+/// can attribute time per step. Tags are timing-transparent and absent
+/// entirely on untraced contexts, so the untraced path is unchanged.
+#[derive(Debug, Clone)]
 pub struct IoCtx {
     /// Target pool.
     pub pool: PoolId,
     /// Issuing client host.
     pub client: ClientId,
+    /// Optional per-op trace context.
+    pub trace: Option<TraceCtx>,
 }
+
+impl PartialEq for IoCtx {
+    fn eq(&self, other: &Self) -> bool {
+        // Trace identity is diagnostic state, not addressing state.
+        self.pool == other.pool && self.client == other.client
+    }
+}
+
+impl Eq for IoCtx {}
 
 impl IoCtx {
     /// Creates a context for `pool` from client 0.
@@ -57,6 +73,7 @@ impl IoCtx {
         IoCtx {
             pool,
             client: ClientId(0),
+            trace: None,
         }
     }
 
@@ -64,6 +81,22 @@ impl IoCtx {
     pub fn with_client(mut self, client: ClientId) -> Self {
         self.client = client;
         self
+    }
+
+    /// Attaches a trace context: subsequent ops through this `IoCtx` tag
+    /// their cost legs.
+    pub fn with_trace(mut self, trace: TraceCtx) -> Self {
+        self.trace = Some(trace);
+        self
+    }
+
+    /// Tags `cost` with `label` when this context is traced; returns it
+    /// untouched otherwise.
+    pub fn label(&self, label: &str, cost: CostExpr) -> CostExpr {
+        match &self.trace {
+            Some(t) => t.label(label, cost),
+            None => cost,
+        }
     }
 }
 
@@ -128,6 +161,7 @@ pub struct Cluster {
     pub(crate) perf: PerfTopology,
     object_size_cap: u64,
     pub(crate) metrics: ClusterMetrics,
+    pub(crate) tracer: Option<Tracer>,
 }
 
 /// Builds a [`Cluster`] with a regular topology.
@@ -230,6 +264,7 @@ impl ClusterBuilder {
             perf,
             object_size_cap: self.object_size_cap,
             metrics: ClusterMetrics::new(Registry::new()),
+            tracer: None,
         }
     }
 }
@@ -266,6 +301,29 @@ impl Cluster {
     /// not carried over — attach before driving I/O.
     pub fn attach_registry(&mut self, registry: Registry) {
         self.metrics = ClusterMetrics::new(registry);
+    }
+
+    /// Attaches a per-op tracer. Cluster-internal ops with no caller
+    /// context (recovery, scrub) tag their cost legs through it, and
+    /// stacked layers can retrieve it via [`Cluster::tracer`]. The tracer
+    /// also learns the timing plane's resource names.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        tracer.register_resources(&self.perf.pool);
+        self.tracer = Some(tracer);
+    }
+
+    /// The attached tracer, if any.
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_ref()
+    }
+
+    /// Tags `cost` when a tracer is attached (for cluster-internal ops
+    /// that have no caller-supplied [`IoCtx`] trace).
+    pub(crate) fn label(&self, label: &str, cost: CostExpr) -> CostExpr {
+        match &self.tracer {
+            Some(_) => CostExpr::tagged(label, cost),
+            None => cost,
+        }
     }
 
     /// The shared cluster map.
@@ -635,7 +693,10 @@ impl Cluster {
         let redundancy = st.config.redundancy;
         let compression = st.config.compression;
         let payload = data_bytes + meta_bytes + 64; // 64B of message header
-        let client_leg = self.perf.client_to_node(ctx.client, primary_node, payload);
+        let client_leg = ctx.label(
+            "client_xfer",
+            self.perf.client_to_node(ctx.client, primary_node, payload),
+        );
 
         let cost = if removed {
             // Deletion: metadata-sized fan-out.
@@ -645,7 +706,7 @@ impl Cluster {
                     self.perf.disk_io(osd.0 as usize, 64),
                 ])
             }));
-            CostExpr::seq([client_leg, fanout])
+            CostExpr::seq([client_leg, ctx.label("delete_fanout", fanout)])
         } else {
             match redundancy {
                 Redundancy::Replicated(_) => {
@@ -665,8 +726,8 @@ impl Cluster {
                     CostExpr::seq([
                         client_leg,
                         self.perf.request_cpu(primary_node, data_bytes),
-                        compress_cpu,
-                        fanout,
+                        ctx.label("compress", compress_cpu),
+                        ctx.label("rep_fanout", fanout),
                     ])
                 }
                 Redundancy::Erasure { k, m } => {
@@ -702,9 +763,9 @@ impl Cluster {
                     CostExpr::seq([
                         client_leg,
                         self.perf.request_cpu(primary_node, data_bytes),
-                        rmw,
-                        ec_cpu,
-                        fanout,
+                        ctx.label("ec_rmw", rmw),
+                        ctx.label("ec_parity", ec_cpu),
+                        ctx.label("ec_fanout", fanout),
                     ])
                 }
             }
@@ -812,9 +873,9 @@ impl Cluster {
             ])
         }));
         let cost = CostExpr::seq([
-            client_leg,
+            ctx.label("client_xfer", client_leg),
             self.perf.request_cpu(primary_node, data_bytes),
-            fanout,
+            ctx.label("rep_fanout", fanout),
         ]);
 
         for &osd in &acting {
@@ -975,8 +1036,11 @@ impl Cluster {
         let cost = match st.config.redundancy {
             Redundancy::Replicated(_) => CostExpr::seq([
                 self.perf.request_cpu(primary_node, len),
-                self.perf.disk_io(primary.0 as usize, len),
-                self.perf.client_to_node(ctx.client, primary_node, len),
+                ctx.label("disk_read", self.perf.disk_io(primary.0 as usize, len)),
+                ctx.label(
+                    "reply_xfer",
+                    self.perf.client_to_node(ctx.client, primary_node, len),
+                ),
             ]),
             Redundancy::Erasure { k, .. } => {
                 // Read the k data shards covering the range in parallel,
@@ -991,8 +1055,11 @@ impl Cluster {
                 }));
                 CostExpr::seq([
                     self.perf.request_cpu(primary_node, len),
-                    gather,
-                    self.perf.client_to_node(ctx.client, primary_node, len),
+                    ctx.label("ec_gather", gather),
+                    ctx.label(
+                        "reply_xfer",
+                        self.perf.client_to_node(ctx.client, primary_node, len),
+                    ),
                 ])
             }
         };
@@ -1108,11 +1175,14 @@ impl Cluster {
         const META_IO: u64 = 4096;
         let acting = self.acting(ctx.pool, name)?;
         let primary = acting[0];
-        Ok(CostExpr::seq([
-            self.perf.disk_io(primary.0 as usize, META_IO),
-            self.perf
-                .client_to_node(ctx.client, self.node_of(primary), META_IO),
-        ]))
+        Ok(ctx.label(
+            "meta_read",
+            CostExpr::seq([
+                self.perf.disk_io(primary.0 as usize, META_IO),
+                self.perf
+                    .client_to_node(ctx.client, self.node_of(primary), META_IO),
+            ]),
+        ))
     }
 
     /// Deletes an object.

@@ -72,7 +72,10 @@ impl Cluster {
         // in real clusters by op queues, but bandwidth-bound either way):
         // disks and NICs serialize transfers through the resource model,
         // while per-object latencies overlap.
-        Ok(Timed::new(report, CostExpr::par(costs)))
+        Ok(Timed::new(
+            report,
+            self.label("recovery", CostExpr::par(costs)),
+        ))
     }
 
     fn recover_object(
@@ -179,7 +182,10 @@ impl Cluster {
                     self.perf.disk_io(t.0 as usize, bytes),
                 ])
             }));
-            costs.push(CostExpr::seq([read_cost, write_cost]));
+            costs.push(CostExpr::seq([
+                self.label("repair_read", read_cost),
+                self.label("repair_write", write_cost),
+            ]));
             report.objects_repaired += 1;
             report.bytes_moved += bytes * misplaced.len() as u64;
 
