@@ -112,7 +112,7 @@ fn bench_engine(c: &mut Criterion) {
     g.sample_size(20);
     g.bench_function("write_32k_postprocess", |b| {
         let cluster = ClusterBuilder::new().build();
-        let mut store = DedupStore::with_default_pools(
+        let store = DedupStore::with_default_pools(
             cluster,
             DedupConfig::with_chunk_size(32 * 1024).cache_policy(CachePolicy::EvictAll),
         );

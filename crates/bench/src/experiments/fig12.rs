@@ -63,12 +63,12 @@ fn raw_usage(system: &dyn StorageSystem) -> u64 {
     let cluster = system.cluster();
     (0..cluster.map().osd_count())
         .map(|i| {
-            let stats = cluster
+            cluster
                 .osd_objects(dedup_placement::OsdId(i as u32))
                 .expect("osd")
-                .map(|(_, o)| o.footprint())
-                .sum::<u64>();
-            stats
+                .iter()
+                .map(|(_, _, o)| o.footprint())
+                .sum::<u64>()
         })
         .sum()
 }

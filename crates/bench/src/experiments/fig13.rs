@@ -27,7 +27,8 @@ fn raw_total(cluster: &Cluster) -> u64 {
             cluster
                 .osd_objects(dedup_placement::OsdId(i as u32))
                 .expect("osd")
-                .map(|(_, o)| o.footprint())
+                .iter()
+                .map(|(_, _, o)| o.footprint())
                 .sum::<u64>()
         })
         .sum()

@@ -118,6 +118,12 @@ pub struct DedupConfig {
     /// call, budget permitting). `1` reproduces the classic
     /// one-object-per-tick behaviour exactly.
     pub flush_batch_size: usize,
+    /// Lock stripes over the foreground object namespace: ops on objects
+    /// in different shards run in parallel, same-shard ops serialize
+    /// ([`crate::shard_index`] routes names to shards). Purely a
+    /// wall-clock concurrency knob — virtual-time results are identical
+    /// at any setting.
+    pub foreground_shards: usize,
 }
 
 impl Default for DedupConfig {
@@ -132,6 +138,7 @@ impl Default for DedupConfig {
             lazy_dereference: false,
             flush_parallelism: 0,
             flush_batch_size: 1,
+            foreground_shards: 16,
         }
     }
 }
@@ -192,6 +199,17 @@ impl DedupConfig {
         self.flush_batch_size = objects;
         self
     }
+
+    /// Overrides the foreground namespace shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero.
+    pub fn foreground_shards(mut self, shards: usize) -> Self {
+        assert!(shards > 0, "foreground shard count must be positive");
+        self.foreground_shards = shards;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +225,19 @@ mod tests {
         assert_eq!(c.watermarks.high_ratio, 500);
         assert_eq!(c.flush_parallelism, 0, "0 = auto (available cores)");
         assert_eq!(c.flush_batch_size, 1, "classic one-object ticks");
+        assert_eq!(c.foreground_shards, 16, "default namespace striping");
+    }
+
+    #[test]
+    fn shard_builder_composes() {
+        let c = DedupConfig::default().foreground_shards(4);
+        assert_eq!(c.foreground_shards, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "foreground shard count must be positive")]
+    fn zero_shards_rejected() {
+        let _ = DedupConfig::default().foreground_shards(0);
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! object omap/xattr), *post-processing* with watermark rate control, and a
 //! hotness-aware cache manager.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use dedup_chunk::FixedChunker;
@@ -15,6 +16,7 @@ use dedup_obs::{Registry, Tracer};
 use dedup_placement::PoolId;
 use dedup_sim::{CostExpr, SimDuration, SimTime};
 use dedup_store::{ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp};
+use parking_lot::{Mutex, MutexGuard};
 
 use crate::chunkmap::ChunkMapEntry;
 use crate::config::{CachePolicy, DedupConfig, DedupMode};
@@ -107,17 +109,88 @@ pub struct EngineStats {
     pub rate_denials: u64,
 }
 
+/// Lock-free engine counters: every field mirrors one [`EngineStats`]
+/// field, updated with relaxed atomics so concurrent foreground shards
+/// never serialize on accounting.
+#[derive(Debug, Default)]
+struct AtomicEngineStats {
+    writes: AtomicU64,
+    reads: AtomicU64,
+    bytes_written: AtomicU64,
+    bytes_read: AtomicU64,
+    cache_hit_chunks: AtomicU64,
+    redirected_chunks: AtomicU64,
+    hot_skips: AtomicU64,
+    promotions: AtomicU64,
+    rate_denials: AtomicU64,
+}
+
+impl AtomicEngineStats {
+    fn snapshot(&self) -> EngineStats {
+        EngineStats {
+            writes: self.writes.load(Ordering::Relaxed),
+            reads: self.reads.load(Ordering::Relaxed),
+            bytes_written: self.bytes_written.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+            cache_hit_chunks: self.cache_hit_chunks.load(Ordering::Relaxed),
+            redirected_chunks: self.redirected_chunks.load(Ordering::Relaxed),
+            hot_skips: self.hot_skips.load(Ordering::Relaxed),
+            promotions: self.promotions.load(Ordering::Relaxed),
+            rate_denials: self.rate_denials.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Maps an object name to its foreground shard.
+///
+/// A pure function of the name bytes and the shard count (FNV-1a over the
+/// name, reduced modulo `shards`): the same name always routes to the same
+/// shard, on every handle, in every process. Exposed so tests can verify
+/// routing independently of a live store.
+pub fn shard_index(name: &ObjectName, shards: usize) -> usize {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for &b in name.as_bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    (h % shards.max(1) as u64) as usize
+}
+
 /// The deduplicating storage service layered on a [`Cluster`].
+///
+/// # Locking model (see DESIGN.md §9)
+///
+/// Foreground ops ([`write`](DedupStore::write), [`read`](DedupStore::read),
+/// [`truncate`](DedupStore::truncate), [`delete`](DedupStore::delete)) take
+/// `&self`: each acquires the single shard lock owning its object
+/// ([`shard_index`]), so ops on distinct objects run in parallel while two
+/// ops on the same object serialize. Cross-object state sits behind its own
+/// fine-grained locks (dirty queue, hitset, rate controller, atomic stats),
+/// and the chunk-pool refcount read-modify-write is serialized per
+/// fingerprint by a second stripe array. Background flush, GC, recovery,
+/// and admin keep `&mut self`, which statically guarantees whole-store
+/// exclusion. Lock order: shard → {dirty | hitset | rate} → chunk stripe →
+/// OSD locks; no level is re-entered and at most one lock of each array is
+/// held at a time.
 pub struct DedupStore {
     cluster: Cluster,
     metadata_pool: PoolId,
     chunk_pool: PoolId,
     config: DedupConfig,
     chunker: FixedChunker,
-    dirty: DirtyQueue,
-    hitset: HitSet,
-    rate: RateController,
-    stats: EngineStats,
+    /// Foreground namespace stripes: shard `i` serializes every op whose
+    /// object hashes to `i`.
+    shards: Vec<Mutex<()>>,
+    /// Chunk refcount stripes: serialize the get_xattr → omap → transact
+    /// read-modify-write in [`DedupStore::store_chunk`] /
+    /// [`DedupStore::deref_chunk`] per fingerprint.
+    chunk_stripes: Vec<Mutex<()>>,
+    dirty: Mutex<DirtyQueue>,
+    hitset: Mutex<HitSet>,
+    rate: Mutex<RateController>,
+    stats: AtomicEngineStats,
     metrics: EngineMetrics,
     tracer: Option<Tracer>,
 }
@@ -140,17 +213,20 @@ impl DedupStore {
         // cluster's instruments so a single snapshot covers both layers.
         let registry = Registry::new();
         cluster.attach_registry(registry.clone());
-        let metrics = EngineMetrics::new(registry, SimDuration::from_secs(1));
+        let shard_count = config.foreground_shards.max(1);
+        let metrics = EngineMetrics::new(registry, SimDuration::from_secs(1), shard_count);
         DedupStore {
             cluster,
             metadata_pool,
             chunk_pool,
             config,
             chunker,
-            dirty: DirtyQueue::new(),
-            hitset,
-            rate,
-            stats: EngineStats::default(),
+            shards: (0..shard_count).map(|_| Mutex::new(())).collect(),
+            chunk_stripes: (0..shard_count).map(|_| Mutex::new(())).collect(),
+            dirty: Mutex::new(DirtyQueue::new()),
+            hitset: Mutex::new(hitset),
+            rate: Mutex::new(rate),
+            stats: AtomicEngineStats::default(),
             metrics,
             tracer: None,
         }
@@ -193,9 +269,41 @@ impl DedupStore {
         &self.config
     }
 
-    /// Aggregate engine counters.
+    /// Aggregate engine counters (a relaxed snapshot; individual fields are
+    /// exact once concurrent foreground ops have returned).
     pub fn stats(&self) -> EngineStats {
-        self.stats
+        self.stats.snapshot()
+    }
+
+    /// Number of foreground namespace shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard owning `name` — [`shard_index`] at this store's shard
+    /// count.
+    pub fn shard_of(&self, name: &ObjectName) -> usize {
+        shard_index(name, self.shards.len())
+    }
+
+    /// Acquires the foreground shard lock owning `name`, recording the
+    /// per-shard op counter and the wall-clock wait.
+    fn lock_shard(&self, name: &ObjectName) -> MutexGuard<'_, ()> {
+        let idx = shard_index(name, self.shards.len());
+        let start = Instant::now();
+        let guard = self.shards[idx].lock();
+        self.metrics
+            .shard_lock_wait_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.shard_ops[idx].inc();
+        guard
+    }
+
+    /// Acquires the chunk refcount stripe lock for `fp` (striped by the
+    /// fingerprint's first word — already uniform, no rehash needed).
+    fn lock_chunk_stripe(&self, fp: &Fingerprint) -> MutexGuard<'_, ()> {
+        let idx = (fp.0[0] % self.chunk_stripes.len() as u64) as usize;
+        self.chunk_stripes[idx].lock()
     }
 
     /// The metrics registry shared by the engine and its cluster; snapshot
@@ -206,7 +314,7 @@ impl DedupStore {
 
     /// Objects currently queued for background deduplication.
     pub fn dirty_len(&self) -> usize {
-        self.dirty.len()
+        self.dirty.lock().len()
     }
 
     /// Worker threads the fingerprint stage will use: the configured
@@ -223,7 +331,7 @@ impl DedupStore {
 
     /// The rate controller (to observe foreground IOPS).
     pub fn rate_controller_mut(&mut self) -> &mut RateController {
-        &mut self.rate
+        self.rate.get_mut()
     }
 
     /// Attaches a tracer to the whole stack: the engine labels its dedup
@@ -266,7 +374,7 @@ impl DedupStore {
         }
     }
 
-    fn load_chunk_map(&mut self, name: &ObjectName) -> Result<Vec<ChunkMapEntry>, DedupError> {
+    fn load_chunk_map(&self, name: &ObjectName) -> Result<Vec<ChunkMapEntry>, DedupError> {
         let ctx = self.meta_ctx(ClientId::INTERNAL);
         match self.cluster.omap_entries(&ctx, name) {
             Ok(t) => Ok(ChunkMapEntry::all_from_omap(t.value.iter())),
@@ -279,19 +387,22 @@ impl DedupStore {
         entries.iter().copied().find(|e| e.offset == offset)
     }
 
-    fn mark_dirty(&mut self, name: &ObjectName) {
+    fn mark_dirty(&self, name: &ObjectName) {
         // Enqueues when absent; bumps the write epoch when already queued,
         // invalidating any staged-but-uncommitted snapshot of the object.
-        self.dirty.mark(name);
-        self.sync_queue_depth();
+        let mut dirty = self.dirty.lock();
+        dirty.mark(name);
+        self.sync_queue_depth(&dirty);
     }
 
-    fn sync_queue_depth(&self) {
-        self.metrics.flush_queue_depth.set(self.dirty.len() as i64);
+    /// Publishes the queue-depth gauge from an already-held dirty-queue
+    /// guard (taking the lock again here would self-deadlock).
+    fn sync_queue_depth(&self, dirty: &DirtyQueue) {
+        self.metrics.flush_queue_depth.set(dirty.len() as i64);
     }
 
-    fn update_rate_band(&mut self, now: SimTime) {
-        let iops = self.rate.foreground_iops(now);
+    fn update_rate_band(&self, now: SimTime) {
+        let iops = self.rate.lock().foreground_iops(now);
         let band = if iops < self.config.watermarks.low_iops {
             0
         } else if iops < self.config.watermarks.high_iops {
@@ -308,24 +419,30 @@ impl DedupStore {
     /// cached+dirty chunks in one transaction; in inline mode the chunks go
     /// straight to the chunk pool.
     ///
+    /// Takes `&self`: the op serializes only against other foreground ops
+    /// on objects in the same shard.
+    ///
     /// # Errors
     ///
     /// Propagates store failures (degraded pool, size cap...).
     pub fn write(
-        &mut self,
+        &self,
         client: ClientId,
         name: &ObjectName,
         offset: u64,
         data: &[u8],
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
-        self.stats.writes += 1;
-        self.stats.bytes_written += data.len() as u64;
+        let _shard = self.lock_shard(name);
+        self.stats.writes.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .bytes_written
+            .fetch_add(data.len() as u64, Ordering::Relaxed);
         self.metrics.writes.inc();
         self.metrics.write_bytes.add(data.len() as u64);
         self.metrics.foreground_ops.mark(now, 1);
-        self.hitset.access(name.as_bytes(), now);
-        self.rate.record_foreground(now);
+        self.hitset.lock().access(name.as_bytes(), now);
+        self.rate.lock().record_foreground(now);
         match self.config.mode {
             DedupMode::PostProcess => self.write_postprocess(client, name, offset, data),
             DedupMode::Inline => self.write_inline(client, name, offset, data),
@@ -333,7 +450,7 @@ impl DedupStore {
     }
 
     fn write_postprocess(
-        &mut self,
+        &self,
         client: ClientId,
         name: &ObjectName,
         offset: u64,
@@ -378,7 +495,7 @@ impl DedupStore {
     }
 
     fn write_inline(
-        &mut self,
+        &self,
         client: ClientId,
         name: &ObjectName,
         offset: u64,
@@ -469,20 +586,21 @@ impl DedupStore {
     ///
     /// Fails if the object does not exist or the range is out of bounds.
     pub fn read(
-        &mut self,
+        &self,
         client: ClientId,
         name: &ObjectName,
         offset: u64,
         len: u64,
         now: SimTime,
     ) -> Result<Timed<Vec<u8>>, DedupError> {
-        self.stats.reads += 1;
-        self.stats.bytes_read += len;
+        let _shard = self.lock_shard(name);
+        self.stats.reads.fetch_add(1, Ordering::Relaxed);
+        self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
         self.metrics.reads.inc();
         self.metrics.read_bytes.add(len);
         self.metrics.foreground_ops.mark(now, 1);
-        self.hitset.access(name.as_bytes(), now);
-        self.rate.record_foreground(now);
+        self.hitset.lock().access(name.as_bytes(), now);
+        self.rate.lock().record_foreground(now);
 
         let object_len = self
             .cluster
@@ -547,10 +665,10 @@ impl DedupStore {
                         .resident_ranges(self.metadata_pool, name, want_start, span)?;
                 let fully_resident = splits.iter().all(|&(_, _, res)| res);
                 if fully_resident {
-                    self.stats.cache_hit_chunks += 1;
+                    self.stats.cache_hit_chunks.fetch_add(1, Ordering::Relaxed);
                     self.metrics.cache_hit_chunks.inc();
                 } else {
-                    self.stats.redirected_chunks += 1;
+                    self.stats.redirected_chunks.fetch_add(1, Ordering::Relaxed);
                     self.metrics.redirected_chunks.inc();
                 }
                 let t = self.cluster.read_at(&ctx, name, want_start, span)?;
@@ -576,7 +694,7 @@ impl DedupStore {
                 }
             } else {
                 // Redirection: metadata pool forwards to the chunk pool.
-                self.stats.redirected_chunks += 1;
+                self.stats.redirected_chunks.fetch_add(1, Ordering::Relaxed);
                 self.metrics.redirected_chunks.inc();
                 let e = entry.expect("non-cached chunk must have an entry");
                 let fp = e.chunk_id.ok_or_else(|| DedupError::MissingChunk {
@@ -625,7 +743,7 @@ impl DedupStore {
         // policy promotes; EvictAll pins data in the chunk pool and KeepAll
         // never evicted in the first place.
         if self.config.cache_policy == CachePolicy::HotnessAware
-            && self.hitset.is_hot(name.as_bytes(), now)
+            && self.hitset.lock().is_hot(name.as_bytes(), now)
         {
             let t = self.promote_chunks(name, offset, len)?;
             costs.push(self.label("read.promote", t.cost));
@@ -636,7 +754,7 @@ impl DedupStore {
     /// Pulls the non-cached chunks overlapping `[offset, offset + len)`
     /// back into the metadata object's data part (tiering promotion).
     fn promote_chunks(
-        &mut self,
+        &self,
         name: &ObjectName,
         offset: u64,
         len: u64,
@@ -679,7 +797,7 @@ impl DedupStore {
             let ctx = self.meta_ctx(ClientId::INTERNAL);
             let t = self.cluster.transact(&ctx, name, ops)?;
             costs.push(t.cost);
-            self.stats.promotions += promoted;
+            self.stats.promotions.fetch_add(promoted, Ordering::Relaxed);
             self.metrics.promotions.add(promoted);
         }
         Ok(Timed::new(promoted, CostExpr::seq(costs)))
@@ -705,19 +823,20 @@ impl DedupStore {
     ///
     /// Fails if the object does not exist or the store does.
     pub fn truncate(
-        &mut self,
+        &self,
         client: ClientId,
         name: &ObjectName,
         new_len: u64,
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
+        let _shard = self.lock_shard(name);
         let old_len = self
             .cluster
             .stat(self.metadata_pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(self.metadata_pool, name.clone()))?;
         self.metrics.foreground_ops.mark(now, 1);
-        self.hitset.access(name.as_bytes(), now);
-        self.rate.record_foreground(now);
+        self.hitset.lock().access(name.as_bytes(), now);
+        self.rate.lock().record_foreground(now);
         let entries = self.load_chunk_map(name)?;
         let cs = self.chunker.chunk_size() as u64;
         let mut costs: Vec<CostExpr> = Vec::new();
@@ -768,7 +887,7 @@ impl DedupStore {
         } else {
             // A pure shrink still rewrites the chunk map: invalidate any
             // staged-but-uncommitted flush snapshot of this object.
-            self.dirty.bump_epoch(name);
+            self.dirty.lock().bump_epoch(name);
         }
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
@@ -779,7 +898,8 @@ impl DedupStore {
     /// # Errors
     ///
     /// Fails if the store does.
-    pub fn delete(&mut self, client: ClientId, name: &ObjectName) -> Result<Timed<()>, DedupError> {
+    pub fn delete(&self, client: ClientId, name: &ObjectName) -> Result<Timed<()>, DedupError> {
+        let _shard = self.lock_shard(name);
         let entries = self.load_chunk_map(name)?;
         let mut costs = Vec::new();
         for e in entries {
@@ -797,8 +917,9 @@ impl DedupStore {
             Err(StoreError::NoSuchObject(..)) => {}
             Err(e) => return Err(e.into()),
         }
-        self.dirty.remove(name);
-        self.sync_queue_depth();
+        let mut dirty = self.dirty.lock();
+        dirty.remove(name);
+        self.sync_queue_depth(&dirty);
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
 
@@ -821,13 +942,17 @@ impl DedupStore {
     /// *double hashing* in action: the name is the content hash, placement
     /// is the cluster's ordinary name hash.
     fn store_chunk(
-        &mut self,
+        &self,
         client: ClientId,
         fp: Fingerprint,
         content: &[u8],
         referrer: &ObjectName,
         ref_offset: u64,
     ) -> Result<Timed<ChunkStoreOutcome>, DedupError> {
+        // The refcount update is a read-modify-write spanning three cluster
+        // calls; the stripe lock keeps two referrers of the same chunk from
+        // interleaving it.
+        let _stripe = self.lock_chunk_stripe(&fp);
         let chunk_name = ObjectName::new(fp.to_object_name());
         let cctx = self.chunk_ctx(client);
         let backref = BackRef::new(self.metadata_pool, referrer.clone(), ref_offset);
@@ -886,11 +1011,7 @@ impl DedupStore {
     /// Releases one reference to a chunk object, deleting it when the count
     /// reaches zero. Idempotent: missing chunk or missing reference is a
     /// no-op (crash retries).
-    fn deref_chunk(
-        &mut self,
-        fp: Fingerprint,
-        backref: &BackRef,
-    ) -> Result<Timed<bool>, DedupError> {
+    fn deref_chunk(&self, fp: Fingerprint, backref: &BackRef) -> Result<Timed<bool>, DedupError> {
         if self.config.lazy_dereference {
             // False-positive refcounting: skip the synchronous round trip;
             // the stale back reference stays until the garbage collector
@@ -898,6 +1019,7 @@ impl DedupStore {
             let _ = (fp, backref);
             return Ok(Timed::new(false, CostExpr::Nop));
         }
+        let _stripe = self.lock_chunk_stripe(&fp);
         let chunk_name = ObjectName::new(fp.to_object_name());
         let cctx = self.chunk_ctx(ClientId::INTERNAL);
         let count = match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
@@ -934,7 +1056,7 @@ impl DedupStore {
     /// (the deferred read-modify-write). Returns the content, the read
     /// costs, and whether a merge happened.
     fn read_dirty_chunk(
-        &mut self,
+        &self,
         name: &ObjectName,
         e: &ChunkMapEntry,
     ) -> Result<(Vec<u8>, Vec<CostExpr>, bool), DedupError> {
@@ -1034,13 +1156,14 @@ impl DedupStore {
         }
 
         // Cache-manager decision (paper §4.3): hot objects are left alone.
-        let hot = self.hitset.is_hot(name.as_bytes(), now);
+        let hot = self.hitset.lock().is_hot(name.as_bytes(), now);
         if hot && self.config.cache_policy == CachePolicy::HotnessAware {
-            self.stats.hot_skips += 1;
+            self.stats.hot_skips.fetch_add(1, Ordering::Relaxed);
             self.metrics.hot_skips.inc();
             // Stays dirty; re-queue at the back.
-            self.dirty.requeue_back(name);
-            self.sync_queue_depth();
+            let mut dirty = self.dirty.lock();
+            dirty.requeue_back(name);
+            self.sync_queue_depth(&dirty);
             return Ok(StageOutcome::Hot);
         }
 
@@ -1069,7 +1192,7 @@ impl DedupStore {
         }
         Ok(StageOutcome::Staged(StagedObject {
             name: name.clone(),
-            ticket: self.dirty.ticket(name),
+            ticket: self.dirty.lock().ticket(name),
             meta_node,
             keep_cached,
             chunks,
@@ -1096,15 +1219,16 @@ impl DedupStore {
         let mut batch = StagedBatch::default();
         let candidates: Vec<ObjectName> = self
             .dirty
+            .lock()
             .live_prefix(max_objects)
             .into_iter()
             .map(|(n, _)| n)
             .collect();
         for name in candidates {
             if rate_controlled {
-                if !self.rate.admit_dedup(now) {
+                if !self.rate.lock().admit_dedup(now) {
                     if batch.is_empty() {
-                        self.stats.rate_denials += 1;
+                        self.stats.rate_denials.fetch_add(1, Ordering::Relaxed);
                         self.metrics.rate_denied.inc();
                     }
                     self.update_rate_band(now);
@@ -1235,7 +1359,7 @@ impl DedupStore {
             chunks,
         } = staged;
         if let Some(ticket) = ticket {
-            if !self.dirty.check(&name, ticket) {
+            if !self.dirty.lock().check(&name, ticket) {
                 self.metrics.stage_conflicts.inc();
                 return Ok(None);
             }
@@ -1346,9 +1470,10 @@ impl DedupStore {
         self.metrics.chunks_evicted.add(report.chunks_evicted);
     }
 
-    fn finish_clean(&mut self, name: &ObjectName) {
-        self.dirty.remove(name);
-        self.sync_queue_depth();
+    fn finish_clean(&self, name: &ObjectName) {
+        let mut dirty = self.dirty.lock();
+        dirty.remove(name);
+        self.sync_queue_depth(&dirty);
     }
 
     /// One background-engine step: honours rate control, pops up to
@@ -1375,7 +1500,8 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn flush_next(&mut self, now: SimTime) -> Result<Option<Timed<FlushReport>>, DedupError> {
-        match self.dirty.front() {
+        let front = self.dirty.lock().front();
+        match front {
             None => Ok(None),
             Some(name) => Ok(Some(self.flush_object(&name, now)?)),
         }
@@ -1399,10 +1525,10 @@ impl DedupStore {
         let mut total = FlushReport::default();
         let mut costs = Vec::new();
         let result = loop {
-            if self.dirty.is_empty() {
+            if self.dirty.lock().is_empty() {
                 break Ok(Timed::new(total, CostExpr::seq(costs)));
             }
-            let before = self.dirty.len();
+            let before = self.dirty.lock().len();
             let batch = match self.stage_batch(FLUSH_ALL_BATCH, now, false) {
                 Ok(b) => b,
                 Err(e) => break Err(e),
@@ -1415,7 +1541,7 @@ impl DedupStore {
                 }
                 Err(e) => break Err(e),
             }
-            if !had_objects && self.dirty.len() >= before {
+            if !had_objects && self.dirty.lock().len() >= before {
                 // Defensive: nothing staged and nothing left the queue.
                 // Cannot happen with the hotness override above, but a
                 // silent livelock would be worse than a partial flush.
@@ -1495,7 +1621,7 @@ impl DedupStore {
     /// # Errors
     ///
     /// Fails if the store does.
-    pub fn verify_references(&mut self) -> Result<Vec<(ObjectName, String)>, DedupError> {
+    pub fn verify_references(&self) -> Result<Vec<(ObjectName, String)>, DedupError> {
         let mut missing = Vec::new();
         let names = self.cluster.list_objects(self.metadata_pool)?;
         for name in names {
@@ -1519,8 +1645,11 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn recover_dirty_queue(&mut self) -> Result<usize, DedupError> {
-        self.dirty.clear();
-        self.sync_queue_depth();
+        {
+            let mut dirty = self.dirty.lock();
+            dirty.clear();
+            self.sync_queue_depth(&dirty);
+        }
         let names = self.cluster.list_objects(self.metadata_pool)?;
         for name in names {
             let entries = self.load_chunk_map(&name)?;
@@ -1528,7 +1657,7 @@ impl DedupStore {
                 self.mark_dirty(&name);
             }
         }
-        Ok(self.dirty.len())
+        Ok(self.dirty.lock().len())
     }
 }
 
@@ -1591,7 +1720,7 @@ mod tests {
 
     #[test]
     fn write_then_read_before_flush() {
-        let mut s = store();
+        let s = store();
         let name = ObjectName::new("obj");
         let data = patterned(3 * CS as usize + 100, 1);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
@@ -1785,7 +1914,7 @@ mod tests {
 
     #[test]
     fn inline_mode_dedups_without_flush() {
-        let mut s = store_with(DedupConfig::with_chunk_size(CS).inline());
+        let s = store_with(DedupConfig::with_chunk_size(CS).inline());
         let data = patterned(2 * CS as usize, 31);
         for i in 0..4 {
             let _ = s
@@ -1815,7 +1944,7 @@ mod tests {
 
     #[test]
     fn inline_partial_write_read_modify_write() {
-        let mut s = store_with(DedupConfig::with_chunk_size(CS).inline());
+        let s = store_with(DedupConfig::with_chunk_size(CS).inline());
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 37);
         let _ = s.write(ClientId(0), &name, 0, &data, t(0)).expect("write");
@@ -1926,7 +2055,7 @@ mod tests {
 
     #[test]
     fn dirty_queue_dedupes_names() {
-        let mut s = store();
+        let s = store();
         let name = ObjectName::new("obj");
         let data = patterned(CS as usize, 59);
         for i in 0..10 {
@@ -2521,7 +2650,7 @@ mod truncate_tests {
 
     #[test]
     fn truncating_missing_object_errors() {
-        let mut s = store();
+        let s = store();
         assert!(s
             .truncate(ClientId(0), &ObjectName::new("ghost"), 10, SimTime::ZERO)
             .is_err());

@@ -66,7 +66,7 @@ mod metrics;
 pub use baseline::{global_ratio, local_ratio, RatioAnalysis};
 pub use chunkmap::{ChunkMapEntry, CHUNK_MAP_ENTRY_BYTES};
 pub use config::{CachePolicy, DedupConfig, DedupMode, HitSetConfig, Watermarks};
-pub use engine::{DedupStore, EngineStats, FailurePoint, FlushReport, GcReport};
+pub use engine::{shard_index, DedupStore, EngineStats, FailurePoint, FlushReport, GcReport};
 pub use error::DedupError;
 pub use hitset::{BloomFilter, HitSet};
 pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};

@@ -71,11 +71,21 @@ pub(crate) struct EngineMetrics {
     pub rate_band: Gauge,
     /// Foreground ops over the rate controller's observation window.
     pub foreground_ops: Meter,
+    /// Foreground ops routed through each namespace shard (one labelled
+    /// counter per shard, `service.shard.ops{shard=i}`).
+    pub shard_ops: Vec<Counter>,
+    /// Wall-clock nanoseconds foreground ops spent waiting for their
+    /// shard lock (recorded on every acquisition, contended or not).
+    pub shard_lock_wait_ns: Histogram,
 }
 
 impl EngineMetrics {
-    pub(crate) fn new(registry: Registry, rate_window: SimDuration) -> Self {
+    pub(crate) fn new(registry: Registry, rate_window: SimDuration, shards: usize) -> Self {
         EngineMetrics {
+            shard_ops: (0..shards)
+                .map(|i| registry.counter_with("service.shard.ops", &[("shard", &i.to_string())]))
+                .collect(),
+            shard_lock_wait_ns: registry.histogram("service.shard.lock_wait_ns"),
             writes: registry.counter("engine.writes"),
             write_bytes: registry.counter("engine.write_bytes"),
             reads: registry.counter("engine.reads"),

@@ -1,19 +1,31 @@
 //! A thread-safe service wrapper around [`DedupStore`] with a background
 //! deduplication worker — the embedding surface a real deployment uses.
 //!
-//! [`DedupStore`] itself is single-threaded (`&mut self` everywhere), which
-//! keeps the engine logic simple and deterministic. [`DedupService`] shares
-//! one store between any number of client threads behind a
-//! [`parking_lot::Mutex`], and runs the paper's background engine on a
-//! dedicated worker thread fed virtual-time ticks over a
-//! [`crossbeam::channel`]. Rate control and hotness still apply.
+//! [`DedupStore`]'s foreground ops take `&self` and serialize per object
+//! through the engine's namespace shards (see
+//! [`shard_index`](crate::shard_index) and DESIGN.md §9). [`DedupService`]
+//! shares one store between any number of client threads behind a
+//! [`parking_lot::RwLock`]: foreground reads/writes/truncates/deletes take
+//! the *read* side — so ops on distinct objects run concurrently, gated
+//! only by their shard locks — while whole-store exclusion (flush stage and
+//! commit, [`DedupService::with_store`] administration, shutdown) takes
+//! the *write* side. The paper's background engine runs on a dedicated
+//! worker thread fed virtual-time ticks over a [`crossbeam::channel`].
+//! Rate control and hotness still apply.
 //!
 //! The worker drives the engine's **stage → fingerprint → commit**
 //! pipeline (see [`crate::pipeline`]): dirty chunks are staged and
-//! committed with the store locked, but the CPU-heavy fingerprint stage
-//! runs with the lock *released* — across
+//! committed with the store write-locked, but the CPU-heavy fingerprint
+//! stage runs with the lock *released* — across
 //! [`DedupConfig`](crate::DedupConfig)::`flush_parallelism` worker threads
 //! — so foreground reads and writes keep flowing while hashes crunch.
+//!
+//! Queued ticks are **coalesced**: when several `Tick` commands are
+//! waiting, the worker collapses them into one pass at the latest virtual
+//! time (each pass already drains the queue until idle, so the earlier
+//! passes were pure overhead). Non-tick commands are never reordered past
+//! a tick, and the collapse count is exported as
+//! `service.worker.coalesced_ticks`.
 //!
 //! Handles are cloneable; every clone drives the same store and worker,
 //! and the worker stops once the last handle goes away. Engine errors the
@@ -51,7 +63,7 @@ use crossbeam::channel::{unbounded, Receiver, Sender};
 use dedup_obs::Counter;
 use dedup_sim::SimTime;
 use dedup_store::{ClientId, ObjectName, Timed};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use crate::engine::DedupStore;
 use crate::error::DedupError;
@@ -88,7 +100,7 @@ fn record_worker_error(state: &WorkerState, errors: &Counter, e: DedupError) {
 /// it).
 pub struct DedupService {
     /// `None` only transiently during [`DedupService::shutdown`].
-    store: Option<Arc<Mutex<DedupStore>>>,
+    store: Option<Arc<RwLock<DedupStore>>>,
     commands: Sender<Command>,
     /// Shared so whichever handle stops the worker can join it.
     worker: Arc<Mutex<Option<JoinHandle<()>>>>,
@@ -101,7 +113,7 @@ pub struct DedupService {
 impl DedupService {
     /// Wraps `store` and spawns the background deduplication worker.
     pub fn start(store: DedupStore) -> Self {
-        let store = Arc::new(Mutex::new(store));
+        let store = Arc::new(RwLock::new(store));
         let (tx, rx): (Sender<Command>, Receiver<Command>) = unbounded();
         let state = Arc::new(WorkerState {
             errors: AtomicU64::new(0),
@@ -109,11 +121,12 @@ impl DedupService {
         });
         // The worker publishes its progress into the stack's shared
         // registry, so snapshots show background activity too.
-        let (ticks, flushes, errors, fingerprint_wall, parallelism, tracer) = {
-            let s = store.lock();
+        let (ticks, coalesced, flushes, errors, fingerprint_wall, parallelism, tracer) = {
+            let s = store.read();
             let r = s.registry();
             (
                 r.counter("service.worker.ticks"),
+                r.counter("service.worker.coalesced_ticks"),
                 r.counter("service.worker.flushes"),
                 r.counter("service.worker.errors"),
                 r.histogram("engine.flush.fingerprint_wall_ns"),
@@ -126,9 +139,35 @@ impl DedupService {
         let worker = std::thread::Builder::new()
             .name("dedup-worker".into())
             .spawn(move || {
-                while let Ok(cmd) = rx.recv() {
+                // A non-tick command drained while coalescing must run
+                // *after* the collapsed tick pass, in its original order.
+                let mut pending: Option<Command> = None;
+                loop {
+                    let cmd = match pending.take() {
+                        Some(cmd) => cmd,
+                        None => match rx.recv() {
+                            Ok(cmd) => cmd,
+                            Err(_) => break,
+                        },
+                    };
                     match cmd {
                         Command::Tick(now) => {
+                            // Coalesce the backlog: every queued tick up to
+                            // the next non-tick command collapses into one
+                            // pass at the latest virtual time.
+                            let mut now = now;
+                            while let Ok(next) = rx.try_recv() {
+                                match next {
+                                    Command::Tick(t) => {
+                                        now = t;
+                                        coalesced.inc();
+                                    }
+                                    other => {
+                                        pending = Some(other);
+                                        break;
+                                    }
+                                }
+                            }
                             ticks.inc();
                             // Each worker tick is a wall-clock op on this
                             // thread's track; the engine adds stage/commit
@@ -147,7 +186,7 @@ impl DedupService {
                             // interleave here), commit under the lock.
                             loop {
                                 let staged = {
-                                    let mut s = worker_store.lock();
+                                    let mut s = worker_store.write();
                                     s.stage_tick_batch(now)
                                 };
                                 let mut batch = match staged {
@@ -172,7 +211,7 @@ impl DedupService {
                                     );
                                 }
                                 let committed = {
-                                    let mut s = worker_store.lock();
+                                    let mut s = worker_store.write();
                                     s.commit_batch(batch, None)
                                 };
                                 match committed {
@@ -226,11 +265,13 @@ impl DedupService {
         self.state.last_error.lock().clone()
     }
 
-    fn store(&self) -> &Arc<Mutex<DedupStore>> {
+    fn store(&self) -> &Arc<RwLock<DedupStore>> {
         self.store.as_ref().expect("store present until shutdown")
     }
 
-    /// Writes through the shared store (foreground path).
+    /// Writes through the shared store (foreground path): takes the store
+    /// read lock, so writes to objects in different shards run in
+    /// parallel.
     ///
     /// # Errors
     ///
@@ -243,10 +284,10 @@ impl DedupService {
         data: &[u8],
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
-        self.store().lock().write(client, name, offset, data, now)
+        self.store().read().write(client, name, offset, data, now)
     }
 
-    /// Reads through the shared store (foreground path).
+    /// Reads through the shared store (foreground path, store read lock).
     ///
     /// # Errors
     ///
@@ -259,7 +300,33 @@ impl DedupService {
         len: u64,
         now: SimTime,
     ) -> Result<Timed<Vec<u8>>, DedupError> {
-        self.store().lock().read(client, name, offset, len, now)
+        self.store().read().read(client, name, offset, len, now)
+    }
+
+    /// Truncates through the shared store (foreground path, store read
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn truncate(
+        &self,
+        client: ClientId,
+        name: &ObjectName,
+        new_len: u64,
+        now: SimTime,
+    ) -> Result<Timed<()>, DedupError> {
+        self.store().read().truncate(client, name, new_len, now)
+    }
+
+    /// Deletes through the shared store (foreground path, store read
+    /// lock).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn delete(&self, client: ClientId, name: &ObjectName) -> Result<Timed<()>, DedupError> {
+        self.store().read().delete(client, name)
     }
 
     /// Asks the background worker to run deduplication at virtual time
@@ -277,9 +344,10 @@ impl DedupService {
     }
 
     /// Runs a closure with exclusive access to the store (reports,
-    /// snapshots, administration).
+    /// snapshots, administration): takes the store *write* lock, draining
+    /// all in-flight foreground ops first.
     pub fn with_store<R>(&self, f: impl FnOnce(&mut DedupStore) -> R) -> R {
-        f(&mut self.store().lock())
+        f(&mut self.store().write())
     }
 
     /// Stops the worker and returns the store.
@@ -500,6 +568,70 @@ mod tests {
         svc.tick(SimTime::from_secs(200));
         svc.drain();
         assert!(svc.worker_errors() >= 2, "worker alive after error");
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn flooded_ticks_coalesce_into_bounded_passes() {
+        const FLOOD: u64 = 400;
+        let svc = service();
+        let data = vec![7u8; 8 * 1024];
+        let _ = svc
+            .write(
+                ClientId(0),
+                &ObjectName::new("flooded"),
+                0,
+                &data,
+                SimTime::from_secs(1),
+            )
+            .expect("write");
+        // Hold the store write lock so the worker blocks mid-pass, then
+        // flood the channel with redundant ticks. Every tick is queued
+        // before the lock releases, so the worker can do at most two
+        // passes: the one it blocked on, and one collapsed pass over the
+        // entire backlog.
+        svc.with_store(|_| {
+            for i in 0..FLOOD {
+                svc.tick(SimTime::from_secs(10 + i));
+            }
+        });
+        svc.drain();
+        let (passes, collapsed, dirty) = svc.with_store(|s| {
+            let r = s.registry();
+            (
+                r.counter("service.worker.ticks").get(),
+                r.counter("service.worker.coalesced_ticks").get(),
+                s.dirty_len(),
+            )
+        });
+        assert!(passes >= 1, "the work still ran");
+        assert!(passes <= 2, "flood collapsed, got {passes} passes");
+        assert_eq!(passes + collapsed, FLOOD, "every tick accounted for");
+        assert_eq!(dirty, 0, "the collapsed pass flushed the queue");
+        let _ = svc.shutdown();
+    }
+
+    #[test]
+    fn truncate_and_delete_route_through_service() {
+        let svc = service();
+        let data = vec![4u8; 16 * 1024];
+        let name = ObjectName::new("routed");
+        let _ = svc
+            .write(ClientId(0), &name, 0, &data, SimTime::from_secs(1))
+            .expect("write");
+        let _ = svc
+            .truncate(ClientId(0), &name, 8 * 1024, SimTime::from_secs(2))
+            .expect("truncate");
+        let r = svc
+            .read(ClientId(0), &name, 0, 8 * 1024, SimTime::from_secs(3))
+            .expect("read");
+        assert_eq!(r.value, vec![4u8; 8 * 1024]);
+        let _ = svc.delete(ClientId(0), &name).expect("delete");
+        assert!(
+            svc.read(ClientId(0), &name, 0, 1, SimTime::from_secs(4))
+                .is_err(),
+            "deleted object must not be readable"
+        );
         let _ = svc.shutdown();
     }
 

@@ -104,9 +104,7 @@ impl DedupStore {
     /// # Errors
     ///
     /// Fails if the store does.
-    pub fn refcount_histogram(
-        &mut self,
-    ) -> Result<std::collections::BTreeMap<u64, u64>, DedupError> {
+    pub fn refcount_histogram(&self) -> Result<std::collections::BTreeMap<u64, u64>, DedupError> {
         use crate::refs::{decode_refcount, REFCOUNT_XATTR};
         use dedup_store::IoCtx;
         let mut hist = std::collections::BTreeMap::new();
@@ -114,7 +112,7 @@ impl DedupStore {
         let cctx = IoCtx::new(chunk_pool);
         for name in self.cluster().list_objects(chunk_pool)? {
             let count = self
-                .cluster_mut()
+                .cluster()
                 .get_xattr(&cctx, &name, REFCOUNT_XATTR)?
                 .value
                 .and_then(|v| decode_refcount(&v))

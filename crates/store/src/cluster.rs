@@ -6,6 +6,7 @@ use dedup_erasure::ReedSolomon;
 use dedup_obs::{Registry, TraceCtx, Tracer};
 use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
 use dedup_sim::{CostExpr, SimTime};
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::error::StoreError;
 use crate::metrics::ClusterMetrics;
@@ -153,9 +154,17 @@ pub(crate) struct PoolState {
 }
 
 /// The scale-out cluster: map + devices + pools + timing plane.
+///
+/// Each OSD's object map sits behind its own [`RwLock`] so data-plane ops
+/// on distinct devices never contend. Cluster I/O methods take `&self`
+/// and lock at most one OSD at a time (lock ordering: OSDs are always
+/// acquired sequentially, never nested), so two clients hitting different
+/// objects proceed in parallel. Per-object atomicity across replicas is
+/// the *caller's* responsibility: the dedup engine serializes ops on the
+/// same object through its shard locks.
 pub struct Cluster {
     pub(crate) map: ClusterMap,
-    pub(crate) osds: Vec<Osd>,
+    pub(crate) osds: Vec<RwLock<Osd>>,
     pub(crate) pools: BTreeMap<PoolId, PoolState>,
     next_pool: u32,
     pub(crate) perf: PerfTopology,
@@ -252,7 +261,7 @@ impl ClusterBuilder {
             };
             for _ in 0..self.osds_per_node {
                 map.add_osd(node, 1.0);
-                osds.push(Osd::new());
+                osds.push(RwLock::new(Osd::new()));
             }
         }
         let perf = PerfTopology::build(self.perf, self.nodes, self.osds_per_node);
@@ -417,9 +426,8 @@ impl Cluster {
         let holder = holders
             .first()
             .ok_or_else(|| StoreError::NoSuchObject(pool, name.clone()))?;
-        let obj = self.osds[holder.0 as usize]
-            .get(pool, name)
-            .expect("holder has object");
+        let guard = self.osds[holder.0 as usize].read();
+        let obj = guard.get(pool, name).expect("holder has object");
         let size = obj.payload.object_len();
         let end = (offset + len).min(size);
         if offset >= end {
@@ -455,11 +463,14 @@ impl Cluster {
     }
 
     /// OSDs (any, not just acting) currently holding a replica/shard.
+    ///
+    /// Locks one device at a time; the snapshot is only stable for a given
+    /// object while the caller holds that object's shard lock.
     pub(crate) fn holders(&self, pool: PoolId, name: &ObjectName) -> Vec<OsdId> {
         self.osds
             .iter()
             .enumerate()
-            .filter(|(_, o)| o.contains(pool, name))
+            .filter(|(_, o)| o.read().contains(pool, name))
             .map(|(i, _)| OsdId(i as u32))
             .collect()
     }
@@ -477,15 +488,26 @@ impl Cluster {
         if holders.is_empty() {
             return Ok(None);
         }
-        let meta_src = self.osds[holders[0].0 as usize]
-            .get(pool, name)
-            .expect("holder has object");
-        let (xattrs, omap) = (meta_src.xattrs.clone(), meta_src.omap.clone());
-        let holes = meta_src.holes.clone();
+        // Clone everything needed out of the first holder's guard so no
+        // OSD lock is held while touching another device.
+        let (xattrs, omap, holes, full_payload) = {
+            let guard = self.osds[holders[0].0 as usize].read();
+            let meta_src = guard.get(pool, name).expect("holder has object");
+            let full = match &meta_src.payload {
+                Payload::Full(b) => Some(b.clone()),
+                Payload::Shard { .. } => None,
+            };
+            (
+                meta_src.xattrs.clone(),
+                meta_src.omap.clone(),
+                meta_src.holes.clone(),
+                full,
+            )
+        };
         let data = match st.config.redundancy {
-            Redundancy::Replicated(_) => match &meta_src.payload {
-                Payload::Full(b) => b.clone(),
-                Payload::Shard { .. } => {
+            Redundancy::Replicated(_) => match full_payload {
+                Some(b) => b,
+                None => {
                     return Err(StoreError::Inconsistent {
                         pool,
                         name: name.clone(),
@@ -498,7 +520,8 @@ impl Cluster {
                 let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
                 let mut object_len = 0u64;
                 for h in &holders {
-                    if let Some(obj) = self.osds[h.0 as usize].get(pool, name) {
+                    let guard = self.osds[h.0 as usize].read();
+                    if let Some(obj) = guard.get(pool, name) {
                         if let Payload::Shard {
                             index,
                             object_len: ol,
@@ -524,8 +547,9 @@ impl Cluster {
     }
 
     /// Persists a logical object to its acting set, replacing all replicas.
+    /// Write-locks one device at a time.
     fn store_logical(
-        &mut self,
+        &self,
         pool: PoolId,
         name: &ObjectName,
         logical: &LogicalObject,
@@ -547,7 +571,9 @@ impl Cluster {
                     obj.omap = logical.omap.clone();
                     obj.holes = logical.holes.clone();
                     obj.stored_bytes = stored_bytes;
-                    self.osds[osd.0 as usize].put(pool, name.clone(), obj);
+                    self.osds[osd.0 as usize]
+                        .write()
+                        .put(pool, name.clone(), obj);
                 }
             }
             Redundancy::Erasure { .. } => {
@@ -573,16 +599,18 @@ impl Cluster {
                     obj.omap = logical.omap.clone();
                     obj.holes = logical.holes.clone();
                     obj.stored_bytes = stored_bytes;
-                    self.osds[osd.0 as usize].put(pool, name.clone(), obj);
+                    self.osds[osd.0 as usize]
+                        .write()
+                        .put(pool, name.clone(), obj);
                 }
             }
         }
         Ok(())
     }
 
-    fn remove_everywhere(&mut self, pool: PoolId, name: &ObjectName) {
-        for osd in &mut self.osds {
-            osd.remove(pool, name);
+    fn remove_everywhere(&self, pool: PoolId, name: &ObjectName) {
+        for osd in &self.osds {
+            osd.write().remove(pool, name);
         }
     }
 
@@ -596,8 +624,13 @@ impl Cluster {
     ///
     /// Fails if the pool is unknown, too few devices are up, the object
     /// would exceed the size cap, or EC decode fails.
+    ///
+    /// Takes `&self`: device maps are locked individually. Concurrent
+    /// transactions on *distinct* objects are safe; the caller must
+    /// serialize transactions touching the same object (the dedup engine
+    /// does this with per-object shard locks).
     pub fn transact(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         ops: Vec<TxOp>,
@@ -789,7 +822,7 @@ impl Cluster {
                 })
                 .collect();
             for s in stale {
-                self.osds[s.0 as usize].remove(ctx.pool, name);
+                self.osds[s.0 as usize].write().remove(ctx.pool, name);
             }
             self.store_logical(ctx.pool, name, &logical)?;
         }
@@ -801,7 +834,7 @@ impl Cluster {
     /// the whole logical object. Returns `None` when the slow path must
     /// run (EC, compression, whole-object ops, or inconsistent holders).
     fn try_fast_replicated_tx(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         ops: &[TxOp],
@@ -879,7 +912,7 @@ impl Cluster {
         ]);
 
         for &osd in &acting {
-            let store = &mut self.osds[osd.0 as usize];
+            let mut store = self.osds[osd.0 as usize].write();
             if !store.contains(ctx.pool, name) {
                 store.put(
                     ctx.pool,
@@ -946,7 +979,7 @@ impl Cluster {
     ///
     /// See [`Cluster::transact`].
     pub fn write_full(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         data: Vec<u8>,
@@ -960,7 +993,7 @@ impl Cluster {
     ///
     /// See [`Cluster::transact`].
     pub fn write_at(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         offset: u64,
@@ -975,7 +1008,7 @@ impl Cluster {
     ///
     /// Fails if the object does not exist or the range exceeds its size.
     pub fn read_at(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         offset: u64,
@@ -991,9 +1024,8 @@ impl Cluster {
                 let holder = holders
                     .first()
                     .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
-                let obj = self.osds[holder.0 as usize]
-                    .get(ctx.pool, name)
-                    .expect("holder has object");
+                let guard = self.osds[holder.0 as usize].read();
+                let obj = guard.get(ctx.pool, name).expect("holder has object");
                 match &obj.payload {
                     Payload::Full(data) => {
                         if offset + len > data.len() as u64 {
@@ -1073,11 +1105,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Fails if the object does not exist.
-    pub fn read_full(
-        &mut self,
-        ctx: &IoCtx,
-        name: &ObjectName,
-    ) -> Result<Timed<Vec<u8>>, StoreError> {
+    pub fn read_full(&self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<Vec<u8>>, StoreError> {
         let size = self
             .stat(ctx.pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
@@ -1092,10 +1120,12 @@ impl Cluster {
     pub fn stat(&self, pool: PoolId, name: &ObjectName) -> Result<Option<u64>, StoreError> {
         self.state(pool)?;
         let holders = self.holders(pool, name);
-        Ok(holders
-            .first()
-            .and_then(|h| self.osds[h.0 as usize].get(pool, name))
-            .map(|o| o.payload.object_len()))
+        Ok(holders.first().and_then(|h| {
+            self.osds[h.0 as usize]
+                .read()
+                .get(pool, name)
+                .map(|o| o.payload.object_len())
+        }))
     }
 
     /// Reads one xattr (metadata-sized I/O on the primary).
@@ -1104,7 +1134,7 @@ impl Cluster {
     ///
     /// Fails if the object does not exist.
     pub fn get_xattr(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         key: &str,
@@ -1123,7 +1153,7 @@ impl Cluster {
     ///
     /// Fails if the object does not exist.
     pub fn get_omap(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
         key: &str,
@@ -1143,7 +1173,7 @@ impl Cluster {
     ///
     /// Fails if the object does not exist.
     pub fn omap_entries(
-        &mut self,
+        &self,
         ctx: &IoCtx,
         name: &ObjectName,
     ) -> Result<Timed<BTreeMap<String, Vec<u8>>>, StoreError> {
@@ -1164,9 +1194,8 @@ impl Cluster {
         self.state(pool)?;
         let holders = self.holders(pool, name);
         Ok(holders.first().map(|h| {
-            let obj = self.osds[h.0 as usize]
-                .get(pool, name)
-                .expect("holder has object");
+            let guard = self.osds[h.0 as usize].read();
+            let obj = guard.get(pool, name).expect("holder has object");
             (obj.xattrs.clone(), obj.omap.clone())
         }))
     }
@@ -1190,7 +1219,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Fails for unknown pools; deleting an absent object is a no-op.
-    pub fn delete(&mut self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<()>, StoreError> {
+    pub fn delete(&self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<()>, StoreError> {
         self.transact(ctx, name, vec![TxOp::Remove])
     }
 
@@ -1203,7 +1232,7 @@ impl Cluster {
         self.state(pool)?;
         let mut names = BTreeSet::new();
         for osd in &self.osds {
-            names.extend(osd.names_in_pool(pool));
+            names.extend(osd.read().names_in_pool(pool));
         }
         Ok(names.into_iter().collect())
     }
@@ -1218,8 +1247,9 @@ impl Cluster {
         let mut usage = PoolUsage::default();
         let mut seen: BTreeSet<ObjectName> = BTreeSet::new();
         for osd in &self.osds {
-            for ((p, name), obj) in osd.iter() {
-                if *p != pool {
+            let guard = osd.read();
+            for (p, name, obj) in guard.iter() {
+                if p != pool {
                     continue;
                 }
                 if seen.insert(name.clone()) {
@@ -1234,21 +1264,19 @@ impl Cluster {
         Ok(usage)
     }
 
-    /// Iterates every replica on one device (used by the local-dedup
-    /// baseline and the experiments' accounting).
+    /// Read-locks one device for iteration (used by the local-dedup
+    /// baseline and the experiments' accounting): iterate the returned
+    /// guard with [`Osd::iter`].
     ///
     /// # Errors
     ///
     /// Fails for unknown OSD ids.
-    pub fn osd_objects(
-        &self,
-        osd: OsdId,
-    ) -> Result<impl Iterator<Item = (&(PoolId, ObjectName), &StoredObject)>, StoreError> {
+    pub fn osd_objects(&self, osd: OsdId) -> Result<RwLockReadGuard<'_, Osd>, StoreError> {
         let idx = osd.0 as usize;
         if idx >= self.osds.len() {
             return Err(StoreError::NoSuchOsd(osd));
         }
-        Ok(self.osds[idx].iter())
+        Ok(self.osds[idx].read())
     }
 
     /// Fails an OSD: marks it down in the map and wipes its device,
@@ -1259,7 +1287,7 @@ impl Cluster {
     /// Panics for unknown OSD ids.
     pub fn fail_osd(&mut self, osd: OsdId) {
         self.map.set_up(osd, false);
-        self.osds[osd.0 as usize].wipe();
+        self.osds[osd.0 as usize].write().wipe();
     }
 
     /// Marks an OSD down without wiping it (temporary outage).
@@ -1284,13 +1312,17 @@ impl Cluster {
     /// Adds a brand-new OSD to `node` and returns its id.
     pub fn add_osd(&mut self, node: NodeId, weight: f64) -> OsdId {
         let id = self.map.add_osd(node, weight);
-        self.osds.push(Osd::new());
+        self.osds.push(RwLock::new(Osd::new()));
         self.perf.add_disk(id.0 as usize);
         id
     }
 
-    pub(crate) fn osd_store(&self, osd: OsdId) -> &Osd {
-        &self.osds[osd.0 as usize]
+    pub(crate) fn osd_store(&self, osd: OsdId) -> RwLockReadGuard<'_, Osd> {
+        self.osds[osd.0 as usize].read()
+    }
+
+    pub(crate) fn osd_store_mut(&self, osd: OsdId) -> RwLockWriteGuard<'_, Osd> {
+        self.osds[osd.0 as usize].write()
     }
 }
 
@@ -1422,7 +1454,8 @@ mod tests {
             )
             .expect("tx");
         for h in c.holders(ctx.pool, &name) {
-            let obj = c.osd_store(h).get(ctx.pool, &name).expect("replica");
+            let store = c.osd_store(h);
+            let obj = store.get(ctx.pool, &name).expect("replica");
             assert_eq!(obj.xattrs.get("refcount"), Some(&vec![2]));
         }
     }

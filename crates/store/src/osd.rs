@@ -23,9 +23,12 @@ pub struct OsdStats {
 /// An OSD knows nothing about placement: the cluster routes to it, it
 /// stores whatever it is told. This mirrors the shared-nothing split in the
 /// real system.
+///
+/// Objects are keyed pool-first so hot-path lookups borrow the caller's
+/// [`ObjectName`] instead of cloning it into a composite key.
 #[derive(Debug, Clone, Default)]
 pub struct Osd {
-    objects: HashMap<(PoolId, ObjectName), StoredObject>,
+    pools: HashMap<PoolId, HashMap<ObjectName, StoredObject>>,
 }
 
 impl Osd {
@@ -41,55 +44,65 @@ impl Osd {
         name: ObjectName,
         object: StoredObject,
     ) -> Option<StoredObject> {
-        self.objects.insert((pool, name), object)
+        self.pools.entry(pool).or_default().insert(name, object)
     }
 
     /// Borrows an object replica.
     pub fn get(&self, pool: PoolId, name: &ObjectName) -> Option<&StoredObject> {
-        self.objects.get(&(pool, name.clone()))
+        self.pools.get(&pool)?.get(name)
     }
 
     /// Mutably borrows an object replica.
     pub fn get_mut(&mut self, pool: PoolId, name: &ObjectName) -> Option<&mut StoredObject> {
-        self.objects.get_mut(&(pool, name.clone()))
+        self.pools.get_mut(&pool)?.get_mut(name)
     }
 
     /// Removes an object replica.
     pub fn remove(&mut self, pool: PoolId, name: &ObjectName) -> Option<StoredObject> {
-        self.objects.remove(&(pool, name.clone()))
+        let objects = self.pools.get_mut(&pool)?;
+        let removed = objects.remove(name);
+        if objects.is_empty() {
+            self.pools.remove(&pool);
+        }
+        removed
     }
 
     /// Whether the device holds a replica of the object.
     pub fn contains(&self, pool: PoolId, name: &ObjectName) -> bool {
-        self.objects.contains_key(&(pool, name.clone()))
+        self.pools
+            .get(&pool)
+            .is_some_and(|objects| objects.contains_key(name))
     }
 
     /// Iterates over everything on the device.
-    pub fn iter(&self) -> impl Iterator<Item = (&(PoolId, ObjectName), &StoredObject)> {
-        self.objects.iter()
+    pub fn iter(&self) -> impl Iterator<Item = (PoolId, &ObjectName, &StoredObject)> {
+        self.pools
+            .iter()
+            .flat_map(|(&pool, objects)| objects.iter().map(move |(n, o)| (pool, n, o)))
     }
 
     /// Object names this device holds for one pool.
     pub fn names_in_pool(&self, pool: PoolId) -> Vec<ObjectName> {
-        self.objects
-            .keys()
-            .filter(|(p, _)| *p == pool)
-            .map(|(_, n)| n.clone())
-            .collect()
+        self.pools
+            .get(&pool)
+            .map(|objects| objects.keys().cloned().collect())
+            .unwrap_or_default()
     }
 
     /// Wipes the device (simulates losing the disk).
     pub fn wipe(&mut self) {
-        self.objects.clear();
+        self.pools.clear();
     }
 
     /// Computes capacity statistics.
     pub fn stats(&self) -> OsdStats {
         let mut s = OsdStats::default();
-        for obj in self.objects.values() {
-            s.objects += 1;
-            s.stored_bytes += obj.stored_bytes;
-            s.metadata_bytes += obj.metadata_bytes();
+        for objects in self.pools.values() {
+            for obj in objects.values() {
+                s.objects += 1;
+                s.stored_bytes += obj.stored_bytes;
+                s.metadata_bytes += obj.metadata_bytes();
+            }
         }
         s
     }
@@ -162,5 +175,19 @@ mod tests {
         );
         osd.wipe();
         assert_eq!(osd.stats().objects, 0);
+    }
+
+    #[test]
+    fn empty_pool_map_is_pruned_on_remove() {
+        let mut osd = Osd::new();
+        let name = ObjectName::new("only");
+        osd.put(
+            pool(),
+            name.clone(),
+            StoredObject::new(Payload::Full(vec![1])),
+        );
+        osd.remove(pool(), &name);
+        assert_eq!(osd.iter().count(), 0);
+        assert!(osd.names_in_pool(pool()).is_empty());
     }
 }

@@ -201,6 +201,7 @@ impl Cluster {
             // it as removed either way — it held a replica when this pass
             // began and no longer does.
             let freed = self.osds[s.0 as usize]
+                .write()
                 .remove(pool, name)
                 .map(|obj| obj.stored_bytes)
                 .unwrap_or(0);
@@ -260,7 +261,10 @@ impl Cluster {
             };
             match redundancy {
                 Redundancy::Replicated(_) => {
-                    let mut reference: Option<&crate::object::StoredObject> = None;
+                    // Owned snapshot of the first replica: per-OSD locks are
+                    // taken one at a time, so a borrowed reference cannot
+                    // outlive its device guard.
+                    let mut reference: Option<crate::object::StoredObject> = None;
                     for &osd in &acting {
                         match self.osd_store(osd).get(pool, &name) {
                             None => findings.push(ScrubFinding {
@@ -268,8 +272,8 @@ impl Cluster {
                                 name: name.clone(),
                                 detail: format!("missing replica on {osd}"),
                             }),
-                            Some(obj) => match reference {
-                                None => reference = Some(obj),
+                            Some(obj) => match &reference {
+                                None => reference = Some(obj.clone()),
                                 Some(r) if r != obj => findings.push(ScrubFinding {
                                     pool,
                                     name: name.clone(),
@@ -409,14 +413,16 @@ impl Cluster {
                 if votes.is_empty() {
                     return Err(StoreError::NoSuchObject(pool, name.clone()));
                 }
-                // Count identical replicas.
+                // Count identical replicas. The candidate is cloned out of
+                // its guard so at most one OSD lock is held at a time.
                 let mut best = votes[0].1;
                 let mut best_count = 0usize;
                 for &(_, cand) in &votes {
-                    let cand_obj = self.osd_store(*cand).get(pool, name);
+                    let cand_obj: Option<crate::object::StoredObject> =
+                        self.osd_store(*cand).get(pool, name).cloned();
                     let count = votes
                         .iter()
-                        .filter(|&&(_, o)| self.osd_store(*o).get(pool, name) == cand_obj)
+                        .filter(|&&(_, o)| self.osd_store(*o).get(pool, name) == cand_obj.as_ref())
                         .count();
                     if count > best_count {
                         best_count = count;
@@ -440,7 +446,8 @@ impl Cluster {
                             self.perf.node_to_node(src_node, dst_node, bytes),
                             self.perf.disk_io(osd.0 as usize, bytes),
                         ]));
-                        self.osds[osd.0 as usize].put(pool, name.clone(), reference.clone());
+                        self.osd_store_mut(osd)
+                            .put(pool, name.clone(), reference.clone());
                         repaired = true;
                     }
                 }
@@ -470,6 +477,20 @@ mod tests {
     use crate::cluster::{ClusterBuilder, IoCtx};
     use crate::pool::PoolConfig;
     use dedup_sim::SimTime;
+
+    /// Mutates one replica behind the cluster's back (simulated silent
+    /// corruption), dropping the device's write guard before returning so
+    /// a follow-up scrub in the same thread cannot self-deadlock.
+    fn corrupt(
+        c: &crate::cluster::Cluster,
+        osd: OsdId,
+        pool: PoolId,
+        name: &ObjectName,
+        f: impl FnOnce(&mut crate::object::StoredObject),
+    ) {
+        let mut store = c.osd_store_mut(osd);
+        f(store.get_mut(pool, name).expect("replica"));
+    }
 
     fn loaded_cluster(redundancy: PoolConfig) -> (crate::cluster::Cluster, IoCtx, Vec<Vec<u8>>) {
         let mut c = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
@@ -589,34 +610,32 @@ mod tests {
 
     #[test]
     fn scrub_detects_injected_replica_mismatch() {
-        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let (c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
         let name = ObjectName::new("obj-0");
         let victim = c.holders(ctx.pool, &name)[0];
         // Corrupt one replica's payload behind the cluster's back.
-        let obj = c.osds[victim.0 as usize]
-            .get_mut(ctx.pool, &name)
-            .expect("replica");
-        if let crate::object::Payload::Full(ref mut b) = obj.payload {
-            b[0] ^= 0xFF;
-        }
+        corrupt(&c, victim, ctx.pool, &name, |obj| {
+            if let crate::object::Payload::Full(ref mut b) = obj.payload {
+                b[0] ^= 0xFF;
+            }
+        });
         let findings = c.scrub(ctx.pool).expect("scrub");
         assert!(findings.iter().any(|f| f.name == name));
     }
 
     #[test]
     fn deep_scrub_detects_parity_corruption() {
-        let (mut c, ctx, _) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
+        let (c, ctx, _) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
         // Light scrub is clean; corrupt one PARITY shard silently.
         assert!(c.deep_scrub(ctx.pool).expect("scrub").is_empty());
         let name = ObjectName::new("obj-4");
         let acting = c.acting(ctx.pool, &name).expect("acting");
         let parity_osd = acting[2];
-        let obj = c.osds[parity_osd.0 as usize]
-            .get_mut(ctx.pool, &name)
-            .expect("shard");
-        if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
-            bytes[7] ^= 0xFF;
-        }
+        corrupt(&c, parity_osd, ctx.pool, &name, |obj| {
+            if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
+                bytes[7] ^= 0xFF;
+            }
+        });
         // The light scrub still passes (shape is fine)...
         assert!(c.scrub(ctx.pool).expect("scrub").is_empty());
         // ...but deep scrub re-encodes and catches it.
@@ -631,15 +650,14 @@ mod tests {
 
     #[test]
     fn deep_scrub_detects_replica_divergence() {
-        let (mut c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
+        let (c, ctx, _) = loaded_cluster(PoolConfig::replicated("r", 2));
         let name = ObjectName::new("obj-1");
         let victim = c.holders(ctx.pool, &name)[1];
-        let obj = c.osds[victim.0 as usize]
-            .get_mut(ctx.pool, &name)
-            .expect("replica");
-        if let crate::object::Payload::Full(ref mut b) = obj.payload {
-            b[100] ^= 1;
-        }
+        corrupt(&c, victim, ctx.pool, &name, |obj| {
+            if let crate::object::Payload::Full(ref mut b) = obj.payload {
+                b[100] ^= 1;
+            }
+        });
         let findings = c.deep_scrub(ctx.pool).expect("deep scrub");
         assert!(findings.iter().any(|f| f.name == name));
     }
@@ -649,12 +667,11 @@ mod tests {
         let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::replicated("r", 2));
         let name = ObjectName::new("obj-3");
         let victim = c.holders(ctx.pool, &name)[1];
-        let obj = c.osds[victim.0 as usize]
-            .get_mut(ctx.pool, &name)
-            .expect("replica");
-        if let crate::object::Payload::Full(ref mut b) = obj.payload {
-            b[5] ^= 0x42;
-        }
+        corrupt(&c, victim, ctx.pool, &name, |obj| {
+            if let crate::object::Payload::Full(ref mut b) = obj.payload {
+                b[5] ^= 0x42;
+            }
+        });
         assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
         let t = c.repair_object(ctx.pool, &name).expect("repair");
         assert!(t.value, "repair reported work");
@@ -669,12 +686,11 @@ mod tests {
         let (mut c, ctx, datasets) = loaded_cluster(PoolConfig::erasure("e", 2, 1));
         let name = ObjectName::new("obj-7");
         let acting = c.acting(ctx.pool, &name).expect("acting");
-        let obj = c.osds[acting[2].0 as usize]
-            .get_mut(ctx.pool, &name)
-            .expect("parity shard");
-        if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
-            bytes[0] ^= 0xFF;
-        }
+        corrupt(&c, acting[2], ctx.pool, &name, |obj| {
+            if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
+                bytes[0] ^= 0xFF;
+            }
+        });
         assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
         let t = c.repair_object(ctx.pool, &name).expect("repair");
         assert!(t.value);

@@ -7,7 +7,10 @@
 
 #![forbid(unsafe_code)]
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
 
 /// Non-poisoning mutex with the `parking_lot::Mutex` API subset this
 /// workspace uses.
@@ -65,9 +68,82 @@ impl<T> Mutex<T> {
     }
 }
 
+/// Non-poisoning reader-writer lock with the `parking_lot::RwLock` API
+/// subset this workspace uses.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: StdRwLock<T>,
+}
+
+/// Shared guard returned by [`RwLock::read`].
+pub type RwLockReadGuard<'a, T> = StdRwLockReadGuard<'a, T>;
+/// Exclusive guard returned by [`RwLock::write`].
+pub type RwLockWriteGuard<'a, T> = StdRwLockWriteGuard<'a, T>;
+
+impl<T> RwLock<T> {
+    /// Creates a new reader-writer lock wrapping `value`.
+    pub fn new(value: T) -> Self {
+        RwLock {
+            inner: StdRwLock::new(value),
+        }
+    }
+
+    /// Acquires a shared read lock, recovering from poisoning like
+    /// [`Mutex::lock`].
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        match self.inner.read() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Acquires the exclusive write lock, recovering from poisoning.
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        match self.inner.write() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Attempts to acquire a shared read lock without blocking.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.inner.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Attempts to acquire the exclusive write lock without blocking.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.inner.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.inner.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Returns a mutable reference to the inner value (requires `&mut self`,
+    /// so no locking is needed).
+    pub fn get_mut(&mut self) -> &mut T {
+        match self.inner.get_mut() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
-    use super::Mutex;
+    use super::{Mutex, RwLock};
     use std::sync::Arc;
 
     #[test]
@@ -97,5 +173,40 @@ mod tests {
         assert!(m.try_lock().is_none());
         drop(guard);
         assert!(m.try_lock().is_some());
+    }
+
+    #[test]
+    fn rwlock_read_write_round_trips() {
+        let l = RwLock::new(41);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 42);
+        let (a, b) = (l.read(), l.read());
+        assert_eq!((*a, *b), (42, 42));
+        drop((a, b));
+        assert_eq!(l.into_inner(), 42);
+    }
+
+    #[test]
+    fn rwlock_try_write_contended_by_reader() {
+        let l = RwLock::new(1);
+        let r = l.read();
+        assert!(l.try_write().is_none());
+        assert!(l.try_read().is_some());
+        drop(r);
+        assert!(l.try_write().is_some());
+    }
+
+    #[test]
+    fn rwlock_survives_poison() {
+        let l = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _guard = l2.write();
+            panic!("poison the lock");
+        })
+        .join();
+        assert_eq!(*l.read(), 0);
+        *l.write() += 1;
+        assert_eq!(*l.read(), 1);
     }
 }

@@ -18,6 +18,7 @@
 //! | [`chunk`] | `dedup-chunk` | fixed-size and content-defined chunking |
 //! | [`fingerprint`] | `dedup-fingerprint` | 256-bit content fingerprints (chunk object IDs) |
 //! | [`compress`] | `dedup-compress` | LZ-style at-rest compression |
+//! | [`obs`] | `dedup-obs` | metrics registry, per-op tracing, resource probes |
 //! | [`sim`] | `dedup-sim` | virtual-time performance plane |
 //! | [`workloads`] | `dedup-workloads` | FIO / SPEC-SFS / cloud / VM-image / backup generators |
 //! | [`block`] | (this crate) | RBD-like block device striped over objects, for either backend |
@@ -60,6 +61,7 @@ pub use dedup_compress as compress;
 pub use dedup_core as core;
 pub use dedup_erasure as erasure;
 pub use dedup_fingerprint as fingerprint;
+pub use dedup_obs as obs;
 pub use dedup_placement as placement;
 pub use dedup_sim as sim;
 pub use dedup_store as store;

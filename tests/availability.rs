@@ -111,7 +111,8 @@ fn cluster_expansion_rebalances_dedup_pools() {
         .cluster()
         .osd_objects(new_osd)
         .expect("osd")
-        .map(|(_, o)| o.stored_bytes)
+        .iter()
+        .map(|(_, _, o)| o.stored_bytes)
         .sum();
     assert!(new_stats > 0, "new OSD received no data");
     verify(&mut store, &dataset);

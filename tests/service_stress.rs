@@ -1,27 +1,34 @@
 //! Multi-threaded stress test for [`DedupService`]: writer threads,
-//! reader threads, and the background flush worker race on overlapping
-//! objects while the pipeline stages, fingerprints (lock released), and
-//! commits batches. The invariants:
+//! reader threads, a delete/truncate churn mix, and the background flush
+//! worker race across the sharded foreground data plane while the
+//! pipeline stages, fingerprints (lock released), and commits batches.
+//! The invariants:
 //!
 //! - no deadlock or worker livelock (the test terminates),
-//! - read-your-writes holds for objects a thread owns exclusively,
+//! - read-your-writes holds for objects a thread owns exclusively —
+//!   including immediately after truncate and delete,
 //! - concurrent whole-object overwrites are atomic (readers only ever see
 //!   one writer's fill pattern, never a mix),
 //! - the background worker hits no engine errors, and
 //! - after settling, every chunk reference resolves
 //!   ([`DedupStore::verify_references`] is clean) and nothing is dirty.
+//!
+//! Shard routing itself is covered by a proptest below: it must be a pure
+//! function of the object name.
 
 use std::sync::Arc;
 
-use global_dedup::core::{DedupConfig, DedupService, DedupStore};
+use global_dedup::core::{shard_index, DedupConfig, DedupService, DedupStore};
 use global_dedup::sim::SimTime;
 use global_dedup::store::{ClientId, ClusterBuilder, ObjectName};
+use proptest::prelude::*;
 
 const CS: u32 = 8 * 1024;
 const OBJECT_BYTES: usize = 2 * CS as usize;
-const WRITERS: u32 = 4;
+const WRITERS: u32 = 8;
 const ROUNDS: usize = 12;
 const SHARED_OBJECTS: usize = 3;
+const SHARDS: usize = 4;
 
 fn patterned(len: usize, seed: u64) -> Vec<u8> {
     let mut state = seed | 1;
@@ -40,9 +47,12 @@ fn writers_readers_and_flusher_race_without_corruption() {
     // the worker keeps skipping the hammered shared objects (exercising
     // the no-progress tick break) while cold private objects flush
     // through the staged pipeline under racing foreground mutations.
+    // Four namespace shards force eight writers to collide pairwise on
+    // shard locks while distinct shards proceed in parallel.
     let config = DedupConfig::with_chunk_size(CS)
         .flush_batch_size(4)
-        .flush_parallelism(2);
+        .flush_parallelism(2)
+        .foreground_shards(SHARDS);
     let svc = Arc::new(DedupService::start(DedupStore::with_default_pools(
         cluster, config,
     )));
@@ -50,7 +60,9 @@ fn writers_readers_and_flusher_race_without_corruption() {
     let mut handles = Vec::new();
 
     // Writers: exclusive objects (read-your-writes asserted inline) plus
-    // shared objects everyone overwrites with their own uniform fill.
+    // shared objects everyone overwrites with their own uniform fill,
+    // plus an exclusively-owned churn object cycling through
+    // write → truncate-shrink → zero-extend → delete.
     for t in 0..WRITERS {
         let svc = Arc::clone(&svc);
         handles.push(std::thread::spawn(move || {
@@ -66,6 +78,46 @@ fn writers_readers_and_flusher_race_without_corruption() {
                     .expect("read own write");
                 assert_eq!(r.value, data, "read-your-writes violated");
 
+                // Churn object: truncate and delete race the background
+                // ticks and other shards' foreground ops.
+                let churn = ObjectName::new(format!("churn-{t}"));
+                let _ = svc
+                    .write(ClientId(t), &churn, 0, &data, now)
+                    .expect("churn write");
+                match round % 4 {
+                    1 => {
+                        let _ = svc
+                            .truncate(ClientId(t), &churn, CS as u64, now)
+                            .expect("churn shrink");
+                        let r = svc
+                            .read(ClientId(t), &churn, 0, CS as u64, now)
+                            .expect("read after shrink");
+                        assert_eq!(r.value, data[..CS as usize], "shrink lost the prefix");
+                    }
+                    2 => {
+                        let _ = svc
+                            .truncate(
+                                ClientId(t),
+                                &churn,
+                                (OBJECT_BYTES + CS as usize) as u64,
+                                now,
+                            )
+                            .expect("churn zero-extend");
+                        let r = svc
+                            .read(ClientId(t), &churn, OBJECT_BYTES as u64, CS as u64, now)
+                            .expect("read extended tail");
+                        assert_eq!(r.value, vec![0u8; CS as usize], "extension tail not zero");
+                    }
+                    3 => {
+                        let _ = svc.delete(ClientId(t), &churn).expect("churn delete");
+                        assert!(
+                            svc.read(ClientId(t), &churn, 0, 1, now).is_err(),
+                            "deleted object still readable"
+                        );
+                    }
+                    _ => {}
+                }
+
                 let shared = ObjectName::new(format!("shared-{}", round % SHARED_OBJECTS));
                 let fill = vec![t as u8 + 1; OBJECT_BYTES];
                 let _ = svc
@@ -76,7 +128,7 @@ fn writers_readers_and_flusher_race_without_corruption() {
     }
 
     // Readers: shared objects must always read as one uniform fill —
-    // whole-object writes are atomic under the engine lock, and a flush
+    // whole-object writes are atomic under their shard lock, and a flush
     // committing a stale staged snapshot would tear that.
     for t in 0..2u32 {
         let svc = Arc::clone(&svc);
@@ -142,12 +194,54 @@ fn writers_readers_and_flusher_race_without_corruption() {
             assert_eq!(r.value.len(), OBJECT_BYTES);
         }
     }
+    // Every foreground op went through one of the configured shards, and
+    // their per-shard counters account for all of them.
+    svc.with_store(|s| {
+        assert_eq!(s.shard_count(), SHARDS);
+        let total: u64 = (0..SHARDS)
+            .map(|i| {
+                s.registry()
+                    .counter_with("service.shard.ops", &[("shard", &i.to_string())])
+                    .get()
+            })
+            .sum();
+        assert!(total > 0, "shard op counters never moved");
+    });
     let store = Arc::try_unwrap(svc)
         .unwrap_or_else(|_| panic!("handles leaked"))
         .shutdown();
     assert_eq!(
         store.stats().writes as usize,
-        WRITERS as usize * ROUNDS * 2,
+        WRITERS as usize * ROUNDS * 3,
         "every write accounted for"
     );
+}
+
+proptest! {
+    /// Shard routing is a pure function of the object name: stable across
+    /// calls and across `ObjectName` instances, always within range, and
+    /// independent of any store state.
+    #[test]
+    fn shard_routing_is_pure(name in ".{1,64}", shards in 1usize..64) {
+        let a = ObjectName::new(name.clone());
+        let b = ObjectName::new(name);
+        let idx = shard_index(&a, shards);
+        prop_assert!(idx < shards, "index out of range");
+        prop_assert_eq!(idx, shard_index(&a, shards), "unstable across calls");
+        prop_assert_eq!(idx, shard_index(&b, shards), "depends on instance identity");
+    }
+
+    /// A store's `shard_of` agrees with the free function at its
+    /// configured shard count.
+    #[test]
+    fn store_routing_matches_free_function(name in "[a-z]{1,16}", shards in 1usize..16) {
+        let cluster = ClusterBuilder::new().build();
+        let store = DedupStore::with_default_pools(
+            cluster,
+            DedupConfig::default().foreground_shards(shards),
+        );
+        let n = ObjectName::new(name);
+        prop_assert_eq!(store.shard_of(&n), shard_index(&n, shards));
+        prop_assert_eq!(store.shard_count(), shards);
+    }
 }

@@ -1,0 +1,158 @@
+//! Audit of the sharded data plane's contention instruments: every
+//! foreground op (write, read, truncate, delete) must increment exactly
+//! one `service.shard.ops{shard=i}` counter — the one [`shard_index`]
+//! routes its object to — and record exactly one sample in the
+//! `service.shard.lock_wait_ns` histogram. The labelled series must also
+//! appear in registry snapshots, which is what the metrics sidecar
+//! samples.
+
+use global_dedup::core::{shard_index, CachePolicy, DedupConfig, DedupStore};
+use global_dedup::obs::SnapshotValue;
+use global_dedup::sim::SimTime;
+use global_dedup::store::{ClientId, ClusterBuilder, ObjectName};
+
+const CS: u32 = 8 * 1024;
+const SHARDS: usize = 4;
+
+fn store_with(config: DedupConfig) -> DedupStore {
+    let cluster = ClusterBuilder::new().nodes(4).osds_per_node(2).build();
+    DedupStore::with_default_pools(cluster, config)
+}
+
+fn sharded_store() -> DedupStore {
+    store_with(
+        DedupConfig::with_chunk_size(CS)
+            .cache_policy(CachePolicy::EvictAll)
+            .foreground_shards(SHARDS),
+    )
+}
+
+fn shard_ops(s: &DedupStore, shard: usize) -> u64 {
+    s.registry()
+        .counter_with("service.shard.ops", &[("shard", &shard.to_string())])
+        .get()
+}
+
+fn lock_waits(s: &DedupStore) -> u64 {
+    s.registry().histogram("service.shard.lock_wait_ns").count()
+}
+
+fn t(secs: u64) -> SimTime {
+    SimTime::from_secs(secs)
+}
+
+fn fill(s: &DedupStore, name: &str, seed: u8, now: SimTime) {
+    let data = vec![seed; 2 * CS as usize];
+    let _ = s
+        .write(ClientId(0), &ObjectName::new(name), 0, &data, now)
+        .expect("write");
+}
+
+/// The invariant under audit: per-shard counters sum to the number of
+/// foreground ops, and the lock-wait histogram saw one sample per op.
+fn assert_ops_accounted(s: &DedupStore, expected_ops: u64, context: &str) {
+    let total: u64 = (0..SHARDS).map(|i| shard_ops(s, i)).sum();
+    assert_eq!(
+        total, expected_ops,
+        "shard op counters out of sync after {context}"
+    );
+    assert_eq!(
+        lock_waits(s),
+        expected_ops,
+        "lock-wait samples out of sync after {context}"
+    );
+}
+
+#[test]
+fn every_foreground_op_lands_on_its_routed_shard() {
+    let s = sharded_store();
+    let names: Vec<ObjectName> = (0..12)
+        .map(|i| ObjectName::new(format!("obj-{i}")))
+        .collect();
+    let mut expected = [0u64; SHARDS];
+
+    for (i, name) in names.iter().enumerate() {
+        fill(&s, name.as_str(), i as u8, t(0));
+        expected[shard_index(name, SHARDS)] += 1;
+    }
+    for (i, name) in names.iter().enumerate() {
+        let r = s
+            .read(ClientId(0), name, 0, 2 * CS as u64, t(1))
+            .expect("read");
+        assert_eq!(r.value, vec![i as u8; 2 * CS as usize]);
+        expected[shard_index(name, SHARDS)] += 1;
+    }
+
+    for (shard, &want) in expected.iter().enumerate() {
+        assert_eq!(
+            shard_ops(&s, shard),
+            want,
+            "shard {shard} counter diverged from routing"
+        );
+    }
+    assert_ops_accounted(&s, 24, "writes + reads");
+}
+
+#[test]
+fn truncate_and_delete_count_as_shard_ops() {
+    let s = sharded_store();
+    let name = ObjectName::new("churn");
+    let shard = shard_index(&name, SHARDS);
+
+    fill(&s, name.as_str(), 9, t(0));
+    let _ = s
+        .truncate(ClientId(0), &name, CS as u64, t(1))
+        .expect("truncate");
+    let _ = s.delete(ClientId(0), &name).expect("delete");
+
+    assert_eq!(shard_ops(&s, shard), 3, "write + truncate + delete");
+    assert_ops_accounted(&s, 3, "churn sequence");
+}
+
+#[test]
+fn background_flush_takes_no_shard_locks() {
+    let mut s = sharded_store();
+    fill(&s, "bg", 5, t(0));
+    let before = lock_waits(&s);
+    let _ = s.flush_all(t(100)).expect("flush");
+    assert_eq!(
+        lock_waits(&s),
+        before,
+        "background flush must rely on whole-store exclusion, not shard locks"
+    );
+    assert_ops_accounted(&s, 1, "background flush");
+}
+
+#[test]
+fn labelled_series_appear_in_snapshots() {
+    let s = sharded_store();
+    fill(&s, "snap", 1, t(0));
+    let snap = s.registry().snapshot(t(2));
+    let shard_series: Vec<_> = snap
+        .iter()
+        .filter(|m| m.name == "service.shard.ops")
+        .collect();
+    assert_eq!(
+        shard_series.len(),
+        SHARDS,
+        "one labelled ops series per shard"
+    );
+    let total: u64 = shard_series
+        .iter()
+        .map(|m| match m.value {
+            SnapshotValue::Counter(v) => v,
+            _ => panic!("service.shard.ops must snapshot as a counter"),
+        })
+        .sum();
+    assert_eq!(total, 1, "the one write shows up in the snapshot");
+    assert!(
+        shard_series
+            .iter()
+            .all(|m| m.labels.iter().any(|(k, _)| k == "shard")),
+        "series carry the shard label"
+    );
+    assert!(
+        snap.iter().any(|m| m.name == "service.shard.lock_wait_ns"),
+        "lock-wait histogram exported"
+    );
+}
