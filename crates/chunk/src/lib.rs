@@ -25,6 +25,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// A half-open byte range `[offset, offset + len)` within an object.
@@ -57,6 +58,20 @@ pub trait Chunker {
     /// Mean chunk size this chunker aims for, in bytes (used for cost
     /// models and metadata sizing).
     fn target_chunk_size(&self) -> u32;
+
+    /// Splits a shared buffer into per-chunk views without copying: each
+    /// returned [`Bytes`] is an O(1) slice of `data`'s backing allocation
+    /// (refcount bump, no memcpy), paired with its span. The slices tile
+    /// `[0, data.len())` exactly like [`Chunker::chunks`].
+    fn slice_chunks(&self, data: &Bytes) -> Vec<(ChunkSpan, Bytes)> {
+        self.chunks(data)
+            .into_iter()
+            .map(|span| {
+                let view = data.slice(span.offset as usize..span.end() as usize);
+                (span, view)
+            })
+            .collect()
+    }
 }
 
 /// Fixed-size (static) chunking.
@@ -417,5 +432,41 @@ mod tests {
     #[should_panic(expected = "power of two")]
     fn cdc_rejects_non_power_of_two_avg() {
         GearCdcChunker::new(100, 1000, 4000);
+    }
+
+    #[test]
+    fn slice_chunks_aliases_parent_buffer() {
+        let c = FixedChunker::new(32);
+        let data = Bytes::from(patterned(100, 11));
+        let slices = c.slice_chunks(&data);
+        assert_eq!(slices.len(), 4);
+        let mut expect = 0u64;
+        for (span, view) in &slices {
+            assert_eq!(span.offset, expect);
+            assert_eq!(view.len() as u32, span.len);
+            // Zero-copy: every view points into the parent allocation.
+            assert!(view.same_parent(&data), "chunk view was deep-copied");
+            assert_eq!(
+                view.as_ptr(),
+                data[span.offset as usize..].as_ptr(),
+                "chunk view not aligned with its span"
+            );
+            expect = span.end();
+        }
+        assert_eq!(expect, data.len() as u64);
+    }
+
+    #[test]
+    fn slice_chunks_matches_chunks_for_cdc() {
+        let c = GearCdcChunker::with_avg_size(1024);
+        let raw = patterned(50_000, 5);
+        let data = Bytes::from(raw.clone());
+        let spans = c.chunks(&raw);
+        let slices = c.slice_chunks(&data);
+        assert_eq!(spans.len(), slices.len());
+        for (span, (sliced_span, view)) in spans.iter().zip(&slices) {
+            assert_eq!(span, sliced_span);
+            assert_eq!(&view[..], &raw[span.offset as usize..span.end() as usize]);
+        }
     }
 }

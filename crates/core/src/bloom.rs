@@ -1,0 +1,121 @@
+//! A Bloom filter over chunk fingerprints: the negative-lookup fast path
+//! in front of the chunk-pool existence probe.
+//!
+//! Storing or dereferencing a chunk starts with "does this fingerprint
+//! already name a chunk object?" — a cluster metadata read whose answer is
+//! *no* for every unique chunk the system has ever seen. The filter
+//! answers definite negatives from memory, so the common miss skips the
+//! probe entirely; a "maybe" falls through to the real lookup. Safe only
+//! because every chunk-object creation flows through
+//! [`DedupStore::store_chunk`](crate::DedupStore), which inserts into the
+//! filter before the chunk becomes visible: the filter can yield false
+//! positives (harmless — the probe runs and misses) but never false
+//! negatives.
+//!
+//! The bit array is a plain `AtomicU64` word vector touched with relaxed
+//! loads/stores: foreground shards and background flushes query it
+//! concurrently without any lock. The four probe positions come straight
+//! from the fingerprint's four 64-bit lanes — the fingerprint is already a
+//! uniform hash, so no rehashing is needed.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use dedup_fingerprint::Fingerprint;
+
+/// Lock-free Bloom filter keyed by [`Fingerprint`] lanes.
+#[derive(Debug)]
+pub struct BloomFilter {
+    words: Vec<AtomicU64>,
+    /// Bit-index mask; the bit count is a power of two.
+    mask: u64,
+}
+
+impl BloomFilter {
+    /// Creates a filter with at least `bits` bits (rounded up to a power
+    /// of two, minimum 64).
+    pub fn with_bits(bits: usize) -> Self {
+        let bits = bits.next_power_of_two().max(64);
+        BloomFilter {
+            words: (0..bits / 64).map(|_| AtomicU64::new(0)).collect(),
+            mask: bits as u64 - 1,
+        }
+    }
+
+    /// The default sizing: 2^21 bits (256 KiB) keeps the false-positive
+    /// rate under ~1% up to roughly 250k distinct chunks at 4 probes.
+    pub fn for_chunk_pool() -> Self {
+        Self::with_bits(1 << 21)
+    }
+
+    fn positions(&self, fp: &Fingerprint) -> [(usize, u64); 4] {
+        let mut out = [(0usize, 0u64); 4];
+        for (slot, lane) in out.iter_mut().zip(fp.0) {
+            let bit = lane & self.mask;
+            *slot = ((bit / 64) as usize, 1u64 << (bit % 64));
+        }
+        out
+    }
+
+    /// Marks `fp` as present.
+    pub fn insert(&self, fp: &Fingerprint) {
+        for (word, bit) in self.positions(fp) {
+            self.words[word].fetch_or(bit, Ordering::Relaxed);
+        }
+    }
+
+    /// `false` means `fp` was definitely never inserted; `true` means it
+    /// may have been.
+    pub fn may_contain(&self, fp: &Fingerprint) -> bool {
+        self.positions(fp)
+            .iter()
+            .all(|&(word, bit)| self.words[word].load(Ordering::Relaxed) & bit != 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp(seed: u64) -> Fingerprint {
+        Fingerprint::of(&seed.to_le_bytes())
+    }
+
+    #[test]
+    fn empty_filter_rejects_everything() {
+        let f = BloomFilter::with_bits(1 << 12);
+        for s in 0..1000 {
+            assert!(!f.may_contain(&fp(s)));
+        }
+    }
+
+    #[test]
+    fn inserted_fingerprints_are_always_found() {
+        let f = BloomFilter::with_bits(1 << 12);
+        for s in 0..500 {
+            f.insert(&fp(s));
+        }
+        for s in 0..500 {
+            assert!(f.may_contain(&fp(s)), "no false negatives allowed");
+        }
+    }
+
+    #[test]
+    fn false_positive_rate_is_low_at_design_load() {
+        let f = BloomFilter::with_bits(1 << 16);
+        // ~6.5k entries in 64k bits ≈ 10 bits/entry → well under 2% FPR.
+        for s in 0..6_500 {
+            f.insert(&fp(s));
+        }
+        let fps = (100_000..110_000)
+            .filter(|&s| f.may_contain(&fp(s)))
+            .count();
+        assert!(fps < 300, "false-positive rate too high: {fps}/10000");
+    }
+
+    #[test]
+    fn rounds_bit_count_up_to_power_of_two() {
+        let f = BloomFilter::with_bits(100);
+        assert_eq!(f.words.len(), 2); // 128 bits
+        assert_eq!(f.mask, 127);
+    }
+}

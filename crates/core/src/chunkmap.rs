@@ -132,12 +132,16 @@ impl ChunkMapEntry {
     }
 
     /// Decodes every chunk-map entry of an omap, ordered by offset.
-    pub fn all_from_omap<'a>(
-        omap: impl IntoIterator<Item = (&'a String, &'a Vec<u8>)>,
+    ///
+    /// Generic over the omap's value type so both `Vec<u8>` maps (tests)
+    /// and shared-buffer [`bytes::Bytes`] maps (the store) decode without
+    /// materialising copies.
+    pub fn all_from_omap<'a, V: AsRef<[u8]> + 'a>(
+        omap: impl IntoIterator<Item = (&'a String, &'a V)>,
     ) -> Vec<ChunkMapEntry> {
         let mut entries: Vec<ChunkMapEntry> = omap
             .into_iter()
-            .filter_map(|(k, v)| ChunkMapEntry::decode(k, v))
+            .filter_map(|(k, v)| ChunkMapEntry::decode(k, v.as_ref()))
             .collect();
         entries.sort_by_key(|e| e.offset);
         entries

@@ -10,6 +10,7 @@
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
+use bytes::Bytes;
 use dedup_chunk::FixedChunker;
 use dedup_fingerprint::Fingerprint;
 use dedup_obs::{Registry, Tracer};
@@ -18,6 +19,7 @@ use dedup_sim::{CostExpr, SimDuration, SimTime};
 use dedup_store::{ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp};
 use parking_lot::{Mutex, MutexGuard};
 
+use crate::bloom::BloomFilter;
 use crate::chunkmap::ChunkMapEntry;
 use crate::config::{CachePolicy, DedupConfig, DedupMode};
 use crate::error::DedupError;
@@ -193,6 +195,10 @@ pub struct DedupStore {
     stats: AtomicEngineStats,
     metrics: EngineMetrics,
     tracer: Option<Tracer>,
+    /// Negative-lookup fast path for chunk-pool existence probes. Every
+    /// chunk creation goes through [`DedupStore::store_chunk`], which
+    /// inserts here first, so a definite "absent" answer is always safe.
+    bloom: BloomFilter,
 }
 
 impl DedupStore {
@@ -229,6 +235,7 @@ impl DedupStore {
             stats: AtomicEngineStats::default(),
             metrics,
             tracer: None,
+            bloom: BloomFilter::for_chunk_pool(),
         }
     }
 
@@ -419,6 +426,11 @@ impl DedupStore {
     /// cached+dirty chunks in one transaction; in inline mode the chunks go
     /// straight to the chunk pool.
     ///
+    /// Accepts anything convertible to [`Bytes`]: a caller that already
+    /// owns a shared buffer hands it through the whole data plane without
+    /// a single copy (the replica fan-out below stores refcounted views);
+    /// plain slices convert with one copy, exactly as before.
+    ///
     /// Takes `&self`: the op serializes only against other foreground ops
     /// on objects in the same shard.
     ///
@@ -430,9 +442,10 @@ impl DedupStore {
         client: ClientId,
         name: &ObjectName,
         offset: u64,
-        data: &[u8],
+        data: impl Into<Bytes>,
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
+        let data = data.into();
         let _shard = self.lock_shard(name);
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats
@@ -445,7 +458,7 @@ impl DedupStore {
         self.rate.lock().record_foreground(now);
         match self.config.mode {
             DedupMode::PostProcess => self.write_postprocess(client, name, offset, data),
-            DedupMode::Inline => self.write_inline(client, name, offset, data),
+            DedupMode::Inline => self.write_inline(client, name, offset, &data),
         }
     }
 
@@ -454,7 +467,7 @@ impl DedupStore {
         client: ClientId,
         name: &ObjectName,
         offset: u64,
-        data: &[u8],
+        data: Bytes,
     ) -> Result<Timed<()>, DedupError> {
         let ctx = self.meta_ctx(client);
         let entries = self.load_chunk_map(name)?;
@@ -482,12 +495,17 @@ impl DedupStore {
             entry.len = entry.len.max(c_len);
             entry.cached = true;
             entry.dirty = true;
-            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value()));
+            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value().into()));
         }
-        ops.push(TxOp::Write {
-            offset,
-            data: data.to_vec(),
-        });
+        // The transaction adopts the caller's buffer: a whole-object write
+        // becomes the payload outright (the replica fan-out then shares
+        // it), while a partial write is spliced into the resident data.
+        self.metrics.bytes_shared.add(data.len() as u64);
+        if offset == 0 && end >= object_len {
+            ops.push(TxOp::WriteFull(data));
+        } else {
+            ops.push(TxOp::Write { offset, data });
+        }
         let t = self.cluster.transact(&ctx, name, ops)?;
         costs.push(self.label("write.commit", t.cost));
         self.mark_dirty(name);
@@ -555,7 +573,7 @@ impl DedupStore {
                     }
                 }
             }
-            let t = self.store_chunk(client, fp, &content, name, c_off)?;
+            let t = self.store_chunk(client, fp, content.into(), name, c_off)?;
             costs.push(t.cost);
 
             let entry = ChunkMapEntry {
@@ -565,7 +583,7 @@ impl DedupStore {
                 cached: false,
                 dirty: false,
             };
-            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value()));
+            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value().into()));
         }
         // The metadata object records size (sparse) and the chunk map but
         // caches no data.
@@ -582,6 +600,14 @@ impl DedupStore {
     /// come from the metadata object, the rest is redirected to the chunk
     /// pool.
     ///
+    /// Returns a shared [`Bytes`] view. The hot path — cached chunks on a
+    /// replicated metadata pool — performs **zero** payload copies: each
+    /// chunk read is a refcounted slice of the stored replica, and
+    /// adjacent slices of the same replica buffer are rejoined O(1).
+    /// Only genuinely scattered results (chunk-pool redirection mixing
+    /// with cached data, hole fallbacks) assemble into a fresh buffer,
+    /// which the `engine.bytes_copied` counter records.
+    ///
     /// # Errors
     ///
     /// Fails if the object does not exist or the range is out of bounds.
@@ -592,7 +618,7 @@ impl DedupStore {
         offset: u64,
         len: u64,
         now: SimTime,
-    ) -> Result<Timed<Vec<u8>>, DedupError> {
+    ) -> Result<Timed<Bytes>, DedupError> {
         let _shard = self.lock_shard(name);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
@@ -623,7 +649,9 @@ impl DedupStore {
         // case).
         let mut costs: Vec<CostExpr> = Vec::new();
         let map_cost = CostExpr::Nop;
-        let mut out = vec![0u8; len as usize];
+        // Result assembly: non-overlapping `(object offset, view)` parts
+        // collected per leg, stitched zero-copy after the loop.
+        let mut parts: Vec<(u64, Bytes)> = Vec::new();
         let mut chunk_costs: Vec<CostExpr> = Vec::new();
         let cs = self.chunker.chunk_size() as u64;
         for idx in self.chunker.touched_chunks(offset, len) {
@@ -644,8 +672,7 @@ impl DedupStore {
                     let t = self
                         .cluster
                         .read_at(&ctx, name, tail_start, want_end - tail_start)?;
-                    out[(tail_start - offset) as usize..(want_end - offset) as usize]
-                        .copy_from_slice(&t.value);
+                    parts.push((tail_start, t.value));
                     chunk_costs.push(self.label("read.tail", t.cost));
                 }
                 if want_start >= covered_end {
@@ -672,25 +699,31 @@ impl DedupStore {
                     self.metrics.redirected_chunks.inc();
                 }
                 let t = self.cluster.read_at(&ctx, name, want_start, span)?;
-                out[(want_start - offset) as usize..(want_end - offset) as usize]
-                    .copy_from_slice(&t.value);
                 chunk_costs.push(self.label("read.cached", t.cost));
-                if !fully_resident {
-                    if let Some(fp) = entry.and_then(|e| e.chunk_id) {
-                        let chunk_name = ObjectName::new(fp.to_object_name());
-                        let cctx = self.chunk_ctx(client);
-                        for &(hs, he, resident) in &splits {
-                            if resident {
-                                continue;
-                            }
-                            let t =
-                                self.cluster
-                                    .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
-                            out[(hs - offset) as usize..(he - offset) as usize]
-                                .copy_from_slice(&t.value);
-                            chunk_costs.push(self.label("read.chunk_fallback", t.cost));
+                if fully_resident {
+                    parts.push((want_start, t.value));
+                } else if let Some(fp) = entry.and_then(|e| e.chunk_id) {
+                    // Punched sub-ranges fall back to the old chunk
+                    // object; splicing them in forces one deep copy of
+                    // this chunk's span (cold path, accounted).
+                    let mut patched = t.value.to_vec();
+                    self.metrics.bytes_copied.add(span);
+                    let chunk_name = ObjectName::new(fp.to_object_name());
+                    let cctx = self.chunk_ctx(client);
+                    for &(hs, he, resident) in &splits {
+                        if resident {
+                            continue;
                         }
+                        let t = self
+                            .cluster
+                            .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
+                        patched[(hs - want_start) as usize..(he - want_start) as usize]
+                            .copy_from_slice(&t.value);
+                        chunk_costs.push(self.label("read.chunk_fallback", t.cost));
                     }
+                    parts.push((want_start, Bytes::from(patched)));
+                } else {
+                    parts.push((want_start, t.value));
                 }
             } else {
                 // Redirection: metadata pool forwards to the chunk pool.
@@ -718,8 +751,7 @@ impl DedupStore {
                         },
                         other => other.into(),
                     })?;
-                out[(want_start - offset) as usize..(want_end - offset) as usize]
-                    .copy_from_slice(&t.value);
+                parts.push((want_start, t.value));
                 let meta_node = self.primary_node(self.metadata_pool, name)?;
                 let chunk_node = self.primary_node(self.chunk_pool, &chunk_name)?;
                 let perf = self.cluster.perf();
@@ -748,7 +780,59 @@ impl DedupStore {
             let t = self.promote_chunks(name, offset, len)?;
             costs.push(self.label("read.promote", t.cost));
         }
-        Ok(Timed::new(out, CostExpr::seq(costs)))
+        Ok(Timed::new(
+            self.assemble_read(offset, len, parts),
+            CostExpr::seq(costs),
+        ))
+    }
+
+    /// Stitches per-leg read parts into one buffer. Adjacent views of the
+    /// same parent buffer (consecutive cached chunks of one replica)
+    /// rejoin O(1); anything else falls back to a single gather copy,
+    /// recorded in `engine.bytes_copied`.
+    fn assemble_read(&self, offset: u64, len: u64, mut parts: Vec<(u64, Bytes)>) -> Bytes {
+        parts.sort_by_key(|&(start, _)| start);
+        let contiguous = parts.first().map(|&(s, _)| s == offset).unwrap_or(false)
+            && parts
+                .windows(2)
+                .all(|w| w[0].0 + w[0].1.len() as u64 == w[1].0)
+            && parts
+                .last()
+                .map(|(s, b)| s + b.len() as u64 == offset + len)
+                .unwrap_or(false);
+        if contiguous {
+            let mut acc = Bytes::new();
+            let mut joined = true;
+            for (_, b) in &parts {
+                match acc.try_join(b) {
+                    Some(j) => acc = j,
+                    None => {
+                        joined = false;
+                        break;
+                    }
+                }
+            }
+            if joined {
+                self.metrics.bytes_shared.add(len);
+                return acc;
+            }
+            // Different parents: one gather copy.
+            self.metrics.bytes_copied.add(len);
+            let mut out = Vec::with_capacity(len as usize);
+            for (_, b) in &parts {
+                out.extend_from_slice(b);
+            }
+            return Bytes::from(out);
+        }
+        // Defensive: gaps or overlap (cannot happen with the loop above,
+        // but a wrong answer would be worse than a copy).
+        self.metrics.bytes_copied.add(len);
+        let mut out = vec![0u8; len as usize];
+        for (start, b) in parts {
+            let s = (start - offset) as usize;
+            out[s..s + b.len()].copy_from_slice(&b);
+        }
+        Bytes::from(out)
     }
 
     /// Pulls the non-cached chunks overlapping `[offset, offset + len)`
@@ -790,7 +874,7 @@ impl DedupStore {
                 dirty: false,
                 ..e
             };
-            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value()));
+            ops.push(TxOp::SetOmap(entry.key(), entry.encode_value().into()));
             promoted += 1;
         }
         if !ops.is_empty() {
@@ -859,7 +943,7 @@ impl DedupStore {
                 let mut entry = *e;
                 entry.len = (new_len - e.offset) as u32;
                 entry.dirty = true;
-                ops.push(TxOp::SetOmap(entry.key(), entry.encode_value()));
+                ops.push(TxOp::SetOmap(entry.key(), entry.encode_value().into()));
                 dirtied = true;
             }
         }
@@ -874,7 +958,7 @@ impl DedupStore {
                 entry.len = entry.len.max(c_len);
                 entry.dirty = true;
                 entry.cached = true;
-                ops.push(TxOp::SetOmap(entry.key(), entry.encode_value()));
+                ops.push(TxOp::SetOmap(entry.key(), entry.encode_value().into()));
             }
             dirtied = true;
         }
@@ -945,7 +1029,7 @@ impl DedupStore {
         &self,
         client: ClientId,
         fp: Fingerprint,
-        content: &[u8],
+        content: Bytes,
         referrer: &ObjectName,
         ref_offset: u64,
     ) -> Result<Timed<ChunkStoreOutcome>, DedupError> {
@@ -956,17 +1040,28 @@ impl DedupStore {
         let chunk_name = ObjectName::new(fp.to_object_name());
         let cctx = self.chunk_ctx(client);
         let backref = BackRef::new(self.metadata_pool, referrer.clone(), ref_offset);
-        let existing_count = match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
-            Ok(t) => Some((
-                decode_refcount(&t.value.unwrap_or_default()).ok_or_else(|| {
-                    DedupError::CorruptRefcount {
-                        chunk: chunk_name.to_string(),
-                    }
-                })?,
-                t.cost,
-            )),
-            Err(StoreError::NoSuchObject(..)) => None,
-            Err(e) => return Err(e.into()),
+        // Negative-lookup fast path: a unique chunk — the common case on a
+        // low-dedup workload — probes the chunk pool only to hear "no
+        // such object". The Bloom filter answers that definitively from
+        // memory. Cost-neutral: the create branch below never charged the
+        // lookup's cost anyway.
+        let existing_count = if !self.bloom.may_contain(&fp) {
+            self.metrics.bloom_hits.inc();
+            None
+        } else {
+            self.metrics.bloom_misses.inc();
+            match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
+                Ok(t) => Some((
+                    decode_refcount(&t.value.unwrap_or_default()).ok_or_else(|| {
+                        DedupError::CorruptRefcount {
+                            chunk: chunk_name.to_string(),
+                        }
+                    })?,
+                    t.cost,
+                )),
+                Err(StoreError::NoSuchObject(..)) => None,
+                Err(e) => return Err(e.into()),
+            }
         };
         match existing_count {
             Some((count, lookup_cost)) => {
@@ -984,8 +1079,8 @@ impl DedupStore {
                     &cctx,
                     &chunk_name,
                     vec![
-                        TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(count + 1)),
-                        TxOp::SetOmap(backref.key(), backref.encode_value()),
+                        TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(count + 1).into()),
+                        TxOp::SetOmap(backref.key(), backref.encode_value().into()),
                     ],
                 )?;
                 Ok(Timed::new(
@@ -994,13 +1089,17 @@ impl DedupStore {
                 ))
             }
             None => {
+                // Insert before the chunk becomes visible so the filter
+                // never yields a false negative for a stored chunk.
+                self.bloom.insert(&fp);
+                self.metrics.bytes_shared.add(content.len() as u64);
                 let tx = self.cluster.transact(
                     &cctx,
                     &chunk_name,
                     vec![
-                        TxOp::WriteFull(content.to_vec()),
-                        TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(1)),
-                        TxOp::SetOmap(backref.key(), backref.encode_value()),
+                        TxOp::WriteFull(content),
+                        TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(1).into()),
+                        TxOp::SetOmap(backref.key(), backref.encode_value().into()),
                     ],
                 )?;
                 Ok(Timed::new(ChunkStoreOutcome::Created, tx.cost))
@@ -1020,6 +1119,13 @@ impl DedupStore {
             return Ok(Timed::new(false, CostExpr::Nop));
         }
         let _stripe = self.lock_chunk_stripe(&fp);
+        if !self.bloom.may_contain(&fp) {
+            // Definitely never stored: same outcome (and same zero cost)
+            // as the NoSuchObject branch below, without the probe.
+            self.metrics.bloom_hits.inc();
+            return Ok(Timed::new(false, CostExpr::Nop));
+        }
+        self.metrics.bloom_misses.inc();
         let chunk_name = ObjectName::new(fp.to_object_name());
         let cctx = self.chunk_ctx(ClientId::INTERNAL);
         let count = match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
@@ -1043,7 +1149,7 @@ impl DedupStore {
                 &cctx,
                 &chunk_name,
                 vec![
-                    TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(count - 1)),
+                    TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(count - 1).into()),
                     TxOp::RemoveOmap(backref.key()),
                 ],
             )?;
@@ -1059,11 +1165,15 @@ impl DedupStore {
         &self,
         name: &ObjectName,
         e: &ChunkMapEntry,
-    ) -> Result<(Vec<u8>, Vec<CostExpr>, bool), DedupError> {
+    ) -> Result<(Bytes, Vec<CostExpr>, bool), DedupError> {
         let ctx = self.meta_ctx(ClientId::INTERNAL);
         let mut costs = Vec::new();
         let t = self.cluster.read_at(&ctx, name, e.offset, e.len as u64)?;
         costs.push(t.cost);
+        // The staged snapshot is a shared view of the stored replica — no
+        // copy. A racing foreground write detaches the replica's buffer
+        // (copy-on-write), leaving this snapshot stable; the dirty-queue
+        // epoch ticket then discards it at commit.
         let mut content = t.value;
         let splits =
             self.cluster
@@ -1072,6 +1182,10 @@ impl DedupStore {
         let mut merged = false;
         if has_holes {
             if let Some(old) = e.chunk_id {
+                // Deferred read-modify-write: splice the evicted ranges
+                // from the previous chunk object into a private copy.
+                let mut buf = content.to_vec();
+                self.metrics.bytes_copied.add(buf.len() as u64);
                 let chunk_name = ObjectName::new(old.to_object_name());
                 let cctx = self.chunk_ctx(ClientId::INTERNAL);
                 for &(hs, he, resident) in &splits {
@@ -1081,11 +1195,12 @@ impl DedupStore {
                     let t = self
                         .cluster
                         .read_at(&cctx, &chunk_name, hs - e.offset, he - hs)?;
-                    content[(hs - e.offset) as usize..(he - e.offset) as usize]
+                    buf[(hs - e.offset) as usize..(he - e.offset) as usize]
                         .copy_from_slice(&t.value);
                     costs.push(t.cost);
                     merged = true;
                 }
+                content = Bytes::from(buf);
             }
         }
         Ok((content, costs, merged))
@@ -1407,7 +1522,8 @@ impl DedupStore {
                     costs.push(self.label("flush.deref", t.cost));
                 }
                 // (4–5) Store or reference the chunk in the chunk pool.
-                let t = self.store_chunk(ClientId::INTERNAL, fp, &content, &name, e.offset)?;
+                let t =
+                    self.store_chunk(ClientId::INTERNAL, fp, content.clone(), &name, e.offset)?;
                 match t.value {
                     ChunkStoreOutcome::Created => report.chunks_created += 1,
                     ChunkStoreOutcome::Deduplicated | ChunkStoreOutcome::AlreadyReferenced => {
@@ -1439,7 +1555,10 @@ impl DedupStore {
                 cached: keep_cached,
                 dirty: false,
             };
-            ops.push(TxOp::SetOmap(new_entry.key(), new_entry.encode_value()));
+            ops.push(TxOp::SetOmap(
+                new_entry.key(),
+                new_entry.encode_value().into(),
+            ));
             if !keep_cached {
                 report.chunks_evicted += 1;
                 ops.push(TxOp::PunchHole {
@@ -1598,7 +1717,10 @@ impl DedupStore {
                 costs.push(t.cost);
                 report.chunks_reclaimed += 1;
             } else if !ops.is_empty() {
-                ops.push(TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(live)));
+                ops.push(TxOp::SetXattr(
+                    REFCOUNT_XATTR.into(),
+                    encode_refcount(live).into(),
+                ));
                 let t = self.cluster.transact(&cctx, &chunk_name, ops)?;
                 costs.push(t.cost);
                 report.counts_corrected += 1;
@@ -2129,7 +2251,7 @@ mod tests {
         let mut s = store_with(cfg);
         let name = ObjectName::new("obj");
         let _ = s
-            .write(ClientId(0), &name, 0, &patterned(CS as usize, 73), t(0))
+            .write(ClientId(0), &name, 0, patterned(CS as usize, 73), t(0))
             .expect("write");
         let rep = s.flush_object(&name, t(1)).expect("flush");
         assert!(rep.value.skipped_hot);
@@ -2604,7 +2726,7 @@ mod truncate_tests {
                 ClientId(0),
                 &name,
                 0,
-                &patterned(3 * CS as usize, 7),
+                patterned(3 * CS as usize, 7),
                 SimTime::ZERO,
             )
             .expect("w");

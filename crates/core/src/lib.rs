@@ -49,6 +49,7 @@
 #![warn(missing_docs)]
 
 pub mod baseline;
+pub mod bloom;
 pub mod chunkmap;
 pub mod config;
 pub mod engine;

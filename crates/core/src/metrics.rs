@@ -77,6 +77,19 @@ pub(crate) struct EngineMetrics {
     /// Wall-clock nanoseconds foreground ops spent waiting for their
     /// shard lock (recorded on every acquisition, contended or not).
     pub shard_lock_wait_ns: Histogram,
+    /// Payload bytes deep-copied (memcpy) on the data plane. Shares the
+    /// `engine.bytes_copied` instrument with the cluster layer, so one
+    /// snapshot covers every remaining copy in the stack.
+    pub bytes_copied: Counter,
+    /// Payload bytes moved by refcount bump where the pre-zero-copy
+    /// design memcpy'd (`engine.bytes_shared`, shared with the cluster).
+    pub bytes_shared: Counter,
+    /// Chunk-pool existence probes answered "definitely absent" by the
+    /// Bloom filter (negative lookup short-circuited).
+    pub bloom_hits: Counter,
+    /// Chunk-pool existence probes the Bloom filter could not rule out
+    /// (full probe performed).
+    pub bloom_misses: Counter,
 }
 
 impl EngineMetrics {
@@ -111,6 +124,10 @@ impl EngineMetrics {
             rate_admitted: registry.counter("rate.admitted"),
             rate_denied: registry.counter("rate.denied"),
             rate_band: registry.gauge("rate.band"),
+            bytes_copied: registry.counter("engine.bytes_copied"),
+            bytes_shared: registry.counter("engine.bytes_shared"),
+            bloom_hits: registry.counter("engine.chunkmap.bloom_hits"),
+            bloom_misses: registry.counter("engine.chunkmap.bloom_misses"),
             foreground_ops: registry.meter("rate.foreground_ops", rate_window),
             registry,
         }

@@ -26,6 +26,7 @@
 //! `CostExpr` sequence the serial implementation produced — only
 //! wall-clock time improves. Figure and table outputs are bit-identical.
 
+use bytes::Bytes;
 use dedup_fingerprint::Fingerprint;
 use dedup_sim::CostExpr;
 use dedup_store::ObjectName;
@@ -35,10 +36,16 @@ use crate::queue::DirtyTicket;
 
 /// One dirty chunk staged for flushing: its chunk-map entry and fully
 /// merged content, plus the virtual-time read costs incurred staging it.
+///
+/// `content` is a shared [`Bytes`] view: staging a clean-cached chunk is
+/// a refcount bump on the stored replica's buffer (the snapshot detaches
+/// automatically if a racing foreground write mutates the replica, via
+/// the buffer's copy-on-write), so a flush batch holds no deep copies of
+/// chunk data unless a deferred read-modify-write merge forced one.
 #[derive(Debug)]
 pub struct StagedChunk {
     pub(crate) entry: ChunkMapEntry,
-    pub(crate) content: Vec<u8>,
+    pub(crate) content: Bytes,
     pub(crate) read_costs: Vec<CostExpr>,
     pub(crate) merged: bool,
     pub(crate) fingerprint: Option<Fingerprint>,
@@ -126,7 +133,7 @@ pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
     let contents: Vec<&[u8]> = batch
         .objects
         .iter()
-        .flat_map(|o| o.chunks.iter().map(|c| c.content.as_slice()))
+        .flat_map(|o| o.chunks.iter().map(|c| &c.content[..]))
         .collect();
     if contents.is_empty() {
         return;
@@ -155,7 +162,7 @@ mod tests {
                 .enumerate()
                 .map(|(i, c)| StagedChunk {
                     entry: ChunkMapEntry::new_dirty(i as u64 * 1024, c.len() as u32),
-                    content: c.to_vec(),
+                    content: Bytes::from(*c),
                     read_costs: Vec::new(),
                     merged: false,
                     fingerprint: None,

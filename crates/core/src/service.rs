@@ -281,7 +281,7 @@ impl DedupService {
         client: ClientId,
         name: &ObjectName,
         offset: u64,
-        data: &[u8],
+        data: impl Into<bytes::Bytes>,
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
         self.store().read().write(client, name, offset, data, now)
@@ -299,7 +299,7 @@ impl DedupService {
         offset: u64,
         len: u64,
         now: SimTime,
-    ) -> Result<Timed<Vec<u8>>, DedupError> {
+    ) -> Result<Timed<bytes::Bytes>, DedupError> {
         self.store().read().read(client, name, offset, len, now)
     }
 

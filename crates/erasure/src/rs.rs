@@ -232,6 +232,35 @@ impl ReedSolomon {
         Ok(shards)
     }
 
+    /// Stripes a whole object into one contiguous `(k + m) * shard_len`
+    /// buffer (data shards first, zero-padded tail, then parity) and
+    /// returns it with the shard length. Callers that hand shards to
+    /// different devices can slice this buffer instead of allocating
+    /// `k + m` separate vectors — the shards then share one parent.
+    ///
+    /// # Errors
+    ///
+    /// Kept for symmetry with [`ReedSolomon::encode_object`]; cannot
+    /// occur for well-formed codecs.
+    pub fn encode_object_striped(&self, object: &[u8]) -> Result<(Vec<u8>, usize), ErasureError> {
+        let shard_len = self.shard_len(object.len()).max(1);
+        let mut buf = vec![0u8; shard_len * self.total_shards()];
+        // Systematic code: the data shards are plain slices of the object.
+        buf[..object.len()].copy_from_slice(object);
+        let (data_part, parity_part) = buf.split_at_mut(shard_len * self.k);
+        for (pi, parity) in parity_part.chunks_mut(shard_len).enumerate() {
+            let row = self.k + pi;
+            for c in 0..self.k {
+                mul_acc(
+                    parity,
+                    &data_part[c * shard_len..(c + 1) * shard_len],
+                    self.encode.get(row, c),
+                );
+            }
+        }
+        Ok((buf, shard_len))
+    }
+
     /// Reassembles an object of `object_len` bytes from its shards,
     /// reconstructing erasures as needed.
     ///
@@ -307,6 +336,24 @@ mod tests {
                 shards[b] = None;
                 let got = rs.decode_object(shards, obj.len()).expect("decode");
                 assert_eq!(got, obj, "losing shards {a},{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn striped_encode_matches_per_shard_encode() {
+        let rs = ReedSolomon::new(3, 2).expect("valid");
+        for len in [0usize, 1, 7, 100, 1000] {
+            let obj = sample(len);
+            let shards = rs.encode_object(&obj).expect("encode");
+            let (buf, shard_len) = rs.encode_object_striped(&obj).expect("striped");
+            assert_eq!(buf.len(), shard_len * rs.total_shards());
+            for (i, shard) in shards.iter().enumerate() {
+                assert_eq!(
+                    &buf[i * shard_len..(i + 1) * shard_len],
+                    &shard[..],
+                    "shard {i} at len {len}"
+                );
             }
         }
     }

@@ -2,6 +2,7 @@
 
 use std::collections::{BTreeMap, BTreeSet};
 
+use bytes::Bytes;
 use dedup_erasure::ReedSolomon;
 use dedup_obs::{Registry, TraceCtx, Tracer};
 use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
@@ -102,25 +103,29 @@ impl IoCtx {
 }
 
 /// One operation inside an object transaction (applied atomically).
+///
+/// Payload-carrying ops hold [`Bytes`]: a caller that already owns a
+/// shared buffer hands it through the transaction without copying, and
+/// the fan-out below stores refcounted views of it.
 #[derive(Debug, Clone, PartialEq)]
 pub enum TxOp {
     /// Replaces the whole data payload.
-    WriteFull(Vec<u8>),
+    WriteFull(Bytes),
     /// Writes at an offset, zero-filling any gap.
     Write {
         /// Byte offset of the write.
         offset: u64,
         /// Bytes to write.
-        data: Vec<u8>,
+        data: Bytes,
     },
     /// Truncates (or zero-extends) the payload.
     Truncate(u64),
     /// Sets one extended attribute.
-    SetXattr(String, Vec<u8>),
+    SetXattr(String, Bytes),
     /// Removes one extended attribute.
     RemoveXattr(String),
     /// Sets one omap entry.
-    SetOmap(String, Vec<u8>),
+    SetOmap(String, Bytes),
     /// Removes one omap entry.
     RemoveOmap(String),
     /// Punches a hole: the range reads as zero and stops occupying space
@@ -135,15 +140,20 @@ pub enum TxOp {
     Remove,
 }
 
-/// An object's metadata maps: (xattrs, omap).
-type MetadataMaps = (BTreeMap<String, Vec<u8>>, BTreeMap<String, Vec<u8>>);
+/// An object's metadata maps: (xattrs, omap). Values are shared buffers.
+type MetadataMaps = (BTreeMap<String, Bytes>, BTreeMap<String, Bytes>);
 
 /// In-memory logical view of an object while a transaction is applied.
+///
+/// `data` is a shared buffer: loading a replicated object is a refcount
+/// bump, and whole-payload writes adopt the caller's buffer. Mutating ops
+/// go through [`Bytes::with_vec_mut`], which detaches a private copy only
+/// while other views are still alive.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct LogicalObject {
-    pub data: Vec<u8>,
-    pub xattrs: BTreeMap<String, Vec<u8>>,
-    pub omap: BTreeMap<String, Vec<u8>>,
+    pub data: Bytes,
+    pub xattrs: BTreeMap<String, Bytes>,
+    pub omap: BTreeMap<String, Bytes>,
     pub holes: RangeSet,
 }
 
@@ -517,7 +527,9 @@ impl Cluster {
             },
             Redundancy::Erasure { k, m } => {
                 let codec = st.codec.as_ref().expect("EC pool has codec");
-                let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                // Shard views are refcount bumps; only the decode below
+                // materialises fresh bytes.
+                let mut shards: Vec<Option<Bytes>> = vec![None; k + m];
                 let mut object_len = 0u64;
                 for h in &holders {
                     let guard = self.osds[h.0 as usize].read();
@@ -535,7 +547,19 @@ impl Cluster {
                         }
                     }
                 }
-                codec.decode_object(shards, object_len as usize)?
+                if shards.iter().take(k).all(Option::is_some) {
+                    // Healthy: gather the systematic data shards directly.
+                    let mut out = Vec::with_capacity(object_len as usize);
+                    for shard in shards.iter().take(k) {
+                        out.extend_from_slice(shard.as_ref().expect("checked present"));
+                    }
+                    out.truncate(object_len as usize);
+                    Bytes::from(out)
+                } else {
+                    let owned: Vec<Option<Vec<u8>>> =
+                        shards.into_iter().map(|s| s.map(|b| b.to_vec())).collect();
+                    Bytes::from(codec.decode_object(owned, object_len as usize)?)
+                }
             }
         };
         Ok(Some(LogicalObject {
@@ -548,6 +572,11 @@ impl Cluster {
 
     /// Persists a logical object to its acting set, replacing all replicas.
     /// Write-locks one device at a time.
+    ///
+    /// Zero-copy fan-out: replicated pools store a refcounted view of one
+    /// parent buffer per OSD, and EC pools slice all `k + m` shards out of
+    /// one contiguous stripe buffer, so no replica or shard owns a private
+    /// payload allocation.
     fn store_logical(
         &self,
         pool: PoolId,
@@ -574,22 +603,26 @@ impl Cluster {
                     self.osds[osd.0 as usize]
                         .write()
                         .put(pool, name.clone(), obj);
+                    self.metrics.bytes_shared.add(logical.data.len() as u64);
                 }
             }
             Redundancy::Erasure { .. } => {
                 let codec = st.codec.as_ref().expect("EC pool has codec");
-                let shards = codec.encode_object(&logical.data)?;
+                let (stripe, shard_len) = codec.encode_object_striped(&logical.data)?;
+                let stripe = Bytes::from(stripe);
                 let k = match st.config.redundancy {
                     Redundancy::Erasure { k, .. } => k as u64,
                     Redundancy::Replicated(_) => unreachable!("EC branch"),
                 };
                 let hole_share = logical.holes.total().min(logical.data.len() as u64) / k;
-                for (i, (osd, bytes)) in acting.iter().zip(shards).enumerate() {
+                for (i, osd) in acting.iter().enumerate() {
+                    let bytes = stripe.slice(i * shard_len..(i + 1) * shard_len);
                     let stored_bytes = if compression {
                         dedup_compress::compress(&bytes).len() as u64
                     } else {
                         (bytes.len() as u64).saturating_sub(hole_share)
                     };
+                    self.metrics.bytes_shared.add(bytes.len() as u64);
                     let mut obj = StoredObject::new(Payload::Shard {
                         index: i as u8,
                         object_len: logical.data.len() as u64,
@@ -672,22 +705,27 @@ impl Cluster {
                 TxOp::WriteFull(data) => {
                     data_bytes += data.len() as u64;
                     logical.holes.clear();
+                    // Adopt the caller's buffer: the fan-out below shares
+                    // it with every replica instead of copying it.
                     logical.data = data;
                 }
                 TxOp::Write { offset, data } => {
                     let end = offset + data.len() as u64;
                     self.check_cap(end)?;
-                    if logical.data.len() < end as usize {
-                        logical.data.resize(end as usize, 0);
-                    }
-                    logical.data[offset as usize..end as usize].copy_from_slice(&data);
+                    self.metrics.bytes_copied.add(data.len() as u64);
+                    logical.data.with_vec_mut(|buf| {
+                        if buf.len() < end as usize {
+                            buf.resize(end as usize, 0);
+                        }
+                        buf[offset as usize..end as usize].copy_from_slice(&data);
+                    });
                     logical.holes.remove(offset, end);
                     data_bytes += data.len() as u64;
                 }
                 TxOp::Truncate(len) => {
                     self.check_cap(len)?;
                     let old = logical.data.len() as u64;
-                    logical.data.resize(len as usize, 0);
+                    logical.data.with_vec_mut(|buf| buf.resize(len as usize, 0));
                     logical.holes.truncate(len);
                     if len > old {
                         // Zero-extension is sparse.
@@ -697,7 +735,9 @@ impl Cluster {
                 TxOp::PunchHole { offset, len } => {
                     let end = (offset + len).min(logical.data.len() as u64);
                     if offset < end {
-                        logical.data[offset as usize..end as usize].fill(0);
+                        logical
+                            .data
+                            .with_vec_mut(|buf| buf[offset as usize..end as usize].fill(0));
                         logical.holes.insert(offset, end);
                         meta_bytes += 16;
                     }
@@ -911,54 +951,69 @@ impl Cluster {
             ctx.label("rep_fanout", fanout),
         ]);
 
+        // Each replica mutates its own buffer in place. Replicas still
+        // sharing a write fan-out's parent detach on first touch
+        // (copy-on-write); once detached they stay unique, so steady-state
+        // read-modify-write traffic never copies the full object again.
+        self.metrics
+            .bytes_copied
+            .add(data_bytes * acting.len() as u64);
         for &osd in &acting {
             let mut store = self.osds[osd.0 as usize].write();
             if !store.contains(ctx.pool, name) {
                 store.put(
                     ctx.pool,
                     name.clone(),
-                    StoredObject::new(Payload::Full(Vec::new())),
+                    StoredObject::new(Payload::Full(Bytes::new())),
                 );
             }
             let obj = store.get_mut(ctx.pool, name).expect("just ensured");
-            let data = match &mut obj.payload {
+            let StoredObject {
+                payload,
+                xattrs,
+                omap,
+                holes,
+                stored_bytes,
+            } = obj;
+            let d = match payload {
                 Payload::Full(d) => d,
                 Payload::Shard { .. } => return None, // corrupt; let slow path error
             };
-            for op in ops {
-                match op {
-                    TxOp::Write { offset, data: buf } => {
-                        let end = *offset + buf.len() as u64;
-                        if data.len() < end as usize {
-                            data.resize(end as usize, 0);
+            d.with_vec_mut(|data| {
+                for op in ops {
+                    match op {
+                        TxOp::Write { offset, data: buf } => {
+                            let end = *offset + buf.len() as u64;
+                            if data.len() < end as usize {
+                                data.resize(end as usize, 0);
+                            }
+                            data[*offset as usize..end as usize].copy_from_slice(buf);
+                            holes.remove(*offset, end);
                         }
-                        data[*offset as usize..end as usize].copy_from_slice(buf);
-                        obj.holes.remove(*offset, end);
-                    }
-                    TxOp::PunchHole { offset, len } => {
-                        let end = (*offset + *len).min(data.len() as u64);
-                        if *offset < end {
-                            data[*offset as usize..end as usize].fill(0);
-                            obj.holes.insert(*offset, end);
+                        TxOp::PunchHole { offset, len } => {
+                            let end = (*offset + *len).min(data.len() as u64);
+                            if *offset < end {
+                                data[*offset as usize..end as usize].fill(0);
+                                holes.insert(*offset, end);
+                            }
                         }
+                        TxOp::SetXattr(k, v) => {
+                            xattrs.insert(k.clone(), v.clone());
+                        }
+                        TxOp::RemoveXattr(k) => {
+                            xattrs.remove(k);
+                        }
+                        TxOp::SetOmap(k, v) => {
+                            omap.insert(k.clone(), v.clone());
+                        }
+                        TxOp::RemoveOmap(k) => {
+                            omap.remove(k);
+                        }
+                        _ => unreachable!("filtered above"),
                     }
-                    TxOp::SetXattr(k, v) => {
-                        obj.xattrs.insert(k.clone(), v.clone());
-                    }
-                    TxOp::RemoveXattr(k) => {
-                        obj.xattrs.remove(k);
-                    }
-                    TxOp::SetOmap(k, v) => {
-                        obj.omap.insert(k.clone(), v.clone());
-                    }
-                    TxOp::RemoveOmap(k) => {
-                        obj.omap.remove(k);
-                    }
-                    _ => unreachable!("filtered above"),
                 }
-            }
-            obj.stored_bytes =
-                (data.len() as u64).saturating_sub(obj.holes.total().min(data.len() as u64));
+            });
+            *stored_bytes = (d.len() as u64).saturating_sub(holes.total().min(d.len() as u64));
         }
         Some(Ok(Timed::new((), cost)))
     }
@@ -982,9 +1037,9 @@ impl Cluster {
         &self,
         ctx: &IoCtx,
         name: &ObjectName,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
     ) -> Result<Timed<()>, StoreError> {
-        self.transact(ctx, name, vec![TxOp::WriteFull(data)])
+        self.transact(ctx, name, vec![TxOp::WriteFull(data.into())])
     }
 
     /// Writes `data` at `offset`, zero-filling any gap.
@@ -997,12 +1052,22 @@ impl Cluster {
         ctx: &IoCtx,
         name: &ObjectName,
         offset: u64,
-        data: Vec<u8>,
+        data: impl Into<Bytes>,
     ) -> Result<Timed<()>, StoreError> {
-        self.transact(ctx, name, vec![TxOp::Write { offset, data }])
+        self.transact(
+            ctx,
+            name,
+            vec![TxOp::Write {
+                offset,
+                data: data.into(),
+            }],
+        )
     }
 
     /// Reads `len` bytes at `offset`.
+    ///
+    /// The returned buffer is a zero-copy view of the stored replica on
+    /// replicated pools; EC reads materialise the gathered range.
     ///
     /// # Errors
     ///
@@ -1013,7 +1078,7 @@ impl Cluster {
         name: &ObjectName,
         offset: u64,
         len: u64,
-    ) -> Result<Timed<Vec<u8>>, StoreError> {
+    ) -> Result<Timed<Bytes>, StoreError> {
         // Fast path: replicated pools slice one replica without
         // reconstructing the logical object.
         let slice = {
@@ -1035,7 +1100,8 @@ impl Cluster {
                                 object_size: data.len() as u64,
                             });
                         }
-                        Some(data[offset as usize..(offset + len) as usize].to_vec())
+                        self.metrics.bytes_shared.add(len);
+                        Some(data.slice(offset as usize..(offset + len) as usize))
                     }
                     Payload::Shard { .. } => None,
                 }
@@ -1057,7 +1123,8 @@ impl Cluster {
                         object_size: size,
                     });
                 }
-                logical.data[offset as usize..(offset + len) as usize].to_vec()
+                self.metrics.bytes_copied.add(len);
+                logical.data.slice(offset as usize..(offset + len) as usize)
             }
         };
 
@@ -1105,7 +1172,7 @@ impl Cluster {
     /// # Errors
     ///
     /// Fails if the object does not exist.
-    pub fn read_full(&self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<Vec<u8>>, StoreError> {
+    pub fn read_full(&self, ctx: &IoCtx, name: &ObjectName) -> Result<Timed<Bytes>, StoreError> {
         let size = self
             .stat(ctx.pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
@@ -1130,6 +1197,9 @@ impl Cluster {
 
     /// Reads one xattr (metadata-sized I/O on the primary).
     ///
+    /// Returns a shared view of the stored value — no map or value is
+    /// cloned; the lookup happens under the holder's lock.
+    ///
     /// # Errors
     ///
     /// Fails if the object does not exist.
@@ -1138,16 +1208,18 @@ impl Cluster {
         ctx: &IoCtx,
         name: &ObjectName,
         key: &str,
-    ) -> Result<Timed<Option<Vec<u8>>>, StoreError> {
-        let (xattrs, _) = self
-            .load_metadata(ctx.pool, name)?
+    ) -> Result<Timed<Option<Bytes>>, StoreError> {
+        let value = self
+            .load_meta_value(ctx.pool, name, |obj| obj.xattrs.get(key).cloned())?
             .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
-        let value = xattrs.get(key).cloned();
         let cost = self.metadata_read_cost(ctx, name)?;
         Ok(Timed::new(value, cost))
     }
 
     /// Reads one omap value (metadata-sized I/O on the primary).
+    ///
+    /// Returns a shared view of the stored value — no map or value is
+    /// cloned; the lookup happens under the holder's lock.
     ///
     /// # Errors
     ///
@@ -1157,17 +1229,34 @@ impl Cluster {
         ctx: &IoCtx,
         name: &ObjectName,
         key: &str,
-    ) -> Result<Timed<Option<Vec<u8>>>, StoreError> {
-        let (_, omap) = self
-            .load_metadata(ctx.pool, name)?
+    ) -> Result<Timed<Option<Bytes>>, StoreError> {
+        let value = self
+            .load_meta_value(ctx.pool, name, |obj| obj.omap.get(key).cloned())?
             .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
-        let value = omap.get(key).cloned();
         let cost = self.metadata_read_cost(ctx, name)?;
         Ok(Timed::new(value, cost))
     }
 
+    /// Runs `f` on any replica of the object under the holder's lock,
+    /// avoiding whole-map clones for single-value metadata reads.
+    /// `Ok(None)` means the object does not exist.
+    fn load_meta_value<T>(
+        &self,
+        pool: PoolId,
+        name: &ObjectName,
+        f: impl FnOnce(&StoredObject) -> T,
+    ) -> Result<Option<T>, StoreError> {
+        self.state(pool)?;
+        let holders = self.holders(pool, name);
+        Ok(holders.first().map(|h| {
+            let guard = self.osds[h.0 as usize].read();
+            f(guard.get(pool, name).expect("holder has object"))
+        }))
+    }
+
     /// Reads the entire omap (control-plane helper used by scans; charged
-    /// as one metadata read).
+    /// as one metadata read). Values in the returned map are shared views
+    /// of the stored buffers.
     ///
     /// # Errors
     ///
@@ -1176,7 +1265,7 @@ impl Cluster {
         &self,
         ctx: &IoCtx,
         name: &ObjectName,
-    ) -> Result<Timed<BTreeMap<String, Vec<u8>>>, StoreError> {
+    ) -> Result<Timed<BTreeMap<String, Bytes>>, StoreError> {
         let (_, omap) = self
             .load_metadata(ctx.pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(ctx.pool, name.clone()))?;
@@ -1184,8 +1273,8 @@ impl Cluster {
         Ok(Timed::new(omap, cost))
     }
 
-    /// Clones only the metadata maps from any replica (cheaper than
-    /// [`Cluster::load_logical`] for metadata reads).
+    /// Clones the metadata map structure from any replica (values are
+    /// refcount bumps, not buffer copies).
     fn load_metadata(
         &self,
         pool: PoolId,
@@ -1426,9 +1515,9 @@ mod tests {
                 &ctx,
                 &name,
                 vec![
-                    TxOp::WriteFull(vec![5u8; 64]),
-                    TxOp::SetXattr("type".into(), b"metadata".to_vec()),
-                    TxOp::SetOmap("entry.0".into(), b"chunkmap".to_vec()),
+                    TxOp::WriteFull(vec![5u8; 64].into()),
+                    TxOp::SetXattr("type".into(), b"metadata".to_vec().into()),
+                    TxOp::SetOmap("entry.0".into(), b"chunkmap".to_vec().into()),
                 ],
             )
             .expect("tx");
@@ -1448,15 +1537,15 @@ mod tests {
                 &ctx,
                 &name,
                 vec![
-                    TxOp::WriteFull(vec![1u8; 10]),
-                    TxOp::SetXattr("refcount".into(), vec![2]),
+                    TxOp::WriteFull(vec![1u8; 10].into()),
+                    TxOp::SetXattr("refcount".into(), vec![2].into()),
                 ],
             )
             .expect("tx");
         for h in c.holders(ctx.pool, &name) {
             let store = c.osd_store(h);
             let obj = store.get(ctx.pool, &name).expect("replica");
-            assert_eq!(obj.xattrs.get("refcount"), Some(&vec![2]));
+            assert_eq!(obj.xattrs.get("refcount").map(|b| &b[..]), Some(&[2u8][..]));
         }
     }
 

@@ -36,6 +36,13 @@ pub(crate) struct ClusterMetrics {
     pub scrub_runs: Counter,
     /// Inconsistencies found by scrubs.
     pub scrub_findings: Counter,
+    /// Payload bytes deep-copied (memcpy) at data-plane hops. Registered
+    /// as `engine.bytes_copied` so a stacked dedup engine sharing this
+    /// registry accumulates into the same counter.
+    pub bytes_copied: Counter,
+    /// Payload bytes moved by refcount bump where the pre-zero-copy
+    /// design memcpy'd (shared `engine.bytes_shared` instrument).
+    pub bytes_shared: Counter,
 }
 
 impl ClusterMetrics {
@@ -53,6 +60,8 @@ impl ClusterMetrics {
             recovery_bytes_moved: registry.counter("cluster.recovery.bytes_moved"),
             scrub_runs: registry.counter("cluster.scrub.runs"),
             scrub_findings: registry.counter("cluster.scrub.findings"),
+            bytes_copied: registry.counter("engine.bytes_copied"),
+            bytes_shared: registry.counter("engine.bytes_shared"),
             registry,
         }
     }

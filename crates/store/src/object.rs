@@ -3,6 +3,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
 
 /// Fixed per-object metadata overhead in bytes, matching the paper's note
@@ -61,10 +62,14 @@ impl From<String> for ObjectName {
 
 /// What one OSD physically holds for an object: a full copy (replicated
 /// pools) or one erasure-coded shard.
+///
+/// Payload bytes are [`Bytes`]: replicas and shards produced by one write
+/// fan-out all share the writer's parent allocation, and reads hand back
+/// refcounted sub-views instead of fresh vectors.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub enum Payload {
     /// Entire object data.
-    Full(Vec<u8>),
+    Full(Bytes),
     /// One Reed–Solomon shard of the object.
     Shard {
         /// Shard index in `[0, k + m)`.
@@ -72,7 +77,7 @@ pub enum Payload {
         /// Logical length of the whole object (shards are padded).
         object_len: u64,
         /// Shard bytes.
-        bytes: Vec<u8>,
+        bytes: Bytes,
     },
 }
 
@@ -207,9 +212,10 @@ pub struct StoredObject {
     /// Data payload (full copy or EC shard).
     pub payload: Payload,
     /// Small named attributes (chunk-map headers, reference counts...).
-    pub xattrs: BTreeMap<String, Vec<u8>>,
+    /// Values are shared buffers: metadata reads alias them for free.
+    pub xattrs: BTreeMap<String, Bytes>,
     /// Sorted key-value metadata (chunk-map entries, back references...).
-    pub omap: BTreeMap<String, Vec<u8>>,
+    pub omap: BTreeMap<String, Bytes>,
     /// Punched holes in the logical object: ranges that read as zero and
     /// occupy no space (cache eviction uses this).
     pub holes: RangeSet,
@@ -301,13 +307,13 @@ mod tests {
 
     #[test]
     fn payload_lengths() {
-        let full = Payload::Full(vec![0; 10]);
+        let full = Payload::Full(vec![0; 10].into());
         assert_eq!(full.stored_len(), 10);
         assert_eq!(full.object_len(), 10);
         let shard = Payload::Shard {
             index: 1,
             object_len: 100,
-            bytes: vec![0; 50],
+            bytes: vec![0; 50].into(),
         };
         assert_eq!(shard.stored_len(), 50);
         assert_eq!(shard.object_len(), 100);
@@ -315,16 +321,16 @@ mod tests {
 
     #[test]
     fn metadata_bytes_counts_keys_and_values() {
-        let mut o = StoredObject::new(Payload::Full(vec![1, 2, 3]));
+        let mut o = StoredObject::new(Payload::Full(vec![1, 2, 3].into()));
         assert_eq!(o.metadata_bytes(), 0);
-        o.xattrs.insert("ab".into(), vec![0; 8]);
-        o.omap.insert("key".into(), vec![0; 5]);
+        o.xattrs.insert("ab".into(), vec![0; 8].into());
+        o.omap.insert("key".into(), vec![0; 5].into());
         assert_eq!(o.metadata_bytes(), 2 + 8 + 3 + 5);
     }
 
     #[test]
     fn footprint_includes_overhead() {
-        let o = StoredObject::new(Payload::Full(vec![0; 100]));
+        let o = StoredObject::new(Payload::Full(vec![0; 100].into()));
         assert_eq!(o.footprint(), 100 + PER_OBJECT_OVERHEAD);
     }
 

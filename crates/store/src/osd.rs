@@ -121,7 +121,7 @@ mod tests {
     fn put_get_remove_round_trip() {
         let mut osd = Osd::new();
         let name = ObjectName::new("a");
-        let obj = StoredObject::new(Payload::Full(vec![1, 2, 3]));
+        let obj = StoredObject::new(Payload::Full(vec![1, 2, 3].into()));
         assert!(osd.put(pool(), name.clone(), obj.clone()).is_none());
         assert_eq!(osd.get(pool(), &name), Some(&obj));
         assert!(osd.contains(pool(), &name));
@@ -136,12 +136,12 @@ mod tests {
         osd.put(
             PoolId(1),
             name.clone(),
-            StoredObject::new(Payload::Full(vec![1])),
+            StoredObject::new(Payload::Full(vec![1].into())),
         );
         osd.put(
             PoolId(2),
             name.clone(),
-            StoredObject::new(Payload::Full(vec![2, 2])),
+            StoredObject::new(Payload::Full(vec![2, 2].into())),
         );
         assert_eq!(osd.get(PoolId(1), &name).map(|o| o.stored_bytes), Some(1));
         assert_eq!(osd.get(PoolId(2), &name).map(|o| o.stored_bytes), Some(2));
@@ -151,13 +151,13 @@ mod tests {
     #[test]
     fn stats_sum_objects() {
         let mut osd = Osd::new();
-        let mut a = StoredObject::new(Payload::Full(vec![0; 100]));
-        a.xattrs.insert("k".into(), vec![0; 10]);
+        let mut a = StoredObject::new(Payload::Full(vec![0; 100].into()));
+        a.xattrs.insert("k".into(), vec![0; 10].into());
         osd.put(pool(), ObjectName::new("a"), a);
         osd.put(
             pool(),
             ObjectName::new("b"),
-            StoredObject::new(Payload::Full(vec![0; 50])),
+            StoredObject::new(Payload::Full(vec![0; 50].into())),
         );
         let s = osd.stats();
         assert_eq!(s.objects, 2);
@@ -171,7 +171,7 @@ mod tests {
         osd.put(
             pool(),
             ObjectName::new("a"),
-            StoredObject::new(Payload::Full(vec![1])),
+            StoredObject::new(Payload::Full(vec![1].into())),
         );
         osd.wipe();
         assert_eq!(osd.stats().objects, 0);
@@ -184,7 +184,7 @@ mod tests {
         osd.put(
             pool(),
             name.clone(),
-            StoredObject::new(Payload::Full(vec![1])),
+            StoredObject::new(Payload::Full(vec![1].into())),
         );
         osd.remove(pool(), &name);
         assert_eq!(osd.iter().count(), 0);

@@ -345,7 +345,8 @@ impl Cluster {
                 let Ok(acting) = self.acting(pool, &name) else {
                     continue;
                 };
-                let mut shards: Vec<Option<Vec<u8>>> = vec![None; k + m];
+                // Shard views are refcount bumps out of each OSD's guard.
+                let mut shards: Vec<Option<bytes::Bytes>> = vec![None; k + m];
                 for &osd in &acting {
                     if let Some(obj) = self.osd_store(osd).get(pool, &name) {
                         if let Payload::Shard { index, bytes, .. } = &obj.payload {
@@ -616,7 +617,7 @@ mod tests {
         // Corrupt one replica's payload behind the cluster's back.
         corrupt(&c, victim, ctx.pool, &name, |obj| {
             if let crate::object::Payload::Full(ref mut b) = obj.payload {
-                b[0] ^= 0xFF;
+                b.make_mut()[0] ^= 0xFF;
             }
         });
         let findings = c.scrub(ctx.pool).expect("scrub");
@@ -633,7 +634,7 @@ mod tests {
         let parity_osd = acting[2];
         corrupt(&c, parity_osd, ctx.pool, &name, |obj| {
             if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
-                bytes[7] ^= 0xFF;
+                bytes.make_mut()[7] ^= 0xFF;
             }
         });
         // The light scrub still passes (shape is fine)...
@@ -655,7 +656,7 @@ mod tests {
         let victim = c.holders(ctx.pool, &name)[1];
         corrupt(&c, victim, ctx.pool, &name, |obj| {
             if let crate::object::Payload::Full(ref mut b) = obj.payload {
-                b[100] ^= 1;
+                b.make_mut()[100] ^= 1;
             }
         });
         let findings = c.deep_scrub(ctx.pool).expect("deep scrub");
@@ -669,7 +670,7 @@ mod tests {
         let victim = c.holders(ctx.pool, &name)[1];
         corrupt(&c, victim, ctx.pool, &name, |obj| {
             if let crate::object::Payload::Full(ref mut b) = obj.payload {
-                b[5] ^= 0x42;
+                b.make_mut()[5] ^= 0x42;
             }
         });
         assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
@@ -688,7 +689,7 @@ mod tests {
         let acting = c.acting(ctx.pool, &name).expect("acting");
         corrupt(&c, acting[2], ctx.pool, &name, |obj| {
             if let crate::object::Payload::Shard { ref mut bytes, .. } = obj.payload {
-                bytes[0] ^= 0xFF;
+                bytes.make_mut()[0] ^= 0xFF;
             }
         });
         assert!(!c.deep_scrub(ctx.pool).expect("scrub").is_empty());
@@ -718,9 +719,9 @@ mod tests {
                 &ctx,
                 &name,
                 vec![
-                    TxOp::WriteFull(vec![9u8; 512]),
-                    TxOp::SetXattr("refcount".into(), vec![42]),
-                    TxOp::SetOmap("chunk.0".into(), b"entry".to_vec()),
+                    TxOp::WriteFull(vec![9u8; 512].into()),
+                    TxOp::SetXattr("refcount".into(), vec![42].into()),
+                    TxOp::SetOmap("chunk.0".into(), b"entry".to_vec().into()),
                 ],
             )
             .expect("tx");
@@ -728,7 +729,7 @@ mod tests {
         c.fail_osd(holder);
         let _ = c.recover().expect("recover");
         let x = c.get_xattr(&ctx, &name, "refcount").expect("xattr");
-        assert_eq!(x.value, Some(vec![42]));
+        assert_eq!(x.value.as_deref(), Some(&[42u8][..]));
         let o = c.get_omap(&ctx, &name, "chunk.0").expect("omap");
         assert_eq!(o.value.as_deref(), Some(b"entry".as_slice()));
     }

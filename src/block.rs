@@ -160,7 +160,7 @@ impl BlockBackend for (Cluster, IoCtx) {
         }
         let readable = len.min(size - offset);
         let t = self.0.read_at(&ctx, name, offset, readable)?;
-        let mut out = t.value;
+        let mut out = t.value.to_vec();
         out.resize(len as usize, 0);
         Ok((out, t.cost))
     }
@@ -196,7 +196,7 @@ impl BlockBackend for DedupStore {
         }
         let readable = len.min(size - offset);
         let t = self.read(client, name, offset, readable, now)?;
-        let mut out = t.value;
+        let mut out = t.value.to_vec();
         out.resize(len as usize, 0);
         Ok((out, t.cost))
     }
