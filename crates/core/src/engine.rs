@@ -16,7 +16,9 @@ use dedup_fingerprint::Fingerprint;
 use dedup_obs::{Registry, Tracer};
 use dedup_placement::PoolId;
 use dedup_sim::{CostExpr, SimDuration, SimTime};
-use dedup_store::{ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp};
+use dedup_store::{
+    ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp, WalRecoveryReport,
+};
 use parking_lot::{Mutex, MutexGuard};
 
 use crate::bloom::BloomFilter;
@@ -531,6 +533,7 @@ impl DedupStore {
 
         let mut costs: Vec<CostExpr> = Vec::new();
         let mut ops: Vec<TxOp> = Vec::new();
+        let mut pending_derefs: Vec<(usize, Fingerprint, BackRef)> = Vec::new();
         for idx in self.chunker.touched_chunks(offset, data.len() as u64) {
             let c_off = idx * cs;
             let c_len = cs
@@ -559,17 +562,21 @@ impl DedupStore {
                 &data[(copy_start - offset) as usize..(copy_end - offset) as usize],
             );
 
-            // Fingerprint (CPU), dereference old, store new — synchronously.
+            // Fingerprint (CPU), store new, dereference old — the deref is
+            // deferred past the map commit (crash safety: never delete a
+            // chunk the durable map still points at) but keeps its original
+            // slot in the cost sequence.
             let fp = Fingerprint::of(&content);
             costs.push(self.fingerprint_cost(meta_node, c_len as u64));
             if let Some(e) = existing {
                 if let Some(old) = e.chunk_id {
                     if old != fp {
-                        let t = self.deref_chunk(
+                        costs.push(CostExpr::Nop);
+                        pending_derefs.push((
+                            costs.len() - 1,
                             old,
-                            &BackRef::new(self.metadata_pool, name.clone(), c_off),
-                        )?;
-                        costs.push(t.cost);
+                            BackRef::new(self.metadata_pool, name.clone(), c_off),
+                        ));
                     }
                 }
             }
@@ -593,6 +600,10 @@ impl DedupStore {
         let ctx = self.meta_ctx(client);
         let t = self.cluster.transact(&ctx, name, ops)?;
         costs.push(t.cost);
+        for (slot, old, backref) in pending_derefs {
+            let t = self.deref_chunk(old, &backref)?;
+            costs[slot] = t.cost;
+        }
         Ok(Timed::new((), CostExpr::seq(costs)))
     }
 
@@ -927,16 +938,20 @@ impl DedupStore {
         let mut ops: Vec<TxOp> = Vec::new();
         let mut dirtied = false;
 
+        // Deref after the map transact commits (never delete a chunk the
+        // durable map still references); slots keep the cost order.
+        let mut pending_derefs: Vec<(usize, Fingerprint, BackRef)> = Vec::new();
         for e in &entries {
             if e.offset >= new_len {
                 // Entirely cut off: drop the entry, release the chunk.
                 ops.push(TxOp::RemoveOmap(e.key()));
                 if let Some(fp) = e.chunk_id {
-                    let t = self.deref_chunk(
+                    costs.push(CostExpr::Nop);
+                    pending_derefs.push((
+                        costs.len() - 1,
                         fp,
-                        &BackRef::new(self.metadata_pool, name.clone(), e.offset),
-                    )?;
-                    costs.push(t.cost);
+                        BackRef::new(self.metadata_pool, name.clone(), e.offset),
+                    ));
                 }
             } else if e.end() > new_len {
                 // Boundary chunk: shorter content means a new fingerprint.
@@ -966,6 +981,10 @@ impl DedupStore {
         let ctx = self.meta_ctx(client);
         let t = self.cluster.transact(&ctx, name, ops)?;
         costs.push(t.cost);
+        for (slot, fp, backref) in pending_derefs {
+            let t = self.deref_chunk(fp, &backref)?;
+            costs[slot] = t.cost;
+        }
         if dirtied {
             self.mark_dirty(name);
         } else {
@@ -986,13 +1005,19 @@ impl DedupStore {
         let _shard = self.lock_shard(name);
         let entries = self.load_chunk_map(name)?;
         let mut costs = Vec::new();
+        // Delete the metadata object first: once it (and its chunk map) is
+        // durably gone, releasing the references is safe at any crash
+        // point — a stranded chunk's backref is stale and GC reclaims it.
+        // The derefs keep their original leading slots in the cost order.
+        let mut pending_derefs: Vec<(usize, Fingerprint, BackRef)> = Vec::new();
         for e in entries {
             if let Some(fp) = e.chunk_id {
-                let t = self.deref_chunk(
+                costs.push(CostExpr::Nop);
+                pending_derefs.push((
+                    costs.len() - 1,
                     fp,
-                    &BackRef::new(self.metadata_pool, name.clone(), e.offset),
-                )?;
-                costs.push(t.cost);
+                    BackRef::new(self.metadata_pool, name.clone(), e.offset),
+                ));
             }
         }
         let ctx = self.meta_ctx(client);
@@ -1000,6 +1025,10 @@ impl DedupStore {
             Ok(t) => costs.push(t.cost),
             Err(StoreError::NoSuchObject(..)) => {}
             Err(e) => return Err(e.into()),
+        }
+        for (slot, fp, backref) in pending_derefs {
+            let t = self.deref_chunk(fp, &backref)?;
+            costs[slot] = t.cost;
         }
         let mut dirty = self.dirty.lock();
         dirty.remove(name);
@@ -1051,14 +1080,20 @@ impl DedupStore {
         } else {
             self.metrics.bloom_misses.inc();
             match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
-                Ok(t) => Some((
-                    decode_refcount(&t.value.unwrap_or_default()).ok_or_else(|| {
-                        DedupError::CorruptRefcount {
+                // A present chunk with *no* refcount xattr is a torn state
+                // (crash between chunk write and refcount commit), not a
+                // corrupt one — don't let it decode as zero.
+                Ok(t) => {
+                    let raw = t.value.ok_or_else(|| DedupError::MissingRefcount {
+                        chunk: chunk_name.to_string(),
+                    })?;
+                    Some((
+                        decode_refcount(&raw).ok_or_else(|| DedupError::CorruptRefcount {
                             chunk: chunk_name.to_string(),
-                        }
-                    })?,
-                    t.cost,
-                )),
+                        })?,
+                        t.cost,
+                    ))
+                }
                 Err(StoreError::NoSuchObject(..)) => None,
                 Err(e) => return Err(e.into()),
             }
@@ -1129,11 +1164,16 @@ impl DedupStore {
         let chunk_name = ObjectName::new(fp.to_object_name());
         let cctx = self.chunk_ctx(ClientId::INTERNAL);
         let count = match self.cluster.get_xattr(&cctx, &chunk_name, REFCOUNT_XATTR) {
-            Ok(t) => decode_refcount(&t.value.unwrap_or_default()).ok_or(
-                DedupError::CorruptRefcount {
+            Ok(t) => {
+                // Missing xattr on a present chunk: torn, not corrupt —
+                // surface it distinctly instead of decoding a default.
+                let raw = t.value.ok_or_else(|| DedupError::MissingRefcount {
                     chunk: chunk_name.to_string(),
-                },
-            )?,
+                })?;
+                decode_refcount(&raw).ok_or(DedupError::CorruptRefcount {
+                    chunk: chunk_name.to_string(),
+                })?
+            }
             Err(StoreError::NoSuchObject(..)) => return Ok(Timed::new(false, CostExpr::Nop)),
             Err(e) => return Err(e.into()),
         };
@@ -1188,15 +1228,26 @@ impl DedupStore {
                 self.metrics.bytes_copied.add(buf.len() as u64);
                 let chunk_name = ObjectName::new(old.to_object_name());
                 let cctx = self.chunk_ctx(ClientId::INTERNAL);
+                // A zero-extending truncate can grow this entry past the
+                // chunk object flushed for its previous content; bytes
+                // beyond that extent were never written and stay zero.
+                let old_extent = self
+                    .cluster
+                    .stat(self.chunk_pool, &chunk_name)?
+                    .unwrap_or(0);
                 for &(hs, he, resident) in &splits {
                     if resident {
                         continue;
                     }
-                    let t = self
-                        .cluster
-                        .read_at(&cctx, &chunk_name, hs - e.offset, he - hs)?;
-                    buf[(hs - e.offset) as usize..(he - e.offset) as usize]
-                        .copy_from_slice(&t.value);
+                    let rel_start = hs - e.offset;
+                    let rel_end = (he - e.offset).min(old_extent);
+                    if rel_start >= rel_end {
+                        continue;
+                    }
+                    let t =
+                        self.cluster
+                            .read_at(&cctx, &chunk_name, rel_start, rel_end - rel_start)?;
+                    buf[rel_start as usize..rel_end as usize].copy_from_slice(&t.value);
                     costs.push(t.cost);
                     merged = true;
                 }
@@ -1483,6 +1534,13 @@ impl DedupStore {
         let mut costs: Vec<CostExpr> = Vec::new();
         let ctx = self.meta_ctx(ClientId::INTERNAL);
         let mut ops: Vec<TxOp> = Vec::new();
+        // Old-chunk dereferences are deferred until after the chunk-map
+        // commit: a crash in between strands the *new* chunk (repaired by
+        // GC backref validation) instead of deleting a chunk the durable
+        // map still points at (unrecoverable data loss). Each deferred
+        // deref keeps its original slot in the cost sequence so the
+        // virtual-time model is byte-for-byte unchanged.
+        let mut pending_derefs: Vec<(usize, Fingerprint, BackRef)> = Vec::new();
         for chunk in chunks {
             let e = chunk.entry;
             let content = chunk.content;
@@ -1509,17 +1567,15 @@ impl DedupStore {
                 // Content unchanged since last flush: just clear the dirty
                 // bit (reference already held).
             } else {
-                // De-reference the old chunk first (paper step 3).
+                // Reserve the deref's cost slot here (paper step 3's
+                // position); the deref itself runs after the map commit.
                 if let Some(old) = e.chunk_id {
-                    let t = self.deref_chunk(
+                    costs.push(CostExpr::Nop);
+                    pending_derefs.push((
+                        costs.len() - 1,
                         old,
-                        &BackRef::new(self.metadata_pool, name.clone(), e.offset),
-                    )?;
-                    report.derefs += 1;
-                    if t.value {
-                        report.chunks_reclaimed += 1;
-                    }
-                    costs.push(self.label("flush.deref", t.cost));
+                        BackRef::new(self.metadata_pool, name.clone(), e.offset),
+                    ));
                 }
                 // (4–5) Store or reference the chunk in the chunk pool.
                 let t =
@@ -1576,6 +1632,17 @@ impl DedupStore {
         }
         let t = self.cluster.transact(&ctx, &name, ops)?;
         costs.push(self.label("flush.map_update", t.cost));
+        // The map now durably points at the new chunks; releasing the old
+        // references is safe (and crash-tolerant: a stranded old chunk's
+        // backref no longer matches the live map, so GC reclaims it).
+        for (slot, old, backref) in pending_derefs {
+            let t = self.deref_chunk(old, &backref)?;
+            report.derefs += 1;
+            if t.value {
+                report.chunks_reclaimed += 1;
+            }
+            costs[slot] = self.label("flush.deref", t.cost);
+        }
         self.finish_clean(&name);
         self.record_flush_report(&report);
         Ok(Some(Timed::new(report, CostExpr::seq(costs))))
@@ -1781,6 +1848,120 @@ impl DedupStore {
         }
         Ok(self.dirty.lock().len())
     }
+
+    /// Re-seeds the negative-lookup Bloom filter from the chunk pool's
+    /// current contents. Mandatory after WAL replay into a fresh engine:
+    /// an empty filter would answer a definite "absent" for a chunk that
+    /// *does* exist, and the next [`DedupStore::store_chunk`] of that
+    /// content would overwrite its refcount with 1 — a silent double-free
+    /// waiting to happen.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn rebuild_bloom(&mut self) -> Result<usize, DedupError> {
+        self.bloom = BloomFilter::for_chunk_pool();
+        let mut seeded = 0;
+        for chunk_name in self.cluster.list_objects(self.chunk_pool)? {
+            if let Some(fp) = Fingerprint::from_object_name(chunk_name.as_str()) {
+                self.bloom.insert(&fp);
+                seeded += 1;
+            }
+        }
+        Ok(seeded)
+    }
+
+    /// Lists chunk objects none of whose back references are live — the
+    /// stranded state a crash between chunk-pool commit and chunk-map
+    /// update leaves behind. These leak capacity until
+    /// [`DedupStore::gc_chunk_pool`] reclaims them; the crash harness
+    /// asserts the set is empty after recovery.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn find_leaked_chunks(&self) -> Result<Vec<String>, DedupError> {
+        let cctx = self.chunk_ctx(ClientId::INTERNAL);
+        let mut leaked = Vec::new();
+        for chunk_name in self.cluster.list_objects(self.chunk_pool)? {
+            let Some(fp) = Fingerprint::from_object_name(chunk_name.as_str()) else {
+                continue;
+            };
+            let refs = self.cluster.omap_entries(&cctx, &chunk_name)?;
+            let mut live = false;
+            for key in refs.value.keys() {
+                let Some(backref) = BackRef::decode_key(key) else {
+                    continue;
+                };
+                let entries = self.load_chunk_map(&backref.object)?;
+                if entries
+                    .iter()
+                    .any(|e| e.offset == backref.offset && e.chunk_id == Some(fp))
+                {
+                    live = true;
+                    break;
+                }
+            }
+            if !live {
+                leaked.push(chunk_name.to_string());
+            }
+        }
+        Ok(leaked)
+    }
+
+    /// Full restart-after-crash protocol for a freshly built engine whose
+    /// cluster has a WAL attached. The order is load-bearing:
+    ///
+    /// 1. Replay the WAL (checkpoint segments, then the committed log
+    ///    tail; torn tails are dropped by CRC).
+    /// 2. Rebuild the dirty queue from the replayed chunk maps.
+    /// 3. Re-seed the Bloom filter from the chunk pool (before any
+    ///    `store_chunk` can consult it — see
+    ///    [`DedupStore::rebuild_bloom`]).
+    /// 4. Flush the dirty backlog, completing any interrupted flush while
+    ///    its old chunks still exist for deferred read-modify-write.
+    /// 5. Garbage-collect the chunk pool: drops back references stranded
+    ///    by a crash between chunk-pool commit and map update, corrects
+    ///    refcounts, reclaims unreferenced chunks.
+    /// 6. Checkpoint, so the repaired state is the new durable baseline
+    ///    and torn log tails never sit mid-log.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn recover_after_crash(&mut self, now: SimTime) -> Result<CrashRecoveryReport, DedupError> {
+        let wal = self.cluster.wal_recover()?;
+        let dirty_objects = self.recover_dirty_queue()?;
+        let bloom_seeded = self.rebuild_bloom()?;
+        let flush = self.flush_all(now)?.value;
+        let gc = self.gc_chunk_pool()?.value;
+        let checkpoint_seq = self.cluster.wal_checkpoint()?.last_seq;
+        Ok(CrashRecoveryReport {
+            wal,
+            dirty_objects,
+            bloom_seeded,
+            flush,
+            gc,
+            checkpoint_seq,
+        })
+    }
+}
+
+/// What [`DedupStore::recover_after_crash`] did, stage by stage.
+#[derive(Debug, Clone, Default)]
+pub struct CrashRecoveryReport {
+    /// WAL replay outcome (records replayed, torn tails dropped, errors).
+    pub wal: WalRecoveryReport,
+    /// Dirty metadata objects re-queued from replayed chunk maps.
+    pub dirty_objects: usize,
+    /// Fingerprints re-seeded into the Bloom filter.
+    pub bloom_seeded: usize,
+    /// Outcome of flushing the recovered dirty backlog.
+    pub flush: FlushReport,
+    /// Outcome of the post-replay garbage-collection pass.
+    pub gc: GcReport,
+    /// Sequence number of the post-recovery checkpoint.
+    pub checkpoint_seq: u64,
 }
 
 /// Outcome of a chunk-pool garbage-collection pass.
@@ -2140,6 +2321,79 @@ mod tests {
             .read(ClientId(0), &name, 0, data.len() as u64, t(201))
             .expect("read");
         assert_eq!(r.value, data);
+    }
+
+    #[test]
+    fn flush_merges_entry_extended_past_old_chunk_extent() {
+        // A zero-extending truncate grows a flushed-and-evicted entry past
+        // the length of the chunk object backing it; the next flush's
+        // deferred read-modify-write must clamp its hole reads to the old
+        // chunk's extent (the tail is sparse zeros), not read past EOF.
+        let mut s =
+            store_with(DedupConfig::with_chunk_size(CS).cache_policy(CachePolicy::EvictAll));
+        let name = ObjectName::new("obj");
+        let data = patterned(4096, 71);
+        let _ = s
+            .write(ClientId(0), &name, 8192, &data, t(0))
+            .expect("write");
+        let _ = s.flush_all(t(1000)).expect("flush"); // chunk object: 4096 bytes
+        let _ = s
+            .truncate(ClientId(0), &name, 16672, t(2000)) // entry grows to 8192
+            .expect("truncate");
+        let _ = s.flush_all(t(5000)).expect("flush after zero-extension");
+        let r = s.read(ClientId(0), &name, 0, 16672, t(6000)).expect("read");
+        let mut expect = vec![0u8; 16672];
+        expect[8192..12288].copy_from_slice(&data);
+        assert_eq!(r.value, expect);
+        assert!(s.verify_references().expect("verify").is_empty());
+    }
+
+    #[test]
+    fn crash_after_chunk_store_on_rewrite_strands_only_the_new_chunk() {
+        // The torn-flush window: a crash between chunk-pool commit and
+        // chunk-map update. The commit order must leave the *old* chunk
+        // alive (the durable map still points at it) and strand only the
+        // *new* one, which GC then reclaims. Deleting the old chunk first
+        // would turn this crash into unrecoverable data loss.
+        let mut s = store();
+        let name = ObjectName::new("obj");
+        let v1 = patterned(CS as usize, 61);
+        let _ = s.write(ClientId(0), &name, 0, &v1, t(0)).expect("write v1");
+        let _ = s.flush_all(t(1)).expect("flush v1");
+        let v2 = patterned(CS as usize, 62);
+        let _ = s.write(ClientId(0), &name, 0, &v2, t(2)).expect("write v2");
+        // Flush far enough in virtual time that the object is cold again.
+        let rep = s
+            .flush_object_with_failure(&name, t(5000), Some(FailurePoint::AfterChunkStore))
+            .expect("flush");
+        assert!(rep.value.aborted, "got {:?}", rep.value);
+        // The map still names the v1 chunk and that chunk still exists.
+        assert!(s.verify_references().expect("verify").is_empty());
+        // The v2 chunk landed but nothing references it: exactly one leak.
+        let leaked = s.find_leaked_chunks().expect("leaks");
+        assert_eq!(
+            leaked,
+            vec![Fingerprint::of(&v2).to_object_name()],
+            "crash strands the new chunk only"
+        );
+        // Engine restart: re-queue, re-flush (idempotent via the existing
+        // backref), then GC sweeps the strand... which by then is live.
+        let found = s.recover_dirty_queue().expect("recover");
+        assert_eq!(found, 1);
+        let _ = s.flush_all(t(10)).expect("reflush");
+        let gc = s.gc_chunk_pool().expect("gc").value;
+        assert!(s.find_leaked_chunks().expect("leaks").is_empty());
+        assert!(s.verify_references().expect("verify").is_empty());
+        // v1's chunk was dereferenced by the completed re-flush (or GC).
+        assert_eq!(
+            s.space_report().expect("r").chunk_objects,
+            1,
+            "one live chunk (v2); v1 reclaimed, gc={gc:?}"
+        );
+        let r = s
+            .read(ClientId(0), &name, 0, v2.len() as u64, t(11))
+            .expect("read");
+        assert_eq!(r.value, v2);
     }
 
     #[test]

@@ -23,6 +23,14 @@ pub enum DedupError {
         /// The chunk object with bad metadata.
         chunk: String,
     },
+    /// A chunk object exists but carries no refcount xattr at all — the
+    /// torn state a crash between chunk write and refcount commit leaves
+    /// behind. Distinct from [`DedupError::CorruptRefcount`] (bytes present
+    /// but undecodable) so recovery can treat it as repairable.
+    MissingRefcount {
+        /// The chunk object with no refcount metadata.
+        chunk: String,
+    },
 }
 
 impl fmt::Display for DedupError {
@@ -34,6 +42,9 @@ impl fmt::Display for DedupError {
             }
             DedupError::CorruptRefcount { chunk } => {
                 write!(f, "corrupt refcount on chunk {chunk}")
+            }
+            DedupError::MissingRefcount { chunk } => {
+                write!(f, "chunk {chunk} exists but has no refcount metadata")
             }
         }
     }

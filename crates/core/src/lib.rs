@@ -52,6 +52,7 @@ pub mod baseline;
 pub mod bloom;
 pub mod chunkmap;
 pub mod config;
+pub mod crashpoint;
 pub mod engine;
 pub mod hitset;
 pub mod pipeline;
@@ -67,7 +68,12 @@ mod metrics;
 pub use baseline::{global_ratio, local_ratio, RatioAnalysis};
 pub use chunkmap::{ChunkMapEntry, CHUNK_MAP_ENTRY_BYTES};
 pub use config::{CachePolicy, DedupConfig, DedupMode, HitSetConfig, Watermarks};
-pub use engine::{shard_index, DedupStore, EngineStats, FailurePoint, FlushReport, GcReport};
+pub use crashpoint::{
+    enumerate_crash_points, plan_for, rebuilt_store, wal_store, CrashPoint, CrashTopology,
+};
+pub use engine::{
+    shard_index, CrashRecoveryReport, DedupStore, EngineStats, FailurePoint, FlushReport, GcReport,
+};
 pub use error::DedupError;
 pub use hitset::{BloomFilter, HitSet};
 pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};

@@ -350,6 +350,32 @@ impl DedupService {
         f(&mut self.store().write())
     }
 
+    /// Compacts the cluster's write-ahead log into checkpoint segments and
+    /// truncates the per-OSD logs (no-op when no WAL is attached). Takes
+    /// the store write lock, so no transaction commits mid-checkpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates store errors.
+    pub fn checkpoint(&self) -> Result<dedup_store::WalCheckpointReport, DedupError> {
+        self.with_store(|s| s.cluster_mut().wal_checkpoint().map_err(DedupError::from))
+    }
+
+    /// Runs the engine's full restart-after-crash protocol (WAL replay,
+    /// dirty-queue and Bloom rebuild, backlog flush, GC repair, fresh
+    /// checkpoint) with the store exclusively locked. See
+    /// [`DedupStore::recover_after_crash`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn recover_after_crash(
+        &self,
+        now: SimTime,
+    ) -> Result<crate::engine::CrashRecoveryReport, DedupError> {
+        self.with_store(|s| s.recover_after_crash(now))
+    }
+
     /// Stops the worker and returns the store.
     ///
     /// # Panics

@@ -302,7 +302,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("short \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex).map_err(|_| "utf8")?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;
@@ -332,7 +332,11 @@ impl<'a> Parser<'a> {
                         .get(self.pos..self.pos + len)
                         .ok_or_else(|| self.err("invalid utf8"))?;
                     let s = std::str::from_utf8(slice).map_err(|_| self.err("invalid utf8"))?;
-                    out.push(s.chars().next().unwrap());
+                    // `from_utf8` on a non-empty slice guarantees a first
+                    // char, but a scanner must never turn malformed input
+                    // into a panic — fail as a parse error instead.
+                    let c = s.chars().next().ok_or_else(|| self.err("invalid utf8"))?;
+                    out.push(c);
                     self.pos += len;
                 }
             }
@@ -537,5 +541,39 @@ mod tests {
     fn empty_export_renders_empty_event_list_edge() {
         let json = render(&[]);
         assert_eq!(validate_chrome_trace(&json), Ok(0));
+    }
+
+    #[test]
+    fn malformed_strings_are_parse_errors_not_panics() {
+        // Every case here must produce Err — never a panic — no matter
+        // how the string scanner's input is mangled.
+        let cases: Vec<String> = vec![
+            // Backslash at end of input: escape with nothing after it.
+            "{\"traceEvents\":[{\"ph\":\"X".to_string() + "\\",
+            // Truncated \u escape at end of input.
+            "{\"traceEvents\":[{\"name\":\"a\\u00".to_string(),
+            // \u escape whose "hex" is not ASCII (from_utf8 on the slice
+            // fails before from_str_radix sees it).
+            format!("{{\"traceEvents\":[{{\"name\":\"\\u{}1\"", "\u{e9}"),
+            // Unterminated string.
+            "{\"traceEvents\":[{\"name\":\"abc".to_string(),
+        ];
+        for case in cases {
+            assert!(
+                validate_chrome_trace(&case).is_err(),
+                "must reject: {case:?}"
+            );
+        }
+        // Byte-level mangling reaches the scanner paths &str input can't
+        // express as valid UTF-8 only via escapes, but the multibyte arm
+        // is also reachable with real multibyte chars — these must parse.
+        let ok =
+            "{\"traceEvents\":[{\"ph\":\"\u{e9}\u{4e2d}\u{1f600}\",\"ts\":0,\"pid\":1,\"tid\":0}]}";
+        assert_eq!(validate_chrome_trace(ok), Ok(1), "multibyte ph parses");
+        let mut p = Parser::new("\"caf\u{e9} \u{4e2d}\u{6587} \u{1f600}\"");
+        let Value::String(s) = p.value().expect("multibyte string parses") else {
+            panic!("not a string");
+        };
+        assert_eq!(s, "caf\u{e9} \u{4e2d}\u{6587} \u{1f600}");
     }
 }

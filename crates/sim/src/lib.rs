@@ -29,6 +29,7 @@
 mod cost;
 mod driver;
 mod flow;
+mod fsync;
 mod resource;
 mod series;
 mod stats;
@@ -38,6 +39,7 @@ mod trace;
 pub use cost::CostExpr;
 pub use driver::{ClosedLoopDriver, EventQueue, ScheduledEvent};
 pub use flow::{FlowCompletion, FlowEngine};
+pub use fsync::{FsyncRecord, FsyncSequencer, FSYNC_JOURNAL_CAP};
 pub use resource::{Resource, ResourceId, ResourcePool, ResourceSpec};
 pub use series::{TimeBin, TimeSeries};
 pub use stats::{LatencyStats, SlidingWindowCounter};

@@ -1,6 +1,9 @@
 //! The cluster: pools, I/O paths, transactions, and capacity accounting.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
 
 use bytes::Bytes;
 use dedup_erasure::ReedSolomon;
@@ -15,6 +18,7 @@ use crate::object::{ObjectName, Payload, RangeSet, StoredObject, PER_OBJECT_OVER
 use crate::osd::Osd;
 use crate::perf::{ClientId, PerfConfig, PerfTopology};
 use crate::pool::{PoolConfig, PoolUsage, Redundancy};
+use crate::wal::{decode_records, WalBackend, WalManifest, WalRecord};
 
 /// A value produced by a cluster operation together with the virtual-time
 /// cost of producing it. Callers execute the cost against the cluster's
@@ -181,6 +185,49 @@ pub struct Cluster {
     object_size_cap: u64,
     pub(crate) metrics: ClusterMetrics,
     pub(crate) tracer: Option<Tracer>,
+    wal: Option<WalState>,
+}
+
+/// The cluster's handle on the durability plane: the backend owning the
+/// stable bytes, the global record sequence, the checkpoint epoch, and a
+/// flag that suppresses logging while recovery replays (a replayed record
+/// must not be re-appended).
+struct WalState {
+    backend: Arc<dyn WalBackend>,
+    next_seq: AtomicU64,
+    epoch: AtomicU64,
+    logging: AtomicBool,
+}
+
+/// Summary of one completed checkpoint (compaction of the WAL).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalCheckpointReport {
+    /// Checkpoint generation written to the MANIFEST.
+    pub epoch: u64,
+    /// First sequence number *not* covered by the new segments.
+    pub last_seq: u64,
+    /// Live objects encoded into segments.
+    pub objects: u64,
+    /// Segment files written (one per pool).
+    pub segments: u64,
+    /// Total bytes across the new segments.
+    pub segment_bytes: u64,
+}
+
+/// Summary of one WAL recovery pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct WalRecoveryReport {
+    /// Synthetic records applied from checkpoint segments.
+    pub checkpoint_records: u64,
+    /// Logged transactions replayed from the per-OSD log tails.
+    pub log_records_replayed: u64,
+    /// Replayed records the transact path rejected (topology mismatch —
+    /// zero on a faithful rebuild).
+    pub replay_errors: u64,
+    /// Per-OSD logs whose tail was torn and dropped by CRC.
+    pub torn_tails_dropped: u64,
+    /// Next sequence number after recovery (logging resumes here).
+    pub last_seq: u64,
 }
 
 /// Builds a [`Cluster`] with a regular topology.
@@ -284,6 +331,7 @@ impl ClusterBuilder {
             object_size_cap: self.object_size_cap,
             metrics: ClusterMetrics::new(Registry::new()),
             tracer: None,
+            wal: None,
         }
     }
 }
@@ -334,6 +382,230 @@ impl Cluster {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches the durability plane: from here on every committed
+    /// transaction is appended — before any replica mutates — to the log
+    /// of the object's primary OSD on `backend`.
+    ///
+    /// Control-plane state (topology, pool configs) is *not* logged, as
+    /// in the real system where the monitor map is separate; a recovering
+    /// cluster must be rebuilt with the same topology and pools before
+    /// [`Cluster::wal_recover`] replays the data plane. Replica-level
+    /// repair (recovery/scrub re-replication) is likewise below the
+    /// logical-object level the WAL captures.
+    pub fn attach_wal(&mut self, backend: Arc<dyn WalBackend>) {
+        self.wal = Some(WalState {
+            backend,
+            next_seq: AtomicU64::new(1),
+            epoch: AtomicU64::new(0),
+            logging: AtomicBool::new(true),
+        });
+    }
+
+    /// Whether a WAL backend is attached.
+    pub fn wal_attached(&self) -> bool {
+        self.wal.is_some()
+    }
+
+    fn wal_active(&self) -> bool {
+        self.wal
+            .as_ref()
+            .is_some_and(|w| w.logging.load(Ordering::Relaxed))
+    }
+
+    /// Appends one transaction record to the primary's log. Called at the
+    /// commit point of `transact`, after every check that could still fail
+    /// the transaction — so a logged record always replays cleanly.
+    fn wal_append(
+        &self,
+        pool: PoolId,
+        name: &ObjectName,
+        primary: OsdId,
+        ops: &[TxOp],
+    ) -> Result<(), StoreError> {
+        let Some(w) = &self.wal else { return Ok(()) };
+        if !w.logging.load(Ordering::Relaxed) {
+            return Ok(());
+        }
+        let seq = w.next_seq.fetch_add(1, Ordering::Relaxed);
+        let record = WalRecord {
+            seq,
+            pool,
+            name: name.clone(),
+            ops: ops.to_vec(),
+        }
+        .encode();
+        w.backend.append(primary.0 as usize, &record)?;
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_append_bytes.add(record.len() as u64);
+        Ok(())
+    }
+
+    /// Compacts the WAL: re-encodes every pool's live objects as synthetic
+    /// records (a checkpoint *is* a compacted WAL — same codec, same
+    /// replay path, holes and metadata preserved) into one immutable
+    /// segment per pool, atomically replaces the MANIFEST, then truncates
+    /// the per-OSD logs. A crash anywhere inside leaves a recoverable
+    /// store: segments are invisible until the MANIFEST names them, and a
+    /// crashed truncation only leaves records the sequence filter skips.
+    ///
+    /// The caller must quiesce writes for the duration (the dedup engine
+    /// checkpoints under its exclusive borrow).
+    ///
+    /// # Errors
+    ///
+    /// Fails if a durable write fails; no-op without an attached WAL.
+    pub fn wal_checkpoint(&self) -> Result<WalCheckpointReport, StoreError> {
+        let Some(w) = &self.wal else {
+            return Ok(WalCheckpointReport::default());
+        };
+        let epoch = w.epoch.load(Ordering::Relaxed) + 1;
+        let last_seq = w.next_seq.load(Ordering::Relaxed);
+        let mut report = WalCheckpointReport {
+            epoch,
+            last_seq,
+            ..Default::default()
+        };
+        let pool_ids: Vec<PoolId> = self.pools.keys().copied().collect();
+        let mut segments = Vec::with_capacity(pool_ids.len());
+        for pool in pool_ids {
+            let mut seg = Vec::new();
+            for name in self.list_objects(pool)? {
+                let Some(logical) = self.load_logical(pool, &name)? else {
+                    continue;
+                };
+                let rec = WalRecord {
+                    seq: 0,
+                    pool,
+                    name,
+                    ops: Self::checkpoint_ops(&logical),
+                };
+                seg.extend_from_slice(&rec.encode());
+                report.objects += 1;
+            }
+            let seg_name = format!("seg-{epoch:016x}-pool{}", pool.0);
+            w.backend.write_segment(&seg_name, &seg)?;
+            report.segment_bytes += seg.len() as u64;
+            segments.push(seg_name);
+        }
+        report.segments = segments.len() as u64;
+        let manifest = WalManifest {
+            epoch,
+            last_seq,
+            segments,
+        };
+        w.backend.replace_manifest(&manifest.encode())?;
+        for osd in 0..self.osds.len() {
+            w.backend.truncate_log(osd)?;
+        }
+        w.epoch.store(epoch, Ordering::Relaxed);
+        self.metrics.wal_checkpoints.inc();
+        Ok(report)
+    }
+
+    /// The synthetic transaction that rebuilds one logical object from
+    /// scratch. Holes are re-punched explicitly: materializing them as
+    /// resident zeros would silently break dedup redirection and space
+    /// accounting after a recovery.
+    fn checkpoint_ops(logical: &LogicalObject) -> Vec<TxOp> {
+        let mut ops = Vec::with_capacity(1 + logical.xattrs.len() + logical.omap.len());
+        ops.push(TxOp::WriteFull(logical.data.clone()));
+        for (start, end) in logical.holes.iter() {
+            ops.push(TxOp::PunchHole {
+                offset: start,
+                len: end - start,
+            });
+        }
+        for (k, v) in &logical.xattrs {
+            ops.push(TxOp::SetXattr(k.clone(), v.clone()));
+        }
+        for (k, v) in &logical.omap {
+            ops.push(TxOp::SetOmap(k.clone(), v.clone()));
+        }
+        ops
+    }
+
+    /// Rebuilds the data plane from stable storage: applies the
+    /// MANIFEST's checkpoint segments, then merges the per-OSD log tails
+    /// in sequence order and replays them through the ordinary transact
+    /// path (with logging suspended). Torn tails are dropped by CRC and
+    /// counted. The cluster must have been rebuilt with the same topology
+    /// and pools as the one that crashed.
+    ///
+    /// Replay drives the normal I/O paths, so cluster throughput counters
+    /// include replayed work; `wal.records_replayed` tracks it separately.
+    ///
+    /// # Errors
+    ///
+    /// Fails on corrupt checkpoint state (a segment named by the MANIFEST
+    /// that is missing or undecodable); no-op without an attached WAL.
+    pub fn wal_recover(&mut self) -> Result<WalRecoveryReport, StoreError> {
+        let start = Instant::now();
+        let Some(w) = &self.wal else {
+            return Ok(WalRecoveryReport::default());
+        };
+        w.logging.store(false, Ordering::Relaxed);
+        let mut report = WalRecoveryReport::default();
+        let mut epoch = 0;
+        let mut last_seq = 1;
+        let mut checkpoint: Vec<WalRecord> = Vec::new();
+        if let Some(buf) = w.backend.read_manifest() {
+            let manifest = WalManifest::decode(&buf)?;
+            epoch = manifest.epoch;
+            last_seq = manifest.last_seq;
+            for seg_name in &manifest.segments {
+                let Some(seg) = w.backend.read_segment(seg_name) else {
+                    return Err(StoreError::Wal {
+                        detail: format!("manifest names missing segment {seg_name}"),
+                    });
+                };
+                let (records, torn) = decode_records(&seg);
+                if torn {
+                    return Err(StoreError::Wal {
+                        detail: format!("checkpoint segment {seg_name} is corrupt"),
+                    });
+                }
+                checkpoint.extend(records);
+            }
+        }
+        let mut tail: Vec<WalRecord> = Vec::new();
+        for osd in 0..self.osds.len() {
+            let (records, torn) = decode_records(&w.backend.read_log(osd));
+            if torn {
+                report.torn_tails_dropped += 1;
+                self.metrics.wal_torn_dropped.inc();
+            }
+            // Records below the MANIFEST horizon are already inside the
+            // segments (a crashed post-checkpoint truncation left them).
+            tail.extend(records.into_iter().filter(|r| r.seq >= last_seq));
+        }
+        tail.sort_by_key(|r| r.seq);
+        let mut max_seq = last_seq.saturating_sub(1);
+        for rec in checkpoint {
+            let ctx = IoCtx::new(rec.pool);
+            let _ = self.transact(&ctx, &rec.name, rec.ops)?;
+            report.checkpoint_records += 1;
+        }
+        for rec in tail {
+            max_seq = max_seq.max(rec.seq);
+            let ctx = IoCtx::new(rec.pool);
+            match self.transact(&ctx, &rec.name, rec.ops) {
+                Ok(_) => report.log_records_replayed += 1,
+                Err(_) => report.replay_errors += 1,
+            }
+        }
+        report.last_seq = max_seq + 1;
+        self.metrics
+            .wal_records_replayed
+            .add(report.checkpoint_records + report.log_records_replayed);
+        w.next_seq.store(max_seq + 1, Ordering::Relaxed);
+        w.epoch.store(epoch, Ordering::Relaxed);
+        w.logging.store(true, Ordering::Relaxed);
+        self.metrics
+            .wal_recovery_wall_ns
+            .record(start.elapsed().as_nanos() as u64);
+        Ok(report)
     }
 
     /// Tags `cost` when a tracer is attached (for cluster-internal ops
@@ -695,6 +967,9 @@ impl Cluster {
         let existed = existing.is_some();
         let mut logical = existing.unwrap_or_default();
         let old_len = logical.data.len() as u64;
+        // Snapshot the ops for the write-ahead record before the apply
+        // loop consumes them (Bytes payloads clone by refcount).
+        let wal_ops: Option<Vec<TxOp>> = self.wal_active().then(|| ops.clone());
 
         // Apply ops in memory.
         let mut data_bytes = 0u64;
@@ -844,6 +1119,14 @@ impl Cluster {
             }
         };
 
+        // Write-ahead: the record reaches stable storage before any
+        // replica mutates, and only after every check that could still
+        // fail the transaction — a crash here loses the op entirely (the
+        // caller saw an error), never half of it.
+        if let Some(wal_ops) = &wal_ops {
+            self.wal_append(ctx.pool, name, primary, wal_ops)?;
+        }
+
         // Commit.
         if removed {
             self.remove_everywhere(ctx.pool, name);
@@ -950,6 +1233,14 @@ impl Cluster {
             self.perf.request_cpu(primary_node, data_bytes),
             ctx.label("rep_fanout", fanout),
         ]);
+
+        // Write-ahead (same contract as the slow path: after all checks,
+        // before any replica mutates).
+        if self.wal_active() {
+            if let Err(e) = self.wal_append(ctx.pool, name, acting[0], ops) {
+                return Some(Err(e));
+            }
+        }
 
         // Each replica mutates its own buffer in place. Replicas still
         // sharing a write fan-out's parent detach on first touch
@@ -1700,5 +1991,120 @@ mod tests {
             .write_full(&ctx, &ObjectName::new("x"), vec![1u8; 10])
             .expect_err("EC needs k+m devices");
         assert!(matches!(err, StoreError::InsufficientOsds { .. }));
+    }
+
+    /// Build a WAL-attached cluster with a replicated and an EC pool, plus
+    /// the shared backend so a test can crash/recover against it.
+    fn wal_cluster() -> (
+        Cluster,
+        std::sync::Arc<crate::wal::MemWalBackend>,
+        IoCtx,
+        IoCtx,
+    ) {
+        let mut c = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+        let rep = IoCtx::new(c.create_pool(PoolConfig::replicated("rep", 2)));
+        let ec = IoCtx::new(c.create_pool(PoolConfig::erasure("ec", 2, 1)));
+        let backend = crate::wal::MemWalBackend::shared();
+        c.attach_wal(backend.clone());
+        (c, backend, rep, ec)
+    }
+
+    #[test]
+    fn wal_round_trip_checkpoint_and_log_tail() {
+        let (c, backend, rep, ec) = wal_cluster();
+        let a = ObjectName::new("a");
+        let b = ObjectName::new("b");
+        let e = ObjectName::new("e");
+        let _ = c.write_full(&rep, &a, vec![7u8; 4096]).expect("write a");
+        let _ = c
+            .transact(
+                &rep,
+                &a,
+                vec![
+                    TxOp::SetXattr("refcount".into(), Bytes::copy_from_slice(b"3")),
+                    TxOp::SetOmap("backref".into(), Bytes::copy_from_slice(b"x")),
+                    TxOp::PunchHole {
+                        offset: 1024,
+                        len: 1024,
+                    },
+                ],
+            )
+            .expect("decorate a");
+        let _ = c.write_full(&ec, &e, vec![9u8; 8192]).expect("write e");
+
+        // Checkpoint captures everything so far; `b` lands in the log tail.
+        let cp = c.wal_checkpoint().expect("checkpoint");
+        assert_eq!(cp.objects, 2);
+        assert!(cp.last_seq >= 3);
+        let _ = c.write_full(&rep, &b, vec![5u8; 100]).expect("write b");
+        let _ = c
+            .transact(&rep, &a, vec![TxOp::Truncate(2048)])
+            .expect("truncate a");
+
+        // Fresh cluster, same shape and pool layout, same backend.
+        let mut c2 = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+        let rep2 = IoCtx::new(c2.create_pool(PoolConfig::replicated("rep", 2)));
+        let ec2 = IoCtx::new(c2.create_pool(PoolConfig::erasure("ec", 2, 1)));
+        assert_eq!(rep2.pool, rep.pool);
+        assert_eq!(ec2.pool, ec.pool);
+        c2.attach_wal(backend);
+        let rec = c2.wal_recover().expect("recover");
+        assert_eq!(rec.replay_errors, 0);
+        assert_eq!(rec.torn_tails_dropped, 0);
+        assert!(rec.checkpoint_records >= 2);
+        assert!(rec.log_records_replayed >= 2);
+
+        // Data, metadata, and hole structure all survive the round trip.
+        let ra = c2.read_full(&rep2, &a).expect("read a").value;
+        assert_eq!(ra.len(), 2048);
+        assert!(ra[..1024].iter().all(|&x| x == 7));
+        assert!(ra[1024..2048].iter().all(|&x| x == 0));
+        assert_eq!(
+            c2.get_xattr(&rep2, &a, "refcount").expect("xattr").value,
+            Some(Bytes::copy_from_slice(b"3"))
+        );
+        assert_eq!(
+            c2.read_full(&rep2, &b).expect("read b").value,
+            vec![5u8; 100]
+        );
+        assert_eq!(
+            c2.read_full(&ec2, &e).expect("read e").value,
+            vec![9u8; 8192]
+        );
+    }
+
+    #[test]
+    fn wal_torn_tail_dropped_on_recovery() {
+        let (c, backend, rep, _ec) = wal_cluster();
+        let a = ObjectName::new("a");
+        let b = ObjectName::new("b");
+        let _ = c.write_full(&rep, &a, vec![1u8; 64]).expect("write a");
+        // The next durable write tears mid-record: the append fails and so
+        // does the transaction.
+        backend.set_crash_plan(Some(crate::wal::CrashPlan {
+            after: backend.durable_writes(),
+            torn: true,
+        }));
+        let err = c.write_full(&rep, &b, vec![2u8; 64]).expect_err("crash");
+        assert!(matches!(err, StoreError::Wal { .. }));
+        assert!(backend.crashed());
+        backend.set_crash_plan(None);
+
+        let mut c2 = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+        let rep2 = IoCtx::new(c2.create_pool(PoolConfig::replicated("rep", 2)));
+        let _ec2 = IoCtx::new(c2.create_pool(PoolConfig::erasure("ec", 2, 1)));
+        c2.attach_wal(backend);
+        let rec = c2.wal_recover().expect("recover");
+        assert_eq!(rec.torn_tails_dropped, 1);
+        assert_eq!(rec.replay_errors, 0);
+        // Committed prefix only: `a` is back, `b` never happened.
+        assert_eq!(
+            c2.read_full(&rep2, &a).expect("read a").value,
+            vec![1u8; 64]
+        );
+        assert!(matches!(
+            c2.read_full(&rep2, &b),
+            Err(StoreError::NoSuchObject(..))
+        ));
     }
 }

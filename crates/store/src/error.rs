@@ -42,6 +42,12 @@ pub enum StoreError {
     },
     /// An erasure-coded object could not be read or rebuilt.
     Erasure(ErasureError),
+    /// The durability plane failed a write — for the in-memory backend
+    /// this is the simulated crash point — or found corrupt WAL state.
+    Wal {
+        /// Human-readable description of the failure.
+        detail: String,
+    },
     /// A replica or shard was missing or inconsistent during read/scrub.
     Inconsistent {
         /// Pool of the damaged object.
@@ -74,6 +80,7 @@ impl fmt::Display for StoreError {
                 write!(f, "object would grow to {requested} bytes (cap {cap})")
             }
             StoreError::Erasure(e) => write!(f, "erasure coding: {e}"),
+            StoreError::Wal { detail } => write!(f, "wal: {detail}"),
             StoreError::Inconsistent { pool, name, detail } => {
                 write!(f, "inconsistent object {pool}/{name}: {detail}")
             }

@@ -31,13 +31,20 @@ mod osd;
 mod perf;
 mod pool;
 mod recovery;
+mod wal;
 
-pub use cluster::{Cluster, ClusterBuilder, IoCtx, Timed, TxOp};
+pub use cluster::{
+    Cluster, ClusterBuilder, IoCtx, Timed, TxOp, WalCheckpointReport, WalRecoveryReport,
+};
 pub use error::StoreError;
 pub use object::{ObjectName, Payload, RangeSet, StoredObject, PER_OBJECT_OVERHEAD};
 pub use osd::{Osd, OsdStats};
 pub use perf::{ClientId, PerfConfig, PerfTopology};
 pub use pool::{PoolConfig, PoolUsage, Redundancy};
 pub use recovery::RecoveryReport;
+pub use wal::{
+    crc32, decode_records, CrashPlan, MemWalBackend, WalBackend, WalManifest, WalRecord,
+    WAL_MANIFEST_MAGIC, WAL_MANIFEST_VERSION, WAL_RECORD_VERSION,
+};
 
 pub use dedup_obs::Registry;

@@ -43,6 +43,18 @@ pub(crate) struct ClusterMetrics {
     /// Payload bytes moved by refcount bump where the pre-zero-copy
     /// design memcpy'd (shared `engine.bytes_shared` instrument).
     pub bytes_shared: Counter,
+    /// WAL records appended (one per committed transaction).
+    pub wal_appends: Counter,
+    /// Framed bytes appended to the per-OSD logs.
+    pub wal_append_bytes: Counter,
+    /// Checkpoints completed (segments + MANIFEST + log truncation).
+    pub wal_checkpoints: Counter,
+    /// Records replayed from checkpoint segments and log tails.
+    pub wal_records_replayed: Counter,
+    /// Torn log tails dropped by CRC during recovery.
+    pub wal_torn_dropped: Counter,
+    /// Wall-clock nanoseconds of WAL recovery passes.
+    pub wal_recovery_wall_ns: Histogram,
 }
 
 impl ClusterMetrics {
@@ -62,6 +74,12 @@ impl ClusterMetrics {
             scrub_findings: registry.counter("cluster.scrub.findings"),
             bytes_copied: registry.counter("engine.bytes_copied"),
             bytes_shared: registry.counter("engine.bytes_shared"),
+            wal_appends: registry.counter("wal.appends"),
+            wal_append_bytes: registry.counter("wal.append_bytes"),
+            wal_checkpoints: registry.counter("wal.checkpoints"),
+            wal_records_replayed: registry.counter("wal.records_replayed"),
+            wal_torn_dropped: registry.counter("wal.torn_records_dropped"),
+            wal_recovery_wall_ns: registry.histogram("wal.recovery_wall_ns"),
             registry,
         }
     }
