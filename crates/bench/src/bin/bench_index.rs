@@ -1,0 +1,268 @@
+//! Chunk-index microbenchmark: lookup latency and resident memory, flat
+//! vs memory-bounded tiered, loaded to 10x the hot tier's capacity.
+//!
+//! The flat index holds every candidate in one unbounded hash map; the
+//! tiered index keeps a small HitSet-driven hot map over cold sorted
+//! runs with fence pointers. This benchmark loads both with the same
+//! `total = 10 x hot_capacity` candidate population, then measures:
+//!
+//! * **cold-path** probe latency (signatures outside the hot tier —
+//!   fence-guided binary search through the packed runs),
+//! * **hot-path** probe latency (signatures promoted by repeated access
+//!   — one hash-map hit), and
+//! * **resident memory** of both indexes.
+//!
+//! It fails loudly if the tiered index exceeds its own declared
+//! [`TieredIndex::memory_bound`], if it is not smaller than the flat
+//! index at this population, or if the hot-path probe regresses to more
+//! than 2x the flat probe (plus a small absolute allowance for timer
+//! noise) — the regressions this binary exists to catch.
+//!
+//! Results land in `BENCH_index.json` (override with `--out PATH` or
+//! `$DEDUP_BENCH_OUT`). `--smoke` shrinks the population for CI.
+
+use std::time::Instant;
+
+use dedup_core::{
+    BloomConfig, ChunkIndex, FlatChunkIndex, HitSetConfig, TieredIndex, TieredIndexConfig,
+};
+use dedup_fingerprint::{ChunkSig, Fingerprint};
+use dedup_sim::SimTime;
+
+struct Shape {
+    hot_capacity: usize,
+    total: usize,
+}
+
+impl Shape {
+    /// Default hot tier (4096 candidates) loaded 10x over.
+    fn full() -> Self {
+        Shape {
+            hot_capacity: 4096,
+            total: 40_960,
+        }
+    }
+
+    /// 512-candidate hot tier, still 10x over.
+    fn smoke() -> Self {
+        Shape {
+            hot_capacity: 512,
+            total: 5_120,
+        }
+    }
+}
+
+fn sig(n: usize) -> ChunkSig {
+    ChunkSig::of(&(n as u64).to_le_bytes())
+}
+
+fn fp(n: usize) -> Fingerprint {
+    Fingerprint::of(&(n as u64).to_le_bytes())
+}
+
+/// Per-probe wall latencies in nanoseconds, sorted.
+struct Latencies(Vec<u64>);
+
+impl Latencies {
+    fn measure(
+        index: &dyn ChunkIndex,
+        sigs: impl Iterator<Item = usize>,
+        now: SimTime,
+    ) -> Latencies {
+        let mut ns: Vec<u64> = sigs
+            .map(|n| {
+                let s = sig(n);
+                let start = Instant::now();
+                let cands = index.candidates(&s, now);
+                let elapsed = start.elapsed().as_nanos() as u64;
+                assert_eq!(cands.len(), 1, "candidate lost for sig {n}");
+                elapsed
+            })
+            .collect();
+        ns.sort_unstable();
+        Latencies(ns)
+    }
+
+    fn p(&self, q: f64) -> u64 {
+        let i = ((self.0.len() - 1) as f64 * q).round() as usize;
+        self.0[i]
+    }
+
+    fn mean(&self) -> f64 {
+        self.0.iter().sum::<u64>() as f64 / self.0.len().max(1) as f64
+    }
+
+    fn json(&self, label: &str) -> String {
+        format!(
+            "{{\"path\": \"{label}\", \"probes\": {}, \"mean_ns\": {:.0}, \
+             \"p50_ns\": {}, \"p99_ns\": {}}}",
+            self.0.len(),
+            self.mean(),
+            self.p(0.5),
+            self.p(0.99)
+        )
+    }
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument: {other} (expected --smoke | --out PATH)"),
+        }
+    }
+    let out = out
+        .or_else(|| std::env::var("DEDUP_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_index.json".to_string());
+    let shape = if smoke { Shape::smoke() } else { Shape::full() };
+
+    let bloom = BloomConfig {
+        bits: (shape.total * 16).next_power_of_two(),
+        probes: 4,
+    };
+    let tiered_config = TieredIndexConfig {
+        hot_capacity: shape.hot_capacity,
+        heat: HitSetConfig {
+            interval_secs: 1,
+            intervals: 8,
+            hit_count: 2,
+            bloom_bits: 1 << 14,
+        },
+        ..TieredIndexConfig::default()
+    };
+    let flat = FlatChunkIndex::new(bloom);
+    let tiered = TieredIndex::new(bloom, tiered_config);
+
+    println!("# bench_index");
+    println!();
+    println!(
+        "{} candidates over a {}-entry hot tier (10x over capacity)",
+        shape.total, shape.hot_capacity
+    );
+
+    let load_start = Instant::now();
+    for n in 0..shape.total {
+        flat.note_stored(fp(n), Some(sig(n)));
+        tiered.note_stored(fp(n), Some(sig(n)));
+    }
+    let load_secs = load_start.elapsed().as_secs_f64();
+
+    // Cold path: probe the oldest (long-demoted) half of the population,
+    // each signature once, at scattered times so nothing heats up.
+    let cold_range = 0..shape.total / 2;
+    let flat_cold = Latencies::measure(&flat, cold_range.clone(), SimTime::from_secs(10));
+    let tiered_cold = Latencies::measure(&tiered, cold_range, SimTime::from_secs(10));
+
+    // Hot path: promote a quarter of the hot capacity by probing it in
+    // two distinct HitSet intervals, then measure steady-state hits.
+    let hot_set: Vec<usize> = (0..shape.hot_capacity / 4).collect();
+    for warm_second in [100, 101] {
+        for &n in &hot_set {
+            let _ = tiered.candidates(&sig(n), SimTime::from_secs(warm_second));
+            let _ = flat.candidates(&sig(n), SimTime::from_secs(warm_second));
+        }
+    }
+    let rounds = if smoke { 8 } else { 16 };
+    let probes = (0..rounds).flat_map(|_| hot_set.iter().copied());
+    let tiered_hot = Latencies::measure(&tiered, probes.clone(), SimTime::from_secs(102));
+    let flat_hot = Latencies::measure(&flat, probes, SimTime::from_secs(102));
+
+    let stats = tiered.stats();
+    assert!(
+        stats.promotions as usize >= hot_set.len(),
+        "warm-up did not promote the hot set: {stats:?}"
+    );
+
+    // Memory: the tiered index must honour its declared bound and beat
+    // the flat index at this population.
+    let bound = tiered.memory_bound(shape.total as u64);
+    let flat_resident = flat.resident_bytes();
+    let tiered_resident = tiered.resident_bytes();
+
+    println!();
+    println!("| index | path | mean | p50 | p99 |");
+    println!("|---|---|---|---|---|");
+    for (index, path, l) in [
+        ("flat", "cold", &flat_cold),
+        ("tiered", "cold", &tiered_cold),
+        ("flat", "hot", &flat_hot),
+        ("tiered", "hot", &tiered_hot),
+    ] {
+        println!(
+            "| {index} | {path} | {:.0} ns | {} ns | {} ns |",
+            l.mean(),
+            l.p(0.5),
+            l.p(0.99)
+        );
+    }
+    println!();
+    println!(
+        "resident: flat {} KiB, tiered {} KiB (bound {} KiB); \
+         hot {} / cold {} candidates, {} runs, {} promotions, {} demotions",
+        flat_resident / 1024,
+        tiered_resident / 1024,
+        bound / 1024,
+        stats.hot_candidates,
+        stats.cold_records,
+        stats.cold_runs,
+        stats.promotions,
+        stats.demotions
+    );
+    println!("load: {} candidates in {load_secs:.3} s", shape.total);
+
+    let json = format!(
+        "{{\n  \"bench\": \"index\",\n  \"smoke\": {smoke},\n  \
+         \"hot_capacity\": {},\n  \"total_candidates\": {},\n  \
+         \"load_secs\": {load_secs:.6},\n  \"paths\": [\n    {},\n    {},\n    {},\n    {}\n  ],\n  \
+         \"flat_resident_bytes\": {flat_resident},\n  \
+         \"tiered_resident_bytes\": {tiered_resident},\n  \
+         \"tiered_memory_bound_bytes\": {bound},\n  \
+         \"hot_candidates\": {},\n  \"cold_records\": {},\n  \
+         \"cold_runs\": {},\n  \"promotions\": {},\n  \"demotions\": {}\n}}\n",
+        shape.hot_capacity,
+        shape.total,
+        flat_cold.json("flat-cold"),
+        tiered_cold.json("tiered-cold"),
+        flat_hot.json("flat-hot"),
+        tiered_hot.json("tiered-hot"),
+        stats.hot_candidates,
+        stats.cold_records,
+        stats.cold_runs,
+        stats.promotions,
+        stats.demotions
+    );
+    std::fs::write(&out, json).expect("write bench output");
+    println!("\nresults -> {out}");
+
+    // ---- regression gates ----
+    assert!(
+        tiered_resident <= bound,
+        "tiered index over its memory bound: {tiered_resident} > {bound}"
+    );
+    assert!(
+        tiered_resident < flat_resident,
+        "tiered index not smaller than flat at 10x capacity: \
+         {tiered_resident} vs {flat_resident}"
+    );
+    assert!(
+        stats.hot_candidates as usize <= shape.hot_capacity,
+        "hot tier over capacity: {} > {}",
+        stats.hot_candidates,
+        shape.hot_capacity
+    );
+    // Hot-path latency gate: mean within 2x of flat, with a small
+    // absolute allowance so timer noise on sub-100ns probes can't flake.
+    let limit = flat_hot.mean() * 2.0 + 150.0;
+    assert!(
+        tiered_hot.mean() <= limit,
+        "tiered hot-path probe regressed: {:.0} ns vs flat {:.0} ns (limit {:.0} ns)",
+        tiered_hot.mean(),
+        flat_hot.mean(),
+        limit
+    );
+    println!("gates: memory bound, flat comparison, hot-path latency all OK");
+}

@@ -282,3 +282,171 @@ pub mod cache_policy {
         sidecar.write();
     }
 }
+
+/// Tiered fingerprint pipeline: full-fingerprint work avoided on a
+/// low-dedup FIO-style workload, at an identical dedup outcome.
+pub mod tiered_fp {
+    use super::*;
+    use crate::drivers::run_closed_loop_with_background;
+    use dedup_core::TieredIndexConfig;
+
+    const CHUNK: u32 = 32 * 1024;
+    const BLOCK: u64 = 8 * 1024;
+    const STREAMS: usize = 16;
+    const OBJECTS: usize = 32;
+    const OBJECT_SIZE: u64 = 1 << 20;
+
+    /// Deterministic block content: ~1 op in 8 repeats a block from a
+    /// small pool (the dedupable minority), the rest are unique — the
+    /// low-dedup regime where full fingerprinting is almost pure waste.
+    fn block_content(i: u64) -> Vec<u8> {
+        let seed = if i % 8 == 7 { i / 8 % 16 } else { 1_000 + i };
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15) | 1;
+        (0..BLOCK as usize)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 33) as u8
+            })
+            .collect()
+    }
+
+    struct Outcome {
+        full_calls: u64,
+        sig_calls: u64,
+        skipped_unique: u64,
+        upgrades: u64,
+        weak_stored: u64,
+        chunk_bytes: u64,
+        logical_bytes: u64,
+        chunk_objects: u64,
+        actual_ratio: f64,
+    }
+
+    fn drive(
+        label: &'static str,
+        config: DedupConfig,
+        ops: u64,
+        sidecar: &mut report::MetricsSidecar,
+    ) -> Outcome {
+        let mut sys = DedupSystem::new(label, config).background(BackgroundMode::Unthrottled);
+        let stats = run_closed_loop_with_background(&mut sys, STREAMS, ops, 99, true, |i, rng| {
+            let (object, offset) =
+                random_block(rng, OBJECTS, OBJECT_SIZE, BLOCK, |o| format!("fio-{o}"));
+            OpSpec {
+                object,
+                offset,
+                data: Some(block_content(i)),
+                len: BLOCK,
+                client: ClientId((i % 3) as u32),
+                class: 0,
+            }
+        });
+        let end = stats.elapsed + dedup_sim::SimDuration::from_secs(3_600);
+        let _ = sys.store_mut().flush_all(end).expect("final flush");
+        sidecar.capture(label, &sys, end);
+        let r = sys.store().registry().clone();
+        let c = |name: &str| r.counter(name).get();
+        let space = sys.store().space_report().expect("space report");
+        Outcome {
+            full_calls: c("engine.fp.full_calls"),
+            sig_calls: c("engine.fp.sig_calls"),
+            skipped_unique: c("engine.fp.skipped_unique"),
+            upgrades: c("engine.fp.upgrades"),
+            weak_stored: c("engine.fp.weak_chunks_stored"),
+            chunk_bytes: space.chunk_bytes,
+            logical_bytes: space.logical_bytes,
+            chunk_objects: space.chunk_objects,
+            actual_ratio: space.actual_ratio_percent(),
+        }
+    }
+
+    /// Runs the ablation; `smoke` shrinks the op count for CI.
+    pub fn run(smoke: bool) {
+        report::header(
+            "Ablation: tiered fingerprints",
+            "Full-fingerprint calls avoided by the signature screen (low-dedup FIO)",
+            "8 KiB random writes over a 32 MiB set, ~1 in 8 blocks duplicated. \
+             The tiered pipeline screens every flushed chunk with a 48-byte \
+             sampled signature and pays the full fingerprint only on candidate \
+             collisions; the flat engine hashes every chunk.",
+        );
+        let ops = if smoke { 600 } else { 6_000 };
+        let mut sidecar = report::MetricsSidecar::new("ablation-tiered-fp");
+        let flat = drive(
+            "flat",
+            DedupConfig::with_chunk_size(CHUNK),
+            ops,
+            &mut sidecar,
+        );
+        let tiered = drive(
+            "tiered",
+            DedupConfig::with_chunk_size(CHUNK)
+                .tiered_fingerprint()
+                .tiered_index(TieredIndexConfig::default()),
+            ops,
+            &mut sidecar,
+        );
+
+        let reduction = 100.0 * (1.0 - tiered.full_calls as f64 / flat.full_calls.max(1) as f64);
+        report::print_table(
+            &[
+                "engine",
+                "full fp calls",
+                "sig calls",
+                "skipped (proven unique)",
+                "upgrades",
+                "weak chunks",
+                "dedup ratio",
+            ],
+            &[
+                vec![
+                    "flat".into(),
+                    flat.full_calls.to_string(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    "-".into(),
+                    report::pct(flat.actual_ratio),
+                ],
+                vec![
+                    "tiered".into(),
+                    tiered.full_calls.to_string(),
+                    tiered.sig_calls.to_string(),
+                    tiered.skipped_unique.to_string(),
+                    tiered.upgrades.to_string(),
+                    tiered.weak_stored.to_string(),
+                    report::pct(tiered.actual_ratio),
+                ],
+            ],
+        );
+        println!(
+            "\nfull-fingerprint reduction: {reduction:.1}% \
+             ({} -> {} calls)\n",
+            flat.full_calls, tiered.full_calls
+        );
+
+        // The optimisation must be invisible in what is stored.
+        assert_eq!(
+            flat.logical_bytes, tiered.logical_bytes,
+            "logical bytes diverged"
+        );
+        assert_eq!(
+            flat.chunk_bytes, tiered.chunk_bytes,
+            "unique chunk bytes diverged: dedup outcome changed"
+        );
+        assert_eq!(
+            flat.chunk_objects, tiered.chunk_objects,
+            "chunk object count diverged"
+        );
+        assert!(
+            tiered.full_calls < flat.full_calls,
+            "tiered pipeline did not reduce full-fingerprint calls \
+             ({} vs {})",
+            tiered.full_calls,
+            flat.full_calls
+        );
+        sidecar.write();
+    }
+}

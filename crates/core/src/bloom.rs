@@ -14,13 +14,41 @@
 //!
 //! The bit array is a plain `AtomicU64` word vector touched with relaxed
 //! loads/stores: foreground shards and background flushes query it
-//! concurrently without any lock. The four probe positions come straight
-//! from the fingerprint's four 64-bit lanes — the fingerprint is already a
-//! uniform hash, so no rehashing is needed.
+//! concurrently without any lock. The first four probe positions come
+//! straight from the fingerprint's four 64-bit lanes — the fingerprint is
+//! already a uniform hash, so no rehashing is needed; probes beyond four
+//! remix the lanes. Sizing is configurable via [`BloomConfig`]
+//! ([`crate::DedupConfig::bloom`]); the filter also counts its set bits so
+//! the engine can export a fill-ratio gauge and warn before the
+//! false-positive rate silently blows up.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use dedup_fingerprint::Fingerprint;
+use serde::{Deserialize, Serialize};
+
+/// Bloom filter sizing: bit count and probes per key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BloomConfig {
+    /// Bits in the filter (rounded up to a power of two, minimum 64).
+    pub bits: usize,
+    /// Probe positions per key (clamped to 1..=16). The default of 4 uses
+    /// the fingerprint lanes directly and reproduces the historical
+    /// hard-coded filter bit-for-bit.
+    pub probes: usize,
+}
+
+impl Default for BloomConfig {
+    /// The historical sizing: 2^21 bits (256 KiB) keeps the
+    /// false-positive rate under ~1% up to roughly 250k distinct chunks
+    /// at 4 probes.
+    fn default() -> Self {
+        BloomConfig {
+            bits: 1 << 21,
+            probes: 4,
+        }
+    }
+}
 
 /// Lock-free Bloom filter keyed by [`Fingerprint`] lanes.
 #[derive(Debug)]
@@ -28,47 +56,102 @@ pub struct BloomFilter {
     words: Vec<AtomicU64>,
     /// Bit-index mask; the bit count is a power of two.
     mask: u64,
+    probes: usize,
+    /// Bits currently set, maintained from `fetch_or` results; drives the
+    /// fill-ratio gauge.
+    set_bits: AtomicU64,
 }
 
 impl BloomFilter {
-    /// Creates a filter with at least `bits` bits (rounded up to a power
-    /// of two, minimum 64).
-    pub fn with_bits(bits: usize) -> Self {
-        let bits = bits.next_power_of_two().max(64);
+    /// Creates a filter sized by `config`.
+    pub fn with_config(config: BloomConfig) -> Self {
+        let bits = config.bits.next_power_of_two().max(64);
         BloomFilter {
             words: (0..bits / 64).map(|_| AtomicU64::new(0)).collect(),
             mask: bits as u64 - 1,
+            probes: config.probes.clamp(1, 16),
+            set_bits: AtomicU64::new(0),
         }
     }
 
-    /// The default sizing: 2^21 bits (256 KiB) keeps the false-positive
-    /// rate under ~1% up to roughly 250k distinct chunks at 4 probes.
+    /// Creates a filter with at least `bits` bits (rounded up to a power
+    /// of two, minimum 64) at the default 4 probes.
+    pub fn with_bits(bits: usize) -> Self {
+        Self::with_config(BloomConfig {
+            bits,
+            ..BloomConfig::default()
+        })
+    }
+
+    /// The default sizing ([`BloomConfig::default`]).
     pub fn for_chunk_pool() -> Self {
-        Self::with_bits(1 << 21)
+        Self::with_config(BloomConfig::default())
     }
 
-    fn positions(&self, fp: &Fingerprint) -> [(usize, u64); 4] {
-        let mut out = [(0usize, 0u64); 4];
-        for (slot, lane) in out.iter_mut().zip(fp.0) {
-            let bit = lane & self.mask;
-            *slot = ((bit / 64) as usize, 1u64 << (bit % 64));
-        }
-        out
+    /// Probe `i`'s bit index. The first four probes are the raw
+    /// fingerprint lanes masked — exactly the historical positions —
+    /// and further probes remix a lane with the probe number so extra
+    /// probes stay pairwise independent.
+    fn bit_index(&self, fp: &Fingerprint, i: usize) -> u64 {
+        let lane = fp.0[i & 3];
+        let h = if i < 4 {
+            lane
+        } else {
+            lane.wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .rotate_left(i as u32 * 13 + 7)
+                ^ (i as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+        };
+        h & self.mask
     }
 
     /// Marks `fp` as present.
     pub fn insert(&self, fp: &Fingerprint) {
-        for (word, bit) in self.positions(fp) {
-            self.words[word].fetch_or(bit, Ordering::Relaxed);
+        let mut newly_set = 0u64;
+        for i in 0..self.probes {
+            let bit = self.bit_index(fp, i);
+            let (word, mask) = ((bit / 64) as usize, 1u64 << (bit % 64));
+            let prev = self.words[word].fetch_or(mask, Ordering::Relaxed);
+            if prev & mask == 0 {
+                newly_set += 1;
+            }
+        }
+        if newly_set > 0 {
+            self.set_bits.fetch_add(newly_set, Ordering::Relaxed);
         }
     }
 
     /// `false` means `fp` was definitely never inserted; `true` means it
     /// may have been.
     pub fn may_contain(&self, fp: &Fingerprint) -> bool {
-        self.positions(fp)
-            .iter()
-            .all(|&(word, bit)| self.words[word].load(Ordering::Relaxed) & bit != 0)
+        (0..self.probes).all(|i| {
+            let bit = self.bit_index(fp, i);
+            self.words[bit as usize / 64].load(Ordering::Relaxed) & (1u64 << (bit % 64)) != 0
+        })
+    }
+
+    /// Resets the filter to empty.
+    pub fn clear(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Relaxed);
+        }
+        self.set_bits.store(0, Ordering::Relaxed);
+    }
+
+    /// Total bits in the filter.
+    pub fn bits(&self) -> u64 {
+        self.mask + 1
+    }
+
+    /// Fraction of bits set, in `[0, 1]`. Past ~0.5 the false-positive
+    /// rate climbs steeply (≈ `fill^probes`), which is why the engine
+    /// exports this as a gauge and warns on crossing one half.
+    pub fn fill_ratio(&self) -> f64 {
+        self.set_bits.load(Ordering::Relaxed) as f64 / self.bits() as f64
+    }
+
+    /// Resident memory of the bit array in bytes.
+    pub fn resident_bytes(&self) -> u64 {
+        self.words.len() as u64 * 8
     }
 }
 
@@ -100,6 +183,22 @@ mod tests {
     }
 
     #[test]
+    fn no_false_negatives_at_any_probe_count() {
+        for probes in [1, 2, 4, 7, 16] {
+            let f = BloomFilter::with_config(BloomConfig {
+                bits: 1 << 14,
+                probes,
+            });
+            for s in 0..400 {
+                f.insert(&fp(s));
+            }
+            for s in 0..400 {
+                assert!(f.may_contain(&fp(s)), "false negative at {probes} probes");
+            }
+        }
+    }
+
+    #[test]
     fn false_positive_rate_is_low_at_design_load() {
         let f = BloomFilter::with_bits(1 << 16);
         // ~6.5k entries in 64k bits ≈ 10 bits/entry → well under 2% FPR.
@@ -113,9 +212,58 @@ mod tests {
     }
 
     #[test]
+    fn more_probes_cut_false_positives_at_equal_load() {
+        let fpr = |probes: usize| {
+            let f = BloomFilter::with_config(BloomConfig {
+                bits: 1 << 14,
+                probes,
+            });
+            for s in 0..1_500 {
+                f.insert(&fp(s));
+            }
+            (100_000..120_000)
+                .filter(|&s| f.may_contain(&fp(s)))
+                .count()
+        };
+        assert!(fpr(8) < fpr(1), "8 probes should beat 1 at this load");
+    }
+
+    #[test]
     fn rounds_bit_count_up_to_power_of_two() {
         let f = BloomFilter::with_bits(100);
         assert_eq!(f.words.len(), 2); // 128 bits
         assert_eq!(f.mask, 127);
+    }
+
+    #[test]
+    fn fill_ratio_tracks_set_bits_and_clear_resets() {
+        let f = BloomFilter::with_config(BloomConfig {
+            bits: 256,
+            probes: 4,
+        });
+        assert_eq!(f.fill_ratio(), 0.0);
+        f.insert(&fp(1));
+        let r1 = f.fill_ratio();
+        assert!(r1 > 0.0 && r1 <= 4.0 / 256.0);
+        // Re-inserting the same key sets nothing new.
+        f.insert(&fp(1));
+        assert_eq!(f.fill_ratio(), r1);
+        for s in 0..200 {
+            f.insert(&fp(s));
+        }
+        assert!(f.fill_ratio() > 0.5, "small filter should saturate");
+        f.clear();
+        assert_eq!(f.fill_ratio(), 0.0);
+        assert!(!f.may_contain(&fp(1)));
+    }
+
+    #[test]
+    fn default_config_matches_historical_sizing() {
+        let c = BloomConfig::default();
+        assert_eq!(c.bits, 1 << 21);
+        assert_eq!(c.probes, 4);
+        let f = BloomFilter::for_chunk_pool();
+        assert_eq!(f.bits(), 1 << 21);
+        assert_eq!(f.resident_bytes(), 256 * 1024);
     }
 }

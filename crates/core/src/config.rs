@@ -3,6 +3,8 @@
 use dedup_fingerprint::FingerprintCostModel;
 use serde::{Deserialize, Serialize};
 
+use crate::bloom::BloomConfig;
+
 /// When deduplication work happens relative to the foreground write.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum DedupMode {
@@ -87,6 +89,51 @@ impl Default for HitSetConfig {
     }
 }
 
+/// Sizing of the memory-bounded tiered chunk index
+/// ([`crate::TieredIndex`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TieredIndexConfig {
+    /// Maximum candidate entries resident in the hot in-memory tier;
+    /// overflow is demoted into cold sorted runs.
+    pub hot_capacity: usize,
+    /// Cold sorted runs tolerated before a merge compaction.
+    pub max_runs: usize,
+    /// Records per fence block in a cold run (one fence pointer every
+    /// this many records).
+    pub fence_every: usize,
+    /// Hotness signal driving cold→hot promotion: a signature probed
+    /// `hit_count` times within the retained window is promoted.
+    pub heat: HitSetConfig,
+}
+
+impl Default for TieredIndexConfig {
+    fn default() -> Self {
+        TieredIndexConfig {
+            hot_capacity: 4096,
+            max_runs: 4,
+            fence_every: 64,
+            heat: HitSetConfig {
+                interval_secs: 1,
+                intervals: 8,
+                hit_count: 2,
+                bloom_bits: 1 << 14,
+            },
+        }
+    }
+}
+
+/// Which [`crate::ChunkIndex`] implementation the engine builds.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub enum ChunkIndexKind {
+    /// The historical flat in-memory state: Bloom gate plus an unbounded
+    /// candidate map. Default; byte-identical figures.
+    #[default]
+    Flat,
+    /// Memory-bounded hot/cold tiers: a small hot map driven by the
+    /// HitSet hotness signal over a cold tier of compact sorted runs.
+    Tiered(TieredIndexConfig),
+}
+
 /// Full configuration of the deduplication layer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct DedupConfig {
@@ -124,6 +171,21 @@ pub struct DedupConfig {
     /// wall-clock concurrency knob — virtual-time results are identical
     /// at any setting.
     pub foreground_shards: usize,
+    /// Sizing of the chunk-pool negative-lookup Bloom filter. The default
+    /// reproduces the historical hard-coded 2^21 bits / 4 probes
+    /// bit-for-bit.
+    pub bloom: BloomConfig,
+    /// Enables the tiered fingerprint pipeline in the flush stage: dirty
+    /// chunks are first screened by a cheap [`dedup_fingerprint::ChunkSig`]
+    /// (length class + sparse-sample hash) against the chunk index's
+    /// candidate sets, and only signature collisions pay a full
+    /// fingerprint — unique chunks are stored under minted weak names
+    /// without ever being fully hashed. Off by default; the default path
+    /// is byte-identical to the classic engine.
+    pub tiered_fingerprint: bool,
+    /// Chunk index implementation (flat default, or memory-bounded
+    /// hot/cold tiers).
+    pub chunk_index: ChunkIndexKind,
 }
 
 impl Default for DedupConfig {
@@ -139,6 +201,9 @@ impl Default for DedupConfig {
             flush_parallelism: 0,
             flush_batch_size: 1,
             foreground_shards: 16,
+            bloom: BloomConfig::default(),
+            tiered_fingerprint: false,
+            chunk_index: ChunkIndexKind::Flat,
         }
     }
 }
@@ -210,6 +275,32 @@ impl DedupConfig {
         self.foreground_shards = shards;
         self
     }
+
+    /// Overrides the Bloom filter sizing (bits are rounded up to a power
+    /// of two, probes clamped to 1..=16 at construction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits` or `probes` is zero.
+    pub fn bloom(mut self, bits: usize, probes: usize) -> Self {
+        assert!(bits > 0, "bloom bit count must be positive");
+        assert!(probes > 0, "bloom probe count must be positive");
+        self.bloom = BloomConfig { bits, probes };
+        self
+    }
+
+    /// Enables the tiered fingerprint pipeline (cheap signature screening
+    /// before full fingerprints in the flush stage).
+    pub fn tiered_fingerprint(mut self) -> Self {
+        self.tiered_fingerprint = true;
+        self
+    }
+
+    /// Switches the chunk index to the memory-bounded hot/cold tiers.
+    pub fn tiered_index(mut self, index: TieredIndexConfig) -> Self {
+        self.chunk_index = ChunkIndexKind::Tiered(index);
+        self
+    }
 }
 
 #[cfg(test)]
@@ -226,6 +317,33 @@ mod tests {
         assert_eq!(c.flush_parallelism, 0, "0 = auto (available cores)");
         assert_eq!(c.flush_batch_size, 1, "classic one-object ticks");
         assert_eq!(c.foreground_shards, 16, "default namespace striping");
+        assert_eq!(c.bloom, BloomConfig::default(), "historical bloom sizing");
+        assert!(!c.tiered_fingerprint, "tiered pipeline is opt-in");
+        assert_eq!(c.chunk_index, ChunkIndexKind::Flat, "flat index default");
+    }
+
+    #[test]
+    fn tiered_builders_compose() {
+        let c = DedupConfig::default()
+            .bloom(1 << 16, 6)
+            .tiered_fingerprint()
+            .tiered_index(TieredIndexConfig {
+                hot_capacity: 128,
+                ..TieredIndexConfig::default()
+            });
+        assert_eq!(c.bloom.bits, 1 << 16);
+        assert_eq!(c.bloom.probes, 6);
+        assert!(c.tiered_fingerprint);
+        match c.chunk_index {
+            ChunkIndexKind::Tiered(t) => assert_eq!(t.hot_capacity, 128),
+            ChunkIndexKind::Flat => panic!("expected tiered index"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "bloom probe count must be positive")]
+    fn zero_bloom_probes_rejected() {
+        let _ = DedupConfig::default().bloom(1 << 16, 0);
     }
 
     #[test]

@@ -7,12 +7,12 @@
 //! object omap/xattr), *post-processing* with watermark rate control, and a
 //! hotness-aware cache manager.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::time::Instant;
 
 use bytes::Bytes;
 use dedup_chunk::FixedChunker;
-use dedup_fingerprint::Fingerprint;
+use dedup_fingerprint::{ChunkSig, Fingerprint, SIG_SAMPLE_BYTES};
 use dedup_obs::{Registry, Tracer};
 use dedup_placement::PoolId;
 use dedup_sim::{CostExpr, SimDuration, SimTime};
@@ -21,11 +21,11 @@ use dedup_store::{
 };
 use parking_lot::{Mutex, MutexGuard};
 
-use crate::bloom::BloomFilter;
 use crate::chunkmap::ChunkMapEntry;
 use crate::config::{CachePolicy, DedupConfig, DedupMode};
 use crate::error::DedupError;
 use crate::hitset::HitSet;
+use crate::index::{build_index, ChunkIndex};
 use crate::metrics::EngineMetrics;
 use crate::pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
 use crate::queue::DirtyQueue;
@@ -197,10 +197,18 @@ pub struct DedupStore {
     stats: AtomicEngineStats,
     metrics: EngineMetrics,
     tracer: Option<Tracer>,
-    /// Negative-lookup fast path for chunk-pool existence probes. Every
-    /// chunk creation goes through [`DedupStore::store_chunk`], which
-    /// inserts here first, so a definite "absent" answer is always safe.
-    bloom: BloomFilter,
+    /// The chunk index: Bloom-gated negative lookups plus (in tiered
+    /// mode) the signature → candidate map behind the tiered fingerprint
+    /// pipeline. Every chunk creation goes through
+    /// [`DedupStore::store_chunk`], which registers here before the chunk
+    /// becomes visible, so a definite "absent" answer is always safe.
+    index: Box<dyn ChunkIndex>,
+    /// Monotonic sequence for minted weak chunk names; resumed past the
+    /// highest surviving sequence at recovery so names are never reused.
+    weak_seq: AtomicU64,
+    /// Latched when the Bloom overfill warning has fired (reset by an
+    /// index rebuild).
+    bloom_warned: AtomicBool,
 }
 
 impl DedupStore {
@@ -223,6 +231,7 @@ impl DedupStore {
         cluster.attach_registry(registry.clone());
         let shard_count = config.foreground_shards.max(1);
         let metrics = EngineMetrics::new(registry, SimDuration::from_secs(1), shard_count);
+        let index = build_index(config.bloom, &config.chunk_index);
         DedupStore {
             cluster,
             metadata_pool,
@@ -237,7 +246,9 @@ impl DedupStore {
             stats: AtomicEngineStats::default(),
             metrics,
             tracer: None,
-            bloom: BloomFilter::for_chunk_pool(),
+            index,
+            weak_seq: AtomicU64::new(0),
+            bloom_warned: AtomicBool::new(false),
         }
     }
 
@@ -580,7 +591,7 @@ impl DedupStore {
                     }
                 }
             }
-            let t = self.store_chunk(client, fp, content.into(), name, c_off)?;
+            let t = self.store_chunk(client, fp, content.into(), name, c_off, None)?;
             costs.push(t.cost);
 
             let entry = ChunkMapEntry {
@@ -1061,6 +1072,7 @@ impl DedupStore {
         content: Bytes,
         referrer: &ObjectName,
         ref_offset: u64,
+        sig: Option<ChunkSig>,
     ) -> Result<Timed<ChunkStoreOutcome>, DedupError> {
         // The refcount update is a read-modify-write spanning three cluster
         // calls; the stripe lock keeps two referrers of the same chunk from
@@ -1074,7 +1086,7 @@ impl DedupStore {
         // such object". The Bloom filter answers that definitively from
         // memory. Cost-neutral: the create branch below never charged the
         // lookup's cost anyway.
-        let existing_count = if !self.bloom.may_contain(&fp) {
+        let existing_count = if !self.index.may_contain(&fp) {
             self.metrics.bloom_hits.inc();
             None
         } else {
@@ -1124,9 +1136,17 @@ impl DedupStore {
                 ))
             }
             None => {
-                // Insert before the chunk becomes visible so the filter
-                // never yields a false negative for a stored chunk.
-                self.bloom.insert(&fp);
+                // Register before the chunk becomes visible so the Bloom
+                // side never yields a false negative for a stored chunk,
+                // and — in tiered mode — so every stored chunk's signature
+                // is indexed before any probe could miss it (a signature
+                // miss must prove global uniqueness).
+                let sig = match sig {
+                    Some(s) => Some(s),
+                    None if self.config.tiered_fingerprint => Some(ChunkSig::of(&content)),
+                    None => None,
+                };
+                self.index.note_stored(fp, sig);
                 self.metrics.bytes_shared.add(content.len() as u64);
                 let tx = self.cluster.transact(
                     &cctx,
@@ -1154,7 +1174,7 @@ impl DedupStore {
             return Ok(Timed::new(false, CostExpr::Nop));
         }
         let _stripe = self.lock_chunk_stripe(&fp);
-        if !self.bloom.may_contain(&fp) {
+        if !self.index.may_contain(&fp) {
             // Definitely never stored: same outcome (and same zero cost)
             // as the NoSuchObject branch below, without the probe.
             self.metrics.bloom_hits.inc();
@@ -1348,12 +1368,27 @@ impl DedupStore {
             if merged {
                 self.metrics.deferred_rmw_merges.inc();
             }
+            // Tiered pipeline: compute the cheap signature now and probe
+            // the index. A miss means no stored chunk can possibly match,
+            // so stage 2 skips the full fingerprint for this chunk. The
+            // probe is only a hint — commit re-probes under the lock, so a
+            // candidate appearing later (e.g. stored by an earlier chunk
+            // of this very batch) is still caught.
+            let (sig, fingerprint_wanted) = if self.config.tiered_fingerprint {
+                let s = ChunkSig::of(&content);
+                let wanted = !self.index.candidates(&s, now).is_empty();
+                (Some(s), wanted)
+            } else {
+                (None, true)
+            };
             chunks.push(StagedChunk {
                 entry: e,
                 content,
                 read_costs,
                 merged,
                 fingerprint: None,
+                sig,
+                fingerprint_wanted,
             });
         }
         Ok(StageOutcome::Staged(StagedObject {
@@ -1361,6 +1396,7 @@ impl DedupStore {
             ticket: self.dirty.lock().ticket(name),
             meta_node,
             keep_cached,
+            staged_at: now,
             chunks,
         }))
     }
@@ -1522,6 +1558,7 @@ impl DedupStore {
             ticket,
             meta_node,
             keep_cached,
+            staged_at,
             chunks,
         } = staged;
         if let Some(ticket) = ticket {
@@ -1546,15 +1583,33 @@ impl DedupStore {
             let content = chunk.content;
             let merged = chunk.merged;
             costs.extend(chunk.read_costs);
-            // (3) The fingerprint was computed in stage 2 (possibly on a
-            // worker thread with the engine lock released); its CPU cost is
+            // (3) Resolve the chunk's target name. Classic mode: the full
+            // fingerprint was computed in stage 2 (possibly on a worker
+            // thread with the engine lock released); its CPU cost is
             // charged to the metadata node here, exactly as the serial
-            // engine did.
-            let fp = chunk
-                .fingerprint
-                .unwrap_or_else(|| Fingerprint::of(&content));
-            let fp_cost = self.fingerprint_cost(meta_node, e.len as u64);
-            costs.push(self.label("flush.fingerprint_cpu", fp_cost));
+            // engine did. Tiered mode: re-probe the signature under the
+            // lock and pay the full fingerprint only on a candidate
+            // collision — a miss proves global uniqueness and the chunk
+            // stores under a minted weak name, never hashed in full.
+            let (fp, sig) = if self.config.tiered_fingerprint {
+                self.resolve_chunk_target(
+                    chunk.sig.unwrap_or_else(|| ChunkSig::of(&content)),
+                    chunk.fingerprint,
+                    &content,
+                    e.len as u64,
+                    meta_node,
+                    staged_at,
+                    &mut costs,
+                )?
+            } else {
+                let fp = chunk
+                    .fingerprint
+                    .unwrap_or_else(|| Fingerprint::of(&content));
+                self.metrics.fp_full_calls.inc();
+                let fp_cost = self.fingerprint_cost(meta_node, e.len as u64);
+                costs.push(self.label("flush.fingerprint_cpu", fp_cost));
+                (fp, None)
+            };
             report.chunks_flushed += 1;
 
             if failure == Some(FailurePoint::BeforeChunkStore) {
@@ -1578,8 +1633,14 @@ impl DedupStore {
                     ));
                 }
                 // (4–5) Store or reference the chunk in the chunk pool.
-                let t =
-                    self.store_chunk(ClientId::INTERNAL, fp, content.clone(), &name, e.offset)?;
+                let t = self.store_chunk(
+                    ClientId::INTERNAL,
+                    fp,
+                    content.clone(),
+                    &name,
+                    e.offset,
+                    sig,
+                )?;
                 match t.value {
                     ChunkStoreOutcome::Created => report.chunks_created += 1,
                     ChunkStoreOutcome::Deduplicated | ChunkStoreOutcome::AlreadyReferenced => {
@@ -1654,6 +1715,118 @@ impl DedupStore {
         self.metrics.chunks_created.add(report.chunks_created);
         self.metrics.chunks_reclaimed.add(report.chunks_reclaimed);
         self.metrics.chunks_evicted.add(report.chunks_evicted);
+        self.publish_index_health();
+    }
+
+    /// Tiered-pipeline chunk resolution: decides what name the staged
+    /// chunk deduplicates against (or stores under) while paying the full
+    /// fingerprint only when a signature collision forces it.
+    ///
+    /// The candidate probe runs *under the engine lock* and therefore sees
+    /// every chunk stored so far — including by earlier chunks of this
+    /// very batch — so an empty candidate set is proof no stored chunk can
+    /// share this content: every store registers its signature before the
+    /// chunk becomes visible, and post-process mode has no racing stores
+    /// while the lock is held. Such chunks skip full hashing forever and
+    /// store under a minted weak name.
+    ///
+    /// Returns the target fingerprint plus the signature for
+    /// [`DedupStore::store_chunk`] to index on creation.
+    #[allow(clippy::too_many_arguments)]
+    fn resolve_chunk_target(
+        &self,
+        sig: ChunkSig,
+        staged_fp: Option<Fingerprint>,
+        content: &Bytes,
+        len: u64,
+        meta_node: usize,
+        staged_at: SimTime,
+        costs: &mut Vec<CostExpr>,
+    ) -> Result<(Fingerprint, Option<ChunkSig>), DedupError> {
+        self.metrics.fp_sig_calls.inc();
+        let sig_cost = self.fingerprint_cost(meta_node, SIG_SAMPLE_BYTES.min(len));
+        costs.push(self.label("flush.sig_cpu", sig_cost));
+        let probe_start = Instant::now();
+        let cands = self.index.candidates(&sig, staged_at);
+        self.metrics
+            .index_probe_ns
+            .record(probe_start.elapsed().as_nanos() as u64);
+        if cands.is_empty() && staged_fp.is_none() {
+            self.metrics.fp_skipped_unique.inc();
+            self.metrics.fp_weak_stored.inc();
+            let seq = self.weak_seq.fetch_add(1, Ordering::Relaxed);
+            return Ok((Fingerprint::mint_weak(&sig, seq), Some(sig)));
+        }
+        // Collision (or stage 2 hashed already): pay the full fingerprint.
+        let full = staged_fp.unwrap_or_else(|| Fingerprint::of(content));
+        self.metrics.fp_full_calls.inc();
+        let fp_cost = self.fingerprint_cost(meta_node, len);
+        costs.push(self.label("flush.fingerprint_cpu", fp_cost));
+        for cand in cands {
+            let cand_full = match cand.full {
+                Some(f) => Some(f),
+                None => self.upgrade_candidate(&sig, cand.stored, meta_node, costs)?,
+            };
+            if cand_full == Some(full) {
+                return Ok((cand.stored, Some(sig)));
+            }
+        }
+        Ok((full, Some(sig)))
+    }
+
+    /// Resolves a weak-named candidate's full fingerprint by reading its
+    /// content back from the chunk pool and hashing it — at most once per
+    /// stored chunk, since the result is memoized into the index. A
+    /// candidate whose chunk object has since been reclaimed is dropped
+    /// from the index and skipped (`Ok(None)`).
+    fn upgrade_candidate(
+        &self,
+        sig: &ChunkSig,
+        stored: Fingerprint,
+        meta_node: usize,
+        costs: &mut Vec<CostExpr>,
+    ) -> Result<Option<Fingerprint>, DedupError> {
+        let chunk_name = ObjectName::new(stored.to_object_name());
+        let len = match self.cluster.stat(self.chunk_pool, &chunk_name)? {
+            Some(len) => len,
+            None => {
+                self.index.drop_candidate(sig, stored);
+                return Ok(None);
+            }
+        };
+        let cctx = self.chunk_ctx(ClientId::INTERNAL);
+        let t = self.cluster.read_at(&cctx, &chunk_name, 0, len)?;
+        costs.push(self.label("flush.upgrade_read", t.cost));
+        let full = Fingerprint::of(&t.value);
+        costs.push(self.label("flush.upgrade_cpu", self.fingerprint_cost(meta_node, len)));
+        self.index.memoize_full(sig, stored, full);
+        self.metrics.fp_upgrades.inc();
+        Ok(Some(full))
+    }
+
+    /// Publishes the chunk index's health gauges: Bloom fill ratio (with a
+    /// one-shot warning counter on crossing 0.5), resident memory, tier
+    /// populations, and migration counts.
+    fn publish_index_health(&self) {
+        let fill = self.index.bloom_fill_ratio();
+        self.metrics
+            .bloom_fill_ratio
+            .set((fill * 1_000_000.0) as i64);
+        if fill > 0.5 && !self.bloom_warned.swap(true, Ordering::Relaxed) {
+            self.metrics.bloom_overfill.inc();
+        }
+        self.metrics
+            .index_resident_bytes
+            .set(self.index.resident_bytes() as i64);
+        let stats = self.index.stats();
+        self.metrics
+            .index_hot_entries
+            .set(stats.hot_candidates as i64);
+        self.metrics
+            .index_cold_entries
+            .set(stats.cold_records as i64);
+        self.metrics.index_promotions.set(stats.promotions as i64);
+        self.metrics.index_demotions.set(stats.demotions as i64);
     }
 
     fn finish_clean(&self, name: &ObjectName) {
@@ -1849,26 +2022,65 @@ impl DedupStore {
         Ok(self.dirty.lock().len())
     }
 
-    /// Re-seeds the negative-lookup Bloom filter from the chunk pool's
-    /// current contents. Mandatory after WAL replay into a fresh engine:
-    /// an empty filter would answer a definite "absent" for a chunk that
-    /// *does* exist, and the next [`DedupStore::store_chunk`] of that
-    /// content would overwrite its refcount with 1 — a silent double-free
-    /// waiting to happen.
+    /// Re-seeds the chunk index (Bloom side and, in tiered mode, the
+    /// signature → candidate map) from the chunk pool's current contents.
+    /// Mandatory after WAL replay into a fresh engine: an empty filter
+    /// would answer a definite "absent" for a chunk that *does* exist, and
+    /// the next [`DedupStore::store_chunk`] of that content would
+    /// overwrite its refcount with 1 — a silent double-free waiting to
+    /// happen. In tiered mode the signature map must likewise cover every
+    /// surviving chunk (a signature miss claims uniqueness), and the weak
+    /// name sequence is resumed past the highest surviving sequence so a
+    /// recycled name can never alias different content.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn rebuild_index(&mut self) -> Result<usize, DedupError> {
+        self.index.clear();
+        self.bloom_warned.store(false, Ordering::Relaxed);
+        let tiered = self.config.tiered_fingerprint
+            || !matches!(self.config.chunk_index, crate::config::ChunkIndexKind::Flat);
+        let cctx = self.chunk_ctx(ClientId::INTERNAL);
+        let mut seeded = 0;
+        let mut max_weak = 0u64;
+        for chunk_name in self.cluster.list_objects(self.chunk_pool)? {
+            let Some(fp) = Fingerprint::from_object_name(chunk_name.as_str()) else {
+                continue;
+            };
+            let sig = if tiered {
+                let len = self
+                    .cluster
+                    .stat(self.chunk_pool, &chunk_name)?
+                    .unwrap_or(0);
+                if len == 0 {
+                    Some(ChunkSig::of(&[]))
+                } else {
+                    let t = self.cluster.read_at(&cctx, &chunk_name, 0, len)?;
+                    Some(ChunkSig::of(&t.value))
+                }
+            } else {
+                None
+            };
+            self.index.note_stored(fp, sig);
+            if let Some(seq) = fp.weak_seq() {
+                max_weak = max_weak.max(seq + 1);
+            }
+            seeded += 1;
+        }
+        self.weak_seq.fetch_max(max_weak, Ordering::Relaxed);
+        self.publish_index_health();
+        Ok(seeded)
+    }
+
+    /// Backwards-compatible alias for [`DedupStore::rebuild_index`] (the
+    /// Bloom filter is one face of the chunk index).
     ///
     /// # Errors
     ///
     /// Fails if the store does.
     pub fn rebuild_bloom(&mut self) -> Result<usize, DedupError> {
-        self.bloom = BloomFilter::for_chunk_pool();
-        let mut seeded = 0;
-        for chunk_name in self.cluster.list_objects(self.chunk_pool)? {
-            if let Some(fp) = Fingerprint::from_object_name(chunk_name.as_str()) {
-                self.bloom.insert(&fp);
-                seeded += 1;
-            }
-        }
-        Ok(seeded)
+        self.rebuild_index()
     }
 
     /// Lists chunk objects none of whose back references are live — the
@@ -1915,9 +2127,9 @@ impl DedupStore {
     /// 1. Replay the WAL (checkpoint segments, then the committed log
     ///    tail; torn tails are dropped by CRC).
     /// 2. Rebuild the dirty queue from the replayed chunk maps.
-    /// 3. Re-seed the Bloom filter from the chunk pool (before any
+    /// 3. Re-seed the chunk index from the chunk pool (before any
     ///    `store_chunk` can consult it — see
-    ///    [`DedupStore::rebuild_bloom`]).
+    ///    [`DedupStore::rebuild_index`]).
     /// 4. Flush the dirty backlog, completing any interrupted flush while
     ///    its old chunks still exist for deferred read-modify-write.
     /// 5. Garbage-collect the chunk pool: drops back references stranded
@@ -1932,7 +2144,7 @@ impl DedupStore {
     pub fn recover_after_crash(&mut self, now: SimTime) -> Result<CrashRecoveryReport, DedupError> {
         let wal = self.cluster.wal_recover()?;
         let dirty_objects = self.recover_dirty_queue()?;
-        let bloom_seeded = self.rebuild_bloom()?;
+        let bloom_seeded = self.rebuild_index()?;
         let flush = self.flush_all(now)?.value;
         let gc = self.gc_chunk_pool()?.value;
         let checkpoint_seq = self.cluster.wal_checkpoint()?.last_seq;

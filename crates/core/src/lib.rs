@@ -55,6 +55,7 @@ pub mod config;
 pub mod crashpoint;
 pub mod engine;
 pub mod hitset;
+pub mod index;
 pub mod pipeline;
 pub mod queue;
 pub mod ratecontrol;
@@ -66,8 +67,12 @@ mod error;
 mod metrics;
 
 pub use baseline::{global_ratio, local_ratio, RatioAnalysis};
+pub use bloom::BloomConfig;
 pub use chunkmap::{ChunkMapEntry, CHUNK_MAP_ENTRY_BYTES};
-pub use config::{CachePolicy, DedupConfig, DedupMode, HitSetConfig, Watermarks};
+pub use config::{
+    CachePolicy, ChunkIndexKind, DedupConfig, DedupMode, HitSetConfig, TieredIndexConfig,
+    Watermarks,
+};
 pub use crashpoint::{
     enumerate_crash_points, plan_for, rebuilt_store, wal_store, CrashPoint, CrashTopology,
 };
@@ -76,6 +81,7 @@ pub use engine::{
 };
 pub use error::DedupError;
 pub use hitset::{BloomFilter, HitSet};
+pub use index::{build_index, CandidateRef, ChunkIndex, FlatChunkIndex, IndexStats, TieredIndex};
 pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
 pub use queue::{DirtyQueue, DirtyTicket};
 pub use ratecontrol::RateController;

@@ -90,6 +90,37 @@ pub(crate) struct EngineMetrics {
     /// Chunk-pool existence probes the Bloom filter could not rule out
     /// (full probe performed).
     pub bloom_misses: Counter,
+    /// Bloom filter fill ratio in parts-per-million (set-bit fraction of
+    /// the bit array).
+    pub bloom_fill_ratio: Gauge,
+    /// Warnings emitted when the Bloom fill ratio crossed 0.5 — the point
+    /// where false positives start climbing steeply. One increment per
+    /// crossing (reset by an index rebuild).
+    pub bloom_overfill: Counter,
+    /// Full content fingerprints computed on the flush path.
+    pub fp_full_calls: Counter,
+    /// Cheap chunk signatures computed on the flush path (tiered pipeline).
+    pub fp_sig_calls: Counter,
+    /// Chunks proven globally unique by signature miss — the full
+    /// fingerprint was skipped entirely.
+    pub fp_skipped_unique: Counter,
+    /// Stored chunks upgraded (read back + fully hashed + memoized) to
+    /// resolve a signature collision.
+    pub fp_upgrades: Counter,
+    /// Chunks stored under minted weak names (never fully hashed).
+    pub fp_weak_stored: Counter,
+    /// Wall-clock nanoseconds per chunk-index candidate probe.
+    pub index_probe_ns: Histogram,
+    /// Estimated resident bytes of the chunk index.
+    pub index_resident_bytes: Gauge,
+    /// Candidate entries resident in the index's hot tier.
+    pub index_hot_entries: Gauge,
+    /// Records across the index's cold sorted runs.
+    pub index_cold_entries: Gauge,
+    /// Lifetime cold→hot promotions in the tiered index.
+    pub index_promotions: Gauge,
+    /// Lifetime hot→cold demotions in the tiered index.
+    pub index_demotions: Gauge,
 }
 
 impl EngineMetrics {
@@ -128,6 +159,19 @@ impl EngineMetrics {
             bytes_shared: registry.counter("engine.bytes_shared"),
             bloom_hits: registry.counter("engine.chunkmap.bloom_hits"),
             bloom_misses: registry.counter("engine.chunkmap.bloom_misses"),
+            bloom_fill_ratio: registry.gauge("engine.chunkmap.bloom_fill_ratio"),
+            bloom_overfill: registry.counter("engine.chunkmap.bloom_overfill_warnings"),
+            fp_full_calls: registry.counter("engine.fp.full_calls"),
+            fp_sig_calls: registry.counter("engine.fp.sig_calls"),
+            fp_skipped_unique: registry.counter("engine.fp.skipped_unique"),
+            fp_upgrades: registry.counter("engine.fp.upgrades"),
+            fp_weak_stored: registry.counter("engine.fp.weak_chunks_stored"),
+            index_probe_ns: registry.histogram("engine.index.probe_wall_ns"),
+            index_resident_bytes: registry.gauge("engine.index.resident_bytes"),
+            index_hot_entries: registry.gauge("engine.index.hot_entries"),
+            index_cold_entries: registry.gauge("engine.index.cold_entries"),
+            index_promotions: registry.gauge("engine.index.promotions"),
+            index_demotions: registry.gauge("engine.index.demotions"),
             foreground_ops: registry.meter("rate.foreground_ops", rate_window),
             registry,
         }

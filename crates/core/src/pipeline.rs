@@ -27,8 +27,8 @@
 //! wall-clock time improves. Figure and table outputs are bit-identical.
 
 use bytes::Bytes;
-use dedup_fingerprint::Fingerprint;
-use dedup_sim::CostExpr;
+use dedup_fingerprint::{ChunkSig, Fingerprint};
+use dedup_sim::{CostExpr, SimTime};
 use dedup_store::ObjectName;
 
 use crate::chunkmap::ChunkMapEntry;
@@ -49,6 +49,15 @@ pub struct StagedChunk {
     pub(crate) read_costs: Vec<CostExpr>,
     pub(crate) merged: bool,
     pub(crate) fingerprint: Option<Fingerprint>,
+    /// Cheap discriminator computed at stage time when the tiered
+    /// fingerprint pipeline is on; `None` in classic mode.
+    pub(crate) sig: Option<ChunkSig>,
+    /// Whether stage 2 must compute the full fingerprint. Classic mode:
+    /// always. Tiered mode: only when the stage-time signature probe
+    /// found a candidate collision (commit re-probes under the lock, so a
+    /// collision that appears later is still caught — this flag is purely
+    /// a work-avoidance hint, never a correctness gate).
+    pub(crate) fingerprint_wanted: bool,
 }
 
 /// One metadata object staged for flushing.
@@ -60,6 +69,9 @@ pub struct StagedObject {
     pub(crate) ticket: Option<DirtyTicket>,
     pub(crate) meta_node: usize,
     pub(crate) keep_cached: bool,
+    /// Virtual time the snapshot was staged; feeds the chunk index's
+    /// hotness signal at commit.
+    pub(crate) staged_at: SimTime,
     pub(crate) chunks: Vec<StagedChunk>,
 }
 
@@ -130,10 +142,15 @@ impl StagedBatch {
 /// stage charges it to the metadata node exactly as the serial engine
 /// did, so parallelism never perturbs simulated results.
 pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
+    // Tiered mode leaves `fingerprint_wanted` false for chunks whose
+    // stage-time signature probe proved no stored chunk can match — those
+    // skip hashing entirely. Classic mode wants every chunk.
     let contents: Vec<&[u8]> = batch
         .objects
         .iter()
-        .flat_map(|o| o.chunks.iter().map(|c| &c.content[..]))
+        .flat_map(|o| o.chunks.iter())
+        .filter(|c| c.fingerprint_wanted)
+        .map(|c| &c.content[..])
         .collect();
     if contents.is_empty() {
         return;
@@ -141,8 +158,8 @@ pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
     let fps = Fingerprint::of_batch(&contents, parallelism);
     let mut it = fps.into_iter();
     for obj in &mut batch.objects {
-        for chunk in &mut obj.chunks {
-            chunk.fingerprint = Some(it.next().expect("one fingerprint per staged chunk"));
+        for chunk in obj.chunks.iter_mut().filter(|c| c.fingerprint_wanted) {
+            chunk.fingerprint = Some(it.next().expect("one fingerprint per wanted chunk"));
         }
     }
 }
@@ -157,6 +174,7 @@ mod tests {
             ticket: None,
             meta_node: 0,
             keep_cached: false,
+            staged_at: SimTime::ZERO,
             chunks: contents
                 .iter()
                 .enumerate()
@@ -166,6 +184,8 @@ mod tests {
                     read_costs: Vec::new(),
                     merged: false,
                     fingerprint: None,
+                    sig: None,
+                    fingerprint_wanted: true,
                 })
                 .collect(),
         }
@@ -209,5 +229,24 @@ mod tests {
         let mut batch = StagedBatch::default();
         fingerprint_batch(&mut batch, 8);
         assert!(batch.is_empty());
+    }
+
+    #[test]
+    fn unwanted_chunks_skip_hashing() {
+        let mut batch = StagedBatch {
+            objects: vec![staged("a", &[b"alpha", b"beta", b"gamma"])],
+            ..Default::default()
+        };
+        batch.objects[0].chunks[1].fingerprint_wanted = false;
+        fingerprint_batch(&mut batch, 2);
+        assert_eq!(
+            batch.objects[0].chunks[0].fingerprint,
+            Some(Fingerprint::of(b"alpha"))
+        );
+        assert_eq!(batch.objects[0].chunks[1].fingerprint, None);
+        assert_eq!(
+            batch.objects[0].chunks[2].fingerprint,
+            Some(Fingerprint::of(b"gamma"))
+        );
     }
 }

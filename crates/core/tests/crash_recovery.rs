@@ -346,6 +346,21 @@ fn every_crash_point_recovers_inline() {
     audit_config(config, "inline");
 }
 
+/// The tiered fingerprint pipeline over the memory-bounded index must
+/// survive the same crash-at-every-point audit: weak-named chunks, the
+/// signature map, and the resumed weak-name sequence are all rebuilt
+/// from the chunk pool by `rebuild_index` during recovery.
+#[test]
+fn every_crash_point_recovers_tiered() {
+    let config = DedupConfig::with_chunk_size(CS)
+        .tiered_fingerprint()
+        .tiered_index(dedup_core::TieredIndexConfig {
+            hot_capacity: 4, // tiny: recovery re-seeding spills to cold
+            ..Default::default()
+        });
+    audit_config(config, "tiered");
+}
+
 /// Property-style sweep: pseudo-random op sequences (LCG-driven), crash
 /// at every enumerated point of each sequence, recover, verify. Smaller
 /// sequences than the deterministic audit, more shapes.
