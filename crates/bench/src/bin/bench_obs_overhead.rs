@@ -1,0 +1,246 @@
+//! Proves the events+health observability plane is free when disabled
+//! and cheap when enabled.
+//!
+//! Runs a fig05-style workload (duplicate-heavy sequential writes racing
+//! an unthrottled background engine, then reads) three times over
+//! identical seeds under a counting allocator:
+//!
+//! 1. twice with no event log attached — virtual-time signatures **and
+//!    allocation counts** must be byte-/count-identical, proving the
+//!    disabled path is deterministic and allocation-free (an `Option`
+//!    branch, nothing else);
+//! 2. once with an [`dedup_obs::EventLog`] attached and a
+//!    [`dedup_core::DedupStore::health_report`] + capacity sample taken —
+//!    the virtual-time signature must stay byte-identical (events only
+//!    observe virtual time, never extend it) and wall-clock must stay
+//!    within the declared budget.
+//!
+//! Results land in `BENCH_obs_overhead.json` (override with `--out PATH`
+//! or `DEDUP_BENCH_OUT`). `--smoke` shrinks the workload for CI; all
+//! assertions hold in both modes.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use dedup_bench::drivers::{run_closed_loop, run_closed_loop_with_background, OpSpec, RunStats};
+use dedup_bench::systems::{BackgroundMode, DedupSystem};
+use dedup_core::{CachePolicy, DedupConfig};
+use dedup_obs::EventLog;
+use dedup_store::ClientId;
+
+/// Enabled-path wall-clock budget: the instrumented run must finish
+/// within this multiple of the slower uninstrumented run.
+const WALL_BUDGET: f64 = 3.0;
+
+const CHUNK: u32 = 32 * 1024;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+/// System allocator wrapper that counts allocation calls (allocs and
+/// reallocs; frees are free).
+struct CountingAlloc;
+
+// SAFETY: pure delegation to `System`; the counter is a relaxed atomic.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.alloc(layout) }
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        unsafe { System.dealloc(ptr, layout) }
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        unsafe { System.realloc(ptr, layout, new_size) }
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+fn workload(i: u64, streams: u64) -> OpSpec {
+    let stream = i % streams;
+    let pos = i / streams;
+    let block = CHUNK as u64;
+    let per_obj = (1u64 << 20) / block;
+    // Half the writes repeat a shared block so dedup, bloom, and the
+    // fingerprint tiers all see real traffic.
+    let data = if i.is_multiple_of(2) {
+        vec![(i % 4) as u8 + 1; block as usize]
+    } else {
+        vec![(i % 251) as u8; block as usize]
+    };
+    OpSpec::write(
+        format!("seq-{stream}-{}", pos / per_obj),
+        (pos % per_obj) * block,
+        data,
+        ClientId((stream % 3) as u32),
+    )
+}
+
+/// Everything a figure would print about a run, as one string: if any
+/// byte differs between instrumented and uninstrumented runs, the
+/// observability plane leaked into the virtual timing plane.
+fn signature(write: &RunStats, read: &RunStats) -> String {
+    let mut s = String::new();
+    for (name, r) in [("write", write), ("read", read)] {
+        let _ = writeln!(
+            s,
+            "{name}: ops={} bytes={} elapsed_ns={} mean_ns={} p50_ns={} p95_ns={} p99_ns={} \
+             max_ns={} mbps={:.6} iops={:.6}",
+            r.ops,
+            r.bytes,
+            r.elapsed.as_nanos(),
+            r.latency.mean().as_nanos(),
+            r.latency.percentile(50.0).as_nanos(),
+            r.latency.percentile(95.0).as_nanos(),
+            r.latency.percentile(99.0).as_nanos(),
+            r.latency.max().as_nanos(),
+            r.throughput_mbps(),
+            r.iops(),
+        );
+    }
+    s
+}
+
+struct RunOutcome {
+    signature: String,
+    wall_s: f64,
+    allocs: u64,
+    events: u64,
+    health_components: u64,
+}
+
+/// One pass; `instrumented` attaches the event log and drives the health
+/// and capacity planes.
+fn run_once(ops: u64, instrumented: bool) -> RunOutcome {
+    // Serial fingerprinting: thread spawns would make allocation counts
+    // scheduling-dependent.
+    let mut sys = DedupSystem::new(
+        "obs-overhead",
+        DedupConfig::with_chunk_size(CHUNK)
+            .cache_policy(CachePolicy::EvictAll)
+            .flush_parallelism(1),
+    )
+    .background(BackgroundMode::Unthrottled);
+    if instrumented {
+        sys.store_mut().attach_events(EventLog::new());
+    }
+    let alloc0 = ALLOCS.load(Ordering::Relaxed);
+    let t0 = Instant::now();
+    let writes = run_closed_loop_with_background(&mut sys, 8, ops, 2, true, |i, _| workload(i, 8));
+    let objects = ops / 8 / ((1u64 << 20) / CHUNK as u64) + 1;
+    let reads = run_closed_loop(&mut sys, 4, ops / 4, 3, |i, _| {
+        OpSpec::read(
+            format!("seq-{}-{}", i % 8, i % objects),
+            0,
+            CHUNK as u64,
+            ClientId(0),
+        )
+    });
+    let wall_s = t0.elapsed().as_secs_f64();
+    let allocs = ALLOCS.load(Ordering::Relaxed) - alloc0;
+    let (events, health_components) = if instrumented {
+        // Drive the pull planes too: they must not disturb the virtual
+        // clock either (asserted via the signature below).
+        let report = sys.store().health_report(reads.elapsed.max(writes.elapsed));
+        let _ = sys
+            .store()
+            .sample_capacity(reads.elapsed.max(writes.elapsed))
+            .expect("capacity sample");
+        let ev = sys.store().events().expect("events attached");
+        (ev.len() as u64, report.components.len() as u64)
+    } else {
+        assert!(sys.store().events().is_none(), "no event log when disabled");
+        (0, 0)
+    };
+    RunOutcome {
+        signature: signature(&writes, &reads),
+        wall_s,
+        allocs,
+        events,
+        health_components,
+    }
+}
+
+fn main() {
+    // This gate controls instrumentation itself; inherited env would
+    // silently instrument the "disabled" runs.
+    std::env::remove_var("DEDUP_TRACE_DIR");
+    std::env::remove_var("DEDUP_EVENTS_DIR");
+    std::env::remove_var("DEDUP_OPDUMP");
+    std::env::remove_var("DEDUP_OPDUMP_DIR");
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument: {other} (expected --smoke | --out PATH)"),
+        }
+    }
+    let out = out
+        .or_else(|| std::env::var("DEDUP_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_obs_overhead.json".to_string());
+    let ops = if smoke { 600 } else { 6_000 };
+
+    println!("# bench_obs_overhead ({ops} ops)");
+    let plain_a = run_once(ops, false);
+    let plain_b = run_once(ops, false);
+    let enabled = run_once(ops, true);
+
+    assert_eq!(
+        plain_a.signature, plain_b.signature,
+        "uninstrumented runs must be deterministic over the same seed"
+    );
+    assert_eq!(
+        plain_a.allocs, plain_b.allocs,
+        "the disabled path must not allocate nondeterministically"
+    );
+    assert_eq!(
+        plain_a.signature, enabled.signature,
+        "events+health must not perturb virtual-time results"
+    );
+    println!("virtual-time results byte-identical with and without events+health ✓");
+    println!("disabled-path allocation counts identical across runs ✓");
+    print!("{}", plain_a.signature);
+
+    let baseline_wall = plain_a.wall_s.max(plain_b.wall_s);
+    let ratio = enabled.wall_s / baseline_wall.max(1e-9);
+    println!(
+        "wall-clock: disabled {:.3}s / {:.3}s, enabled {:.3}s (ratio {:.3}, budget {WALL_BUDGET}x)",
+        plain_a.wall_s, plain_b.wall_s, enabled.wall_s, ratio
+    );
+    println!(
+        "enabled run: {} events logged, {} health components checked, {} extra allocation(s)",
+        enabled.events,
+        enabled.health_components,
+        enabled.allocs.saturating_sub(plain_a.allocs)
+    );
+    assert!(
+        ratio <= WALL_BUDGET,
+        "enabled path exceeded its wall-clock budget: {ratio:.3} > {WALL_BUDGET}"
+    );
+    assert!(enabled.health_components > 0, "health plane did not run");
+
+    let json = format!(
+        "{{\"ops\":{ops},\"disabled\":{{\"wall_s_a\":{:.6},\"wall_s_b\":{:.6},\"allocs\":{}}},\
+         \"enabled\":{{\"wall_s\":{:.6},\"allocs\":{},\"events\":{},\"health_components\":{}}},\
+         \"wall_ratio\":{:.6},\"wall_budget\":{WALL_BUDGET},\"byte_identical\":true}}\n",
+        plain_a.wall_s,
+        plain_b.wall_s,
+        plain_a.allocs,
+        enabled.wall_s,
+        enabled.allocs,
+        enabled.events,
+        enabled.health_components,
+        ratio,
+    );
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("results: {out}");
+}

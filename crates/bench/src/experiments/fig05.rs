@@ -175,4 +175,18 @@ pub fn run() {
     traces.capture("quiet", &quiet);
     traces.capture("unthrottled", &noisy);
     traces.write();
+
+    let mut events = report::EventSidecar::new("fig05");
+    events.capture("original", &original);
+    events.capture("inline", &inline);
+    events.capture("quiet", &quiet);
+    events.capture("unthrottled", &noisy);
+    events.write();
+
+    let mut opdumps = report::OpDumpSidecar::new("fig05");
+    opdumps.capture("original", &original);
+    opdumps.capture("inline", &inline);
+    opdumps.capture("quiet", &quiet);
+    opdumps.capture("unthrottled", &noisy);
+    opdumps.write();
 }

@@ -184,4 +184,16 @@ pub fn run() {
     traces.capture("uncontrolled", &uncontrolled_sys);
     traces.capture("controlled", &controlled_sys);
     traces.write();
+
+    let mut events = report::EventSidecar::new("fig14");
+    events.capture("ideal", &ideal_sys);
+    events.capture("uncontrolled", &uncontrolled_sys);
+    events.capture("controlled", &controlled_sys);
+    events.write();
+
+    let mut opdumps = report::OpDumpSidecar::new("fig14");
+    opdumps.capture("ideal", &ideal_sys);
+    opdumps.capture("uncontrolled", &uncontrolled_sys);
+    opdumps.capture("controlled", &controlled_sys);
+    opdumps.write();
 }

@@ -15,6 +15,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod doctor;
 pub mod drivers;
 pub mod experiments;
 pub mod report;

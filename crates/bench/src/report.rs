@@ -38,6 +38,23 @@ pub fn parse_trace_flag() {
     }
 }
 
+/// Where event-log sidecars go, when events are on: `$DEDUP_EVENTS_DIR`.
+/// Like tracing there is no default — no env var means no event log.
+pub fn events_dir() -> Option<PathBuf> {
+    std::env::var_os("DEDUP_EVENTS_DIR").map(PathBuf::from)
+}
+
+/// Where op-dump sidecars go, when op dumping is on: `$DEDUP_OPDUMP_DIR`,
+/// or `target/opdumps` when only the `DEDUP_OPDUMP` switch is set.
+/// Op dumps ride on the tracer, so they additionally require
+/// `DEDUP_TRACE_DIR` (otherwise no tracker exists to dump).
+pub fn opdump_dir() -> Option<PathBuf> {
+    if let Some(dir) = std::env::var_os("DEDUP_OPDUMP_DIR") {
+        return Some(PathBuf::from(dir));
+    }
+    std::env::var_os("DEDUP_OPDUMP").map(|_| PathBuf::from("target/opdumps"))
+}
+
 /// Accumulates labelled registry snapshots from the systems an experiment
 /// ran and writes them as one `<figure>.metrics.jsonl` sidecar.
 ///
@@ -170,6 +187,142 @@ impl TraceSidecar {
             }
             Err(e) => {
                 eprintln!("trace sidecar skipped ({}: {e})", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Accumulates labelled event-log exports and writes them as one
+/// `<figure>.events.jsonl` sidecar (one JSON object per event, each
+/// tagged with the system label).
+///
+/// Does nothing unless `DEDUP_EVENTS_DIR` is set: capture is a no-op for
+/// systems without an event log and [`EventSidecar::write`] without
+/// captures writes no file, so figure binaries can call this
+/// unconditionally.
+pub struct EventSidecar {
+    figure: String,
+    lines: Vec<String>,
+}
+
+impl EventSidecar {
+    /// Starts an event sidecar for `figure` (e.g. `"fig05"`).
+    pub fn new(figure: impl Into<String>) -> Self {
+        EventSidecar {
+            figure: figure.into(),
+            lines: Vec::new(),
+        }
+    }
+
+    /// Captures `system`'s event log under `label`; no-op when the system
+    /// has no event log attached.
+    pub fn capture(&mut self, label: &str, system: &dyn StorageSystem) {
+        if let Some(ev) = system.events() {
+            self.capture_events(label, ev);
+        }
+    }
+
+    /// Captures from a bare [`dedup_obs::EventLog`].
+    pub fn capture_events(&mut self, label: &str, events: &dedup_obs::EventLog) {
+        for e in events.events() {
+            let line = e.to_json();
+            // Splice the system label in as the first key; event JSON
+            // always starts with `{"seq":`.
+            self.lines
+                .push(format!("{{\"system\":\"{label}\",{}", &line[1..]));
+        }
+    }
+
+    /// Writes `<figure>.events.jsonl` under `DEDUP_EVENTS_DIR` and prints
+    /// its path. Returns `None` (silently) when events are off or nothing
+    /// was captured; IO errors are reported but not fatal.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = events_dir()?;
+        if self.lines.is_empty() {
+            return None;
+        }
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("event sidecar skipped ({}: {e})", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.events.jsonl", self.figure));
+        let mut body = self.lines.join("\n");
+        body.push('\n');
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("event sidecar: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("event sidecar skipped ({}: {e})", path.display());
+                None
+            }
+        }
+    }
+}
+
+/// Accumulates labelled op-tracker dumps (Ceph's `dump_in_flight_ops` /
+/// `dump_historic_ops`) and writes them as one `<figure>.ops.json`
+/// sidecar.
+///
+/// Gated on `DEDUP_OPDUMP` / `DEDUP_OPDUMP_DIR` (see [`opdump_dir`]); the
+/// dumps come from the tracer, so `DEDUP_TRACE_DIR` must be set too.
+pub struct OpDumpSidecar {
+    figure: String,
+    entries: Vec<String>,
+}
+
+impl OpDumpSidecar {
+    /// Starts an op-dump sidecar for `figure` (e.g. `"fig05"`).
+    pub fn new(figure: impl Into<String>) -> Self {
+        OpDumpSidecar {
+            figure: figure.into(),
+            entries: Vec::new(),
+        }
+    }
+
+    /// Captures `system`'s op-tracker state under `label`; no-op when op
+    /// dumping is off or the system has no tracer attached.
+    pub fn capture(&mut self, label: &str, system: &dyn StorageSystem) {
+        if opdump_dir().is_none() {
+            return;
+        }
+        if let Some(t) = system.tracer() {
+            self.capture_tracer(label, t);
+        }
+    }
+
+    /// Captures from a bare tracer.
+    pub fn capture_tracer(&mut self, label: &str, tracer: &dedup_obs::Tracer) {
+        self.entries.push(format!(
+            "{{\"system\":\"{label}\",\"in_flight\":{},\"historic\":{}}}",
+            tracer.dump_in_flight(),
+            tracer.dump_historic()
+        ));
+    }
+
+    /// Writes `<figure>.ops.json` under the op-dump directory and prints
+    /// its path. Returns `None` (silently) when op dumping is off or
+    /// nothing was captured; IO errors are reported but not fatal.
+    pub fn write(&self) -> Option<PathBuf> {
+        let dir = opdump_dir()?;
+        if self.entries.is_empty() {
+            return None;
+        }
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("op-dump sidecar skipped ({}: {e})", dir.display());
+            return None;
+        }
+        let path = dir.join(format!("{}.ops.json", self.figure));
+        let body = format!("[{}]\n", self.entries.join(","));
+        match std::fs::write(&path, body) {
+            Ok(()) => {
+                println!("op-dump sidecar: {}", path.display());
+                Some(path)
+            }
+            Err(e) => {
+                eprintln!("op-dump sidecar skipped ({}: {e})", path.display());
                 None
             }
         }

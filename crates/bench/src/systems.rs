@@ -2,7 +2,7 @@
 //! ("Proposed") behind one interface.
 
 use dedup_core::{DedupConfig, DedupStore};
-use dedup_obs::{Registry, Tracer};
+use dedup_obs::{EventLog, Registry, Tracer};
 use dedup_sim::{CostExpr, SimTime};
 use dedup_store::{ClientId, Cluster, ClusterBuilder, IoCtx, ObjectName, PoolConfig};
 use dedup_workloads::Dataset;
@@ -12,6 +12,13 @@ use dedup_workloads::Dataset;
 /// a Chrome-trace sidecar next to their metrics.
 pub fn tracing_requested() -> bool {
     std::env::var_os("DEDUP_TRACE_DIR").is_some()
+}
+
+/// Whether `DEDUP_EVENTS_DIR` asks for structured event logging. When
+/// set, system constructors attach an [`EventLog`] to the stack and
+/// figure binaries drop a `<figure>.events.jsonl` sidecar.
+pub fn events_requested() -> bool {
+    std::env::var_os("DEDUP_EVENTS_DIR").is_some()
 }
 
 /// A storage system a driver can load. Implementations panic on store
@@ -71,6 +78,11 @@ pub trait StorageSystem {
         self.cluster().tracer()
     }
 
+    /// The event log attached to this system's stack, if events are on.
+    fn events(&self) -> Option<&EventLog> {
+        self.cluster().events()
+    }
+
     /// Executes a cost on the timing plane.
     fn execute(&mut self, now: SimTime, cost: &CostExpr) -> SimTime {
         self.cluster_mut().execute_at(now, cost)
@@ -97,6 +109,9 @@ impl OriginalSystem {
             let tracer = Tracer::new();
             tracer.attach_registry(cluster.registry());
             cluster.attach_tracer(tracer);
+        }
+        if events_requested() {
+            cluster.attach_events(EventLog::new());
         }
         OriginalSystem {
             label: label.into(),
@@ -179,11 +194,14 @@ pub struct DedupSystem {
     workers: usize,
 }
 
-/// Attaches a tracer to a freshly built store when `DEDUP_TRACE_DIR` asks
-/// for one.
+/// Attaches a tracer and/or event log to a freshly built store when
+/// `DEDUP_TRACE_DIR` / `DEDUP_EVENTS_DIR` ask for them.
 fn maybe_trace(mut store: DedupStore) -> DedupStore {
     if tracing_requested() {
         store.attach_tracer(Tracer::new());
+    }
+    if events_requested() {
+        store.attach_events(EventLog::new());
     }
     store
 }

@@ -13,7 +13,7 @@ use std::time::Instant;
 use bytes::Bytes;
 use dedup_chunk::FixedChunker;
 use dedup_fingerprint::{ChunkSig, Fingerprint, SIG_SAMPLE_BYTES};
-use dedup_obs::{Registry, Tracer};
+use dedup_obs::{EventLog, Registry, Severity, Tracer};
 use dedup_placement::PoolId;
 use dedup_sim::{CostExpr, SimDuration, SimTime};
 use dedup_store::{
@@ -197,6 +197,10 @@ pub struct DedupStore {
     stats: AtomicEngineStats,
     metrics: EngineMetrics,
     tracer: Option<Tracer>,
+    /// Structured event log shared with the cluster; `None` (the default)
+    /// keeps every emission site a single branch — the same
+    /// zero-cost-when-off contract as the tracer.
+    events: Option<EventLog>,
     /// The chunk index: Bloom-gated negative lookups plus (in tiered
     /// mode) the signature → candidate map behind the tiered fingerprint
     /// pipeline. Every chunk creation goes through
@@ -206,6 +210,9 @@ pub struct DedupStore {
     /// Monotonic sequence for minted weak chunk names; resumed past the
     /// highest surviving sequence at recovery so names are never reused.
     weak_seq: AtomicU64,
+    /// Flush-progress memory for the dirty-queue stall health probe
+    /// ([`crate::health::QueueHealth`]): what the previous probe saw.
+    stall: Mutex<crate::health::StallState>,
     /// Latched when the Bloom overfill warning has fired (reset by an
     /// index rebuild).
     bloom_warned: AtomicBool,
@@ -246,8 +253,10 @@ impl DedupStore {
             stats: AtomicEngineStats::default(),
             metrics,
             tracer: None,
+            events: None,
             index,
             weak_seq: AtomicU64::new(0),
+            stall: Mutex::new(crate::health::StallState::default()),
             bloom_warned: AtomicBool::new(false),
         }
     }
@@ -354,6 +363,47 @@ impl DedupStore {
         self.rate.get_mut()
     }
 
+    /// Bloom-gate fill ratio of the chunk index, in `[0, 1]`.
+    pub fn bloom_fill_ratio(&self) -> f64 {
+        self.index.bloom_fill_ratio()
+    }
+
+    /// Estimated resident bytes of the chunk index.
+    pub fn index_resident_bytes(&self) -> u64 {
+        self.index.resident_bytes()
+    }
+
+    /// The chunk index's declared memory bound at its current population
+    /// (`None` for the unbounded flat index).
+    pub fn index_memory_bound(&self) -> Option<u64> {
+        self.index.declared_memory_bound()
+    }
+
+    /// Foreground ops routed through each namespace shard since startup.
+    pub fn shard_op_counts(&self) -> Vec<u64> {
+        self.metrics.shard_ops.iter().map(|c| c.get()).collect()
+    }
+
+    /// The active watermark band last published by rate control
+    /// (0 = unlimited, 1 = mid ratio, 2 = high ratio).
+    pub fn rate_band(&self) -> i64 {
+        self.metrics.rate_band.get()
+    }
+
+    /// Lifetime dirty chunks flushed — the flush-progress signal the
+    /// dirty-queue stall probe watches.
+    pub fn chunks_flushed_total(&self) -> u64 {
+        self.metrics.chunks_flushed.get()
+    }
+
+    pub(crate) fn stall_state(&self) -> &Mutex<crate::health::StallState> {
+        &self.stall
+    }
+
+    pub(crate) fn metrics(&self) -> &EngineMetrics {
+        &self.metrics
+    }
+
     /// Attaches a tracer to the whole stack: the engine labels its dedup
     /// cost legs, the underlying cluster labels its replication/EC legs,
     /// and the tracer's slow-op counter lands in this engine's registry.
@@ -366,6 +416,31 @@ impl DedupStore {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a structured event log to the whole stack: the engine
+    /// emits bloom-overfill, stage-conflict, rate-band, GC and recovery
+    /// events, and the underlying cluster emits OSD and WAL lifecycle
+    /// events into the same bounded ring. Events only *observe* the
+    /// virtual timeline — attaching a log never changes virtual-time
+    /// results.
+    pub fn attach_events(&mut self, events: EventLog) {
+        self.cluster.attach_events(events.clone());
+        self.events = Some(events);
+    }
+
+    /// The attached event log, if any.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
+    }
+
+    /// Advances the event log's virtual clock when one is attached, so
+    /// clock-less emitters (admin paths, recovery) stamp correctly.
+    #[inline]
+    fn advance_events(&self, now: SimTime) {
+        if let Some(ev) = &self.events {
+            ev.advance(now);
+        }
     }
 
     /// Tags `cost` with a semantic label when a tracer is attached;
@@ -430,7 +505,24 @@ impl DedupStore {
         } else {
             2
         };
+        let prev = self.metrics.rate_band.get();
         self.metrics.rate_band.set(band);
+        if let Some(ev) = &self.events {
+            ev.advance(now);
+            if prev != band {
+                ev.emit_at(
+                    now,
+                    Severity::Info,
+                    "rate",
+                    "band_transition",
+                    vec![
+                        ("from", prev.to_string()),
+                        ("to", band.to_string()),
+                        ("foreground_iops", format!("{iops:.0}")),
+                    ],
+                );
+            }
+        }
     }
 
     /// Writes `data` at `offset` (paper §4.5 write path).
@@ -467,6 +559,7 @@ impl DedupStore {
         self.metrics.writes.inc();
         self.metrics.write_bytes.add(data.len() as u64);
         self.metrics.foreground_ops.mark(now, 1);
+        self.advance_events(now);
         self.hitset.lock().access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
         match self.config.mode {
@@ -647,6 +740,7 @@ impl DedupStore {
         self.metrics.reads.inc();
         self.metrics.read_bytes.add(len);
         self.metrics.foreground_ops.mark(now, 1);
+        self.advance_events(now);
         self.hitset.lock().access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
 
@@ -941,6 +1035,7 @@ impl DedupStore {
             .stat(self.metadata_pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(self.metadata_pool, name.clone()))?;
         self.metrics.foreground_ops.mark(now, 1);
+        self.advance_events(now);
         self.hitset.lock().access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
         let entries = self.load_chunk_map(name)?;
@@ -1564,6 +1659,14 @@ impl DedupStore {
         if let Some(ticket) = ticket {
             if !self.dirty.lock().check(&name, ticket) {
                 self.metrics.stage_conflicts.inc();
+                if let Some(ev) = &self.events {
+                    ev.emit(
+                        Severity::Warn,
+                        "engine.flush",
+                        "stage_conflict",
+                        vec![("object", name.as_str().to_string())],
+                    );
+                }
                 return Ok(None);
             }
         }
@@ -1814,6 +1917,14 @@ impl DedupStore {
             .set((fill * 1_000_000.0) as i64);
         if fill > 0.5 && !self.bloom_warned.swap(true, Ordering::Relaxed) {
             self.metrics.bloom_overfill.inc();
+            if let Some(ev) = &self.events {
+                ev.emit(
+                    Severity::Warn,
+                    "engine.bloom",
+                    "overfill",
+                    vec![("fill_ppm", ((fill * 1_000_000.0) as i64).to_string())],
+                );
+            }
         }
         self.metrics
             .index_resident_bytes
@@ -1972,6 +2083,24 @@ impl DedupStore {
         self.metrics
             .gc_stale_refs_dropped
             .add(report.stale_refs_dropped);
+        if let Some(ev) = &self.events {
+            if report.chunks_reclaimed > 0
+                || report.stale_refs_dropped > 0
+                || report.counts_corrected > 0
+            {
+                ev.emit(
+                    Severity::Info,
+                    "engine.gc",
+                    "gc_pass",
+                    vec![
+                        ("chunks_examined", report.chunks_examined.to_string()),
+                        ("chunks_reclaimed", report.chunks_reclaimed.to_string()),
+                        ("stale_refs_dropped", report.stale_refs_dropped.to_string()),
+                        ("counts_corrected", report.counts_corrected.to_string()),
+                    ],
+                );
+            }
+        }
         Ok(Timed::new(report, CostExpr::seq(costs)))
     }
 
@@ -2142,12 +2271,29 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn recover_after_crash(&mut self, now: SimTime) -> Result<CrashRecoveryReport, DedupError> {
+        self.advance_events(now);
         let wal = self.cluster.wal_recover()?;
         let dirty_objects = self.recover_dirty_queue()?;
         let bloom_seeded = self.rebuild_index()?;
         let flush = self.flush_all(now)?.value;
         let gc = self.gc_chunk_pool()?.value;
         let checkpoint_seq = self.cluster.wal_checkpoint()?.last_seq;
+        if let Some(ev) = &self.events {
+            ev.emit_at(
+                now,
+                Severity::Info,
+                "engine.recovery",
+                "crash_recovery",
+                vec![
+                    ("log_records_replayed", wal.log_records_replayed.to_string()),
+                    ("torn_tails_dropped", wal.torn_tails_dropped.to_string()),
+                    ("dirty_objects", dirty_objects.to_string()),
+                    ("index_seeded", bloom_seeded.to_string()),
+                    ("gc_reclaimed", gc.chunks_reclaimed.to_string()),
+                    ("checkpoint_seq", checkpoint_seq.to_string()),
+                ],
+            );
+        }
         Ok(CrashRecoveryReport {
             wal,
             dirty_objects,

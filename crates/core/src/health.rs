@@ -1,0 +1,336 @@
+//! Engine-layer health checks and the stack-wide aggregation entry point.
+//!
+//! Each probe implements [`dedup_obs::HealthCheck`]: a cheap, read-only
+//! pull over state the engine already maintains — no new bookkeeping is
+//! added to the hot path. [`DedupStore::health_report`] aggregates the
+//! engine probes with the store layer's [`dedup_store::OsdHealth`] and
+//! [`dedup_store::WalHealth`] into one [`HealthReport`].
+//!
+//! Thresholds (all documented on the individual probes):
+//!
+//! | component       | degraded                        | critical              |
+//! |-----------------|---------------------------------|-----------------------|
+//! | `engine.bloom`  | fill ratio > 0.5                | fill ratio ≥ 0.9      |
+//! | `engine.index`  | resident ≥ 90% of bound         | resident > bound      |
+//! | `service.shard` | max/mean op skew > 4 (>1k ops)  | —                     |
+//! | `engine.flush`  | dirty queue made no progress    | —                     |
+//! | `rate`          | band 2 (hardest throttle)       | —                     |
+
+use dedup_obs::{HealthCheck, HealthFinding, HealthReport, HealthStatus};
+use dedup_sim::SimTime;
+use dedup_store::{OsdHealth, WalHealth};
+
+use crate::engine::DedupStore;
+
+/// Bloom fill ratio above which dedup lookups degrade (false-positive
+/// rate climbs, forcing wasted full-index probes).
+const BLOOM_DEGRADED_FILL: f64 = 0.5;
+/// Bloom fill ratio at which the filter is effectively saturated.
+const BLOOM_CRITICAL_FILL: f64 = 0.9;
+/// Fraction of the declared index memory bound at which we warn.
+const INDEX_NEAR_BOUND: f64 = 0.9;
+/// Shard skew (max ops / mean ops) above which routing is unbalanced.
+const SHARD_SKEW_LIMIT: f64 = 4.0;
+/// Minimum total shard ops before skew is meaningful.
+const SHARD_SKEW_MIN_OPS: u64 = 1000;
+
+/// Bloom-gate saturation probe. A filter past ~50% fill answers
+/// "maybe" too often to be worth consulting; past ~90% it is noise.
+pub struct BloomHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> BloomHealth<'a> {
+    /// Probes `store`'s chunk-index bloom gate.
+    pub fn new(store: &'a DedupStore) -> Self {
+        BloomHealth { store }
+    }
+}
+
+impl HealthCheck for BloomHealth<'_> {
+    fn component(&self) -> &str {
+        "engine.bloom"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        let fill = self.store.bloom_fill_ratio();
+        let status = if fill >= BLOOM_CRITICAL_FILL {
+            HealthStatus::Critical
+        } else if fill > BLOOM_DEGRADED_FILL {
+            HealthStatus::Degraded
+        } else {
+            return Vec::new();
+        };
+        vec![HealthFinding::new(
+            "engine.bloom",
+            status,
+            "bloom_overfill",
+            format!("bloom gate fill ratio {fill:.3} (degraded > {BLOOM_DEGRADED_FILL}, critical >= {BLOOM_CRITICAL_FILL})"),
+        )]
+    }
+}
+
+/// Chunk-index memory-bound probe. Only indexes that declare a bound
+/// ([`crate::ChunkIndex::declared_memory_bound`], i.e. the tiered index)
+/// are checked; the unbounded flat index is exempt by construction.
+pub struct IndexHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> IndexHealth<'a> {
+    /// Probes `store`'s chunk index against its declared memory bound.
+    pub fn new(store: &'a DedupStore) -> Self {
+        IndexHealth { store }
+    }
+}
+
+impl HealthCheck for IndexHealth<'_> {
+    fn component(&self) -> &str {
+        "engine.index"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        let Some(bound) = self.store.index_memory_bound() else {
+            return Vec::new();
+        };
+        let resident = self.store.index_resident_bytes();
+        let status = if resident > bound {
+            HealthStatus::Critical
+        } else if resident as f64 >= bound as f64 * INDEX_NEAR_BOUND {
+            HealthStatus::Degraded
+        } else {
+            return Vec::new();
+        };
+        vec![HealthFinding::new(
+            "engine.index",
+            status,
+            "index_memory",
+            format!("index resident {resident} B vs declared bound {bound} B"),
+        )]
+    }
+}
+
+/// Foreground-shard balance probe: a shard drawing more than
+/// [`SHARD_SKEW_LIMIT`]× the mean op count signals a pathological name
+/// distribution (one hot object serializing the foreground path).
+pub struct ShardHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> ShardHealth<'a> {
+    /// Probes `store`'s per-shard op counters.
+    pub fn new(store: &'a DedupStore) -> Self {
+        ShardHealth { store }
+    }
+}
+
+impl HealthCheck for ShardHealth<'_> {
+    fn component(&self) -> &str {
+        "service.shard"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        let counts = self.store.shard_op_counts();
+        if counts.len() < 2 {
+            return Vec::new();
+        }
+        let total: u64 = counts.iter().sum();
+        if total < SHARD_SKEW_MIN_OPS {
+            return Vec::new();
+        }
+        let max = *counts.iter().max().expect("len >= 2");
+        let mean = total as f64 / counts.len() as f64;
+        let skew = max as f64 / mean;
+        if skew <= SHARD_SKEW_LIMIT {
+            return Vec::new();
+        }
+        vec![HealthFinding::new(
+            "service.shard",
+            HealthStatus::Degraded,
+            "shard_skew",
+            format!(
+                "hottest shard took {max} of {total} ops ({skew:.1}x the mean across {} shards)",
+                counts.len()
+            ),
+        )]
+    }
+}
+
+/// What the previous [`QueueHealth`] probe observed, kept on the store so
+/// successive `health_report` calls can detect "no progress".
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StallState {
+    last_depth: u64,
+    last_flushed: u64,
+    primed: bool,
+}
+
+/// Dirty-queue stall probe: if the queue is non-empty and neither drained
+/// nor flushed a single chunk since the previous probe, background
+/// deduplication has stopped making progress (worker dead, or rate
+/// control pinned at the hardest band with no foreground lull).
+pub struct QueueHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> QueueHealth<'a> {
+    /// Probes `store`'s dirty queue. Stateful across calls: the first
+    /// probe only primes the baseline and never reports.
+    pub fn new(store: &'a DedupStore) -> Self {
+        QueueHealth { store }
+    }
+}
+
+impl HealthCheck for QueueHealth<'_> {
+    fn component(&self) -> &str {
+        "engine.flush"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        let depth = self.store.dirty_len() as u64;
+        let flushed = self.store.chunks_flushed_total();
+        let mut st = self.store.stall_state().lock();
+        let stalled =
+            st.primed && depth > 0 && depth >= st.last_depth && flushed == st.last_flushed;
+        let prev_depth = st.last_depth;
+        st.primed = true;
+        st.last_depth = depth;
+        st.last_flushed = flushed;
+        if !stalled {
+            return Vec::new();
+        }
+        vec![HealthFinding::new(
+            "engine.flush",
+            HealthStatus::Degraded,
+            "queue_stall",
+            format!(
+                "dirty queue stalled at depth {depth} (was {prev_depth}; no chunks flushed since last probe)"
+            ),
+        )]
+    }
+}
+
+/// Rate-control pressure probe: band 2 means foreground IOPS exceeded
+/// the high watermark and dedup is throttled hardest — sustained, the
+/// dirty backlog only grows.
+pub struct RateHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> RateHealth<'a> {
+    /// Probes `store`'s published watermark band.
+    pub fn new(store: &'a DedupStore) -> Self {
+        RateHealth { store }
+    }
+}
+
+impl HealthCheck for RateHealth<'_> {
+    fn component(&self) -> &str {
+        "rate"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        let band = self.store.rate_band();
+        if band < 2 {
+            return Vec::new();
+        }
+        vec![HealthFinding::new(
+            "rate",
+            HealthStatus::Degraded,
+            "throttle_band_high",
+            format!("rate control in band {band}: foreground load above the high watermark, dedup throttled hardest"),
+        )]
+    }
+}
+
+impl DedupStore {
+    /// Runs every engine- and store-layer health probe and aggregates
+    /// the findings into one [`HealthReport`] stamped `now`.
+    ///
+    /// Read-only apart from the stall probe's progress memory; safe to
+    /// call at any cadence. The first call primes the stall baseline.
+    pub fn health_report(&self, now: SimTime) -> HealthReport {
+        let bloom = BloomHealth::new(self);
+        let index = IndexHealth::new(self);
+        let shards = ShardHealth::new(self);
+        let queue = QueueHealth::new(self);
+        let rate = RateHealth::new(self);
+        let osd = OsdHealth::new(self.cluster());
+        let wal = WalHealth::new(self.cluster());
+        HealthReport::collect(now, &[&bloom, &index, &shards, &queue, &rate, &osd, &wal])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DedupConfig;
+    use dedup_store::ClientId;
+    use dedup_store::{ClusterBuilder, ObjectName};
+
+    fn store_with(config: DedupConfig) -> DedupStore {
+        let cluster = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+        DedupStore::with_default_pools(cluster, config)
+    }
+
+    fn store() -> DedupStore {
+        store_with(DedupConfig::with_chunk_size(4096))
+    }
+
+    #[test]
+    fn fresh_store_is_healthy() {
+        let s = store();
+        let report = s.health_report(SimTime::ZERO);
+        assert_eq!(report.status(), HealthStatus::Ok);
+        assert!(report.findings.is_empty());
+        assert!(report.components.iter().any(|c| c == "engine.bloom"));
+        assert!(report.components.iter().any(|c| c == "cluster.osd"));
+    }
+
+    #[test]
+    fn queue_stall_needs_two_probes_without_progress() {
+        let mut s = store();
+        let name = ObjectName::new("obj");
+        let now = SimTime::from_secs(1);
+        let _ = s
+            .write(ClientId(0), &name, 0, vec![7u8; 8192], now)
+            .expect("write");
+        assert!(s.dirty_len() > 0);
+
+        // First probe primes; second with no flush progress reports.
+        assert!(QueueHealth::new(&s).check(now).is_empty());
+        let findings = QueueHealth::new(&s).check(now);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].status, HealthStatus::Degraded);
+        assert_eq!(findings[0].code, "queue_stall");
+
+        // Flush; next probe sees progress and clears.
+        let _ = s.flush_all(now).expect("flush");
+        assert!(QueueHealth::new(&s).check(now).is_empty());
+    }
+
+    #[test]
+    fn shard_skew_reports_hot_shard() {
+        let s = store_with(DedupConfig::with_chunk_size(4096).foreground_shards(8));
+        let name = ObjectName::new("hot");
+        // Hammer one object name: all ops land on one shard.
+        for i in 0..1200u64 {
+            let _ = s
+                .write(ClientId(0), &name, 0, vec![1u8; 512], SimTime::from_secs(i))
+                .expect("write");
+        }
+        let findings = ShardHealth::new(&s).check(SimTime::ZERO);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "shard_skew");
+
+        // A store with balanced names stays quiet.
+        let s2 = store_with(DedupConfig::with_chunk_size(4096).foreground_shards(4));
+        for i in 0..1200u64 {
+            let name = ObjectName::new(format!("obj-{i}"));
+            let _ = s2
+                .write(ClientId(0), &name, 0, vec![1u8; 512], SimTime::from_secs(i))
+                .expect("write");
+        }
+        assert!(ShardHealth::new(&s2).check(SimTime::ZERO).is_empty());
+    }
+}

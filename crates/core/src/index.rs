@@ -125,6 +125,14 @@ pub trait ChunkIndex: fmt::Debug + Send + Sync {
 
     /// Shape and activity counters.
     fn stats(&self) -> IndexStats;
+
+    /// The configuration's declared upper bound on
+    /// [`ChunkIndex::resident_bytes`] at the current population, when the
+    /// implementation promises one (`None` for the unbounded flat index).
+    /// Health checks compare the measured footprint against this.
+    fn declared_memory_bound(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Estimated bytes one candidate costs inside a `HashMap`-of-`Vec`s hot
@@ -678,6 +686,11 @@ impl ChunkIndex for TieredIndex {
             cold_runs: inner.runs.len() as u64,
             ..inner.stats
         }
+    }
+
+    fn declared_memory_bound(&self) -> Option<u64> {
+        let stats = self.stats();
+        Some(self.memory_bound(stats.hot_candidates + stats.cold_records))
     }
 }
 

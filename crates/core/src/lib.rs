@@ -54,6 +54,7 @@ pub mod chunkmap;
 pub mod config;
 pub mod crashpoint;
 pub mod engine;
+pub mod health;
 pub mod hitset;
 pub mod index;
 pub mod pipeline;
@@ -80,6 +81,7 @@ pub use engine::{
     shard_index, CrashRecoveryReport, DedupStore, EngineStats, FailurePoint, FlushReport, GcReport,
 };
 pub use error::DedupError;
+pub use health::{BloomHealth, IndexHealth, QueueHealth, RateHealth, ShardHealth, StallState};
 pub use hitset::{BloomFilter, HitSet};
 pub use index::{build_index, CandidateRef, ChunkIndex, FlatChunkIndex, IndexStats, TieredIndex};
 pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
@@ -87,4 +89,4 @@ pub use queue::{DirtyQueue, DirtyTicket};
 pub use ratecontrol::RateController;
 pub use refs::{BackRef, REFCOUNT_XATTR, REF_ENTRY_BYTES};
 pub use service::DedupService;
-pub use stats::SpaceReport;
+pub use stats::{CapacitySample, SpaceReport};

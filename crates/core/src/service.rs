@@ -60,7 +60,7 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Sender};
-use dedup_obs::Counter;
+use dedup_obs::{Counter, EventLog, Severity};
 use dedup_sim::SimTime;
 use dedup_store::{ClientId, ObjectName, Timed};
 use parking_lot::{Mutex, RwLock};
@@ -85,12 +85,30 @@ struct WorkerState {
     last_error: Mutex<Option<DedupError>>,
 }
 
-fn record_worker_error(state: &WorkerState, errors: &Counter, e: DedupError) {
+/// Coalesced ticks in a single pass at or above which the worker flags a
+/// tick flood: the driver is queueing virtual-time ticks far faster than
+/// passes complete.
+const TICK_FLOOD_THRESHOLD: u64 = 64;
+
+fn record_worker_error(
+    state: &WorkerState,
+    errors: &Counter,
+    events: &Option<EventLog>,
+    e: DedupError,
+) {
     // An engine failure must not vanish with the tick: record it where
     // callers (and metrics snapshots) can see it; the worker stays alive
     // for subsequent commands.
     state.errors.fetch_add(1, Ordering::Relaxed);
     errors.inc();
+    if let Some(ev) = events {
+        ev.emit(
+            Severity::Error,
+            "service.worker",
+            "error",
+            vec![("detail", e.to_string())],
+        );
+    }
     *state.last_error.lock() = Some(e);
 }
 
@@ -121,7 +139,7 @@ impl DedupService {
         });
         // The worker publishes its progress into the stack's shared
         // registry, so snapshots show background activity too.
-        let (ticks, coalesced, flushes, errors, fingerprint_wall, parallelism, tracer) = {
+        let (ticks, coalesced, flushes, errors, fingerprint_wall, parallelism, tracer, events) = {
             let s = store.read();
             let r = s.registry();
             (
@@ -132,6 +150,7 @@ impl DedupService {
                 r.histogram("engine.flush.fingerprint_wall_ns"),
                 s.fingerprint_parallelism(),
                 s.tracer().cloned(),
+                s.events().cloned(),
             )
         };
         let worker_store = Arc::clone(&store);
@@ -156,11 +175,13 @@ impl DedupService {
                             // the next non-tick command collapses into one
                             // pass at the latest virtual time.
                             let mut now = now;
+                            let mut collapsed_here = 0u64;
                             while let Ok(next) = rx.try_recv() {
                                 match next {
                                     Command::Tick(t) => {
                                         now = t;
                                         coalesced.inc();
+                                        collapsed_here += 1;
                                     }
                                     other => {
                                         pending = Some(other);
@@ -169,6 +190,17 @@ impl DedupService {
                                 }
                             }
                             ticks.inc();
+                            if collapsed_here >= TICK_FLOOD_THRESHOLD {
+                                if let Some(ev) = &events {
+                                    ev.emit_at(
+                                        now,
+                                        Severity::Warn,
+                                        "service.worker",
+                                        "tick_flood",
+                                        vec![("coalesced", collapsed_here.to_string())],
+                                    );
+                                }
+                            }
                             // Each worker tick is a wall-clock op on this
                             // thread's track; the engine adds stage/commit
                             // spans inside it while fingerprinting lands
@@ -193,7 +225,7 @@ impl DedupService {
                                     Ok(Some(batch)) => batch,
                                     Ok(None) => break,
                                     Err(e) => {
-                                        record_worker_error(&worker_state, &errors, e);
+                                        record_worker_error(&worker_state, &errors, &events, e);
                                         break;
                                     }
                                 };
@@ -228,7 +260,7 @@ impl DedupService {
                                         }
                                     }
                                     Err(e) => {
-                                        record_worker_error(&worker_state, &errors, e);
+                                        record_worker_error(&worker_state, &errors, &events, e);
                                         break;
                                     }
                                 }

@@ -123,6 +123,131 @@ impl DedupStore {
     }
 }
 
+/// One point on a capacity / dedup-effectiveness curve: the space report
+/// plus a refcount-distribution summary and the fingerprint-tier and GC
+/// counters that explain *why* the ratio moved. Produced by
+/// [`DedupStore::sample_capacity`], which also publishes the figures as
+/// registry gauges so external scrapers see the same numbers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CapacitySample {
+    /// Virtual time of the sample, nanoseconds.
+    pub at_ns: u64,
+    /// The space snapshot ([`DedupStore::space_report`]).
+    pub space: SpaceReport,
+    /// Full refcount distribution: `refcount → chunk objects`.
+    pub refcounts: std::collections::BTreeMap<u64, u64>,
+    /// Chunk objects with exactly one referrer (no sharing).
+    pub unique_chunks: u64,
+    /// Chunk objects with two or more referrers.
+    pub shared_chunks: u64,
+    /// Largest refcount observed (the zero-block / golden-image tail).
+    pub max_refcount: u64,
+    /// Lifetime chunks stored under a weak (signature) name.
+    pub weak_chunks_stored: u64,
+    /// Lifetime weak→full name upgrades.
+    pub fp_upgrades: u64,
+    /// Lifetime chunks reclaimed by GC passes.
+    pub gc_chunks_reclaimed: u64,
+    /// Lifetime stale references dropped by GC passes.
+    pub gc_stale_refs_dropped: u64,
+}
+
+impl CapacitySample {
+    /// The live dedup-ratio series value: *actual* ratio (metadata
+    /// included), in percent.
+    pub fn dedup_ratio_percent(&self) -> f64 {
+        self.space.actual_ratio_percent()
+    }
+}
+
+impl DedupStore {
+    /// Takes a [`CapacitySample`] at `now` and publishes it to the
+    /// registry as `capacity.*` gauges (per-pool logical/stored bytes,
+    /// dedup-ratio series in ppm, refcount summary). Emits an `info`
+    /// `capacity/sample` event when an event log is attached.
+    ///
+    /// Costs one pool scan (the refcount histogram); intended for
+    /// per-segment sampling, not per-op.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the pools cannot be inspected.
+    pub fn sample_capacity(&self, now: dedup_sim::SimTime) -> Result<CapacitySample, DedupError> {
+        let space = self.space_report()?;
+        let refcounts = self.refcount_histogram()?;
+        let unique_chunks = refcounts
+            .iter()
+            .filter(|(rc, _)| **rc <= 1)
+            .map(|(_, n)| n)
+            .sum();
+        let shared_chunks = refcounts
+            .iter()
+            .filter(|(rc, _)| **rc >= 2)
+            .map(|(_, n)| n)
+            .sum();
+        let max_refcount = refcounts.keys().next_back().copied().unwrap_or(0);
+
+        let reg = self.registry();
+        for pool in [self.metadata_pool(), self.chunk_pool()] {
+            let name = self.cluster().pool_config(pool)?.name.clone();
+            let usage = self.cluster().usage(pool)?;
+            let labels = [("pool", name.as_str())];
+            reg.gauge_with("capacity.pool.logical_bytes", &labels)
+                .set(usage.logical_bytes as i64);
+            reg.gauge_with("capacity.pool.stored_bytes", &labels)
+                .set(usage.stored_bytes as i64);
+        }
+        reg.gauge("capacity.logical_bytes")
+            .set(space.logical_bytes as i64);
+        reg.gauge("capacity.stored_data_bytes")
+            .set(space.stored_data_bytes() as i64);
+        reg.gauge("capacity.stored_total_bytes")
+            .set(space.stored_total_bytes() as i64);
+        reg.gauge("capacity.dedup_ratio_ppm")
+            .set((space.actual_ratio_percent() * 10_000.0) as i64);
+        reg.gauge("capacity.ideal_ratio_ppm")
+            .set((space.ideal_ratio_percent() * 10_000.0) as i64);
+        reg.gauge("capacity.chunks_unique")
+            .set(unique_chunks as i64);
+        reg.gauge("capacity.chunks_shared")
+            .set(shared_chunks as i64);
+        reg.gauge("capacity.max_refcount").set(max_refcount as i64);
+
+        let sample = CapacitySample {
+            at_ns: now.as_nanos(),
+            space,
+            refcounts,
+            unique_chunks,
+            shared_chunks,
+            max_refcount,
+            weak_chunks_stored: self.metrics().fp_weak_stored.get(),
+            fp_upgrades: self.metrics().fp_upgrades.get(),
+            gc_chunks_reclaimed: self.metrics().gc_chunks_reclaimed.get(),
+            gc_stale_refs_dropped: self.metrics().gc_stale_refs_dropped.get(),
+        };
+        if let Some(ev) = self.events() {
+            ev.emit_at(
+                now,
+                dedup_obs::Severity::Info,
+                "capacity",
+                "sample",
+                vec![
+                    ("logical_bytes", sample.space.logical_bytes.to_string()),
+                    (
+                        "stored_total_bytes",
+                        sample.space.stored_total_bytes().to_string(),
+                    ),
+                    (
+                        "dedup_ratio_ppm",
+                        ((sample.dedup_ratio_percent() * 10_000.0) as i64).to_string(),
+                    ),
+                ],
+            );
+        }
+        Ok(sample)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -190,5 +315,23 @@ mod tests {
         assert_eq!(hist.get(&5), Some(&1), "one chunk with 5 referrers");
         assert_eq!(hist.get(&1), Some(&1), "one unique chunk");
         assert_eq!(hist.values().sum::<u64>(), 2);
+
+        // The capacity sample agrees with the histogram and the space
+        // report, and publishes the gauge series.
+        let sample = s
+            .sample_capacity(SimTime::from_secs(11))
+            .expect("capacity sample");
+        assert_eq!(sample.unique_chunks, 1);
+        assert_eq!(sample.shared_chunks, 1);
+        assert_eq!(sample.max_refcount, 5);
+        assert_eq!(sample.space, s.space_report().expect("space"));
+        let ratio = s.registry().gauge("capacity.dedup_ratio_ppm").get();
+        assert_eq!(
+            ratio,
+            (sample.dedup_ratio_percent() * 10_000.0) as i64,
+            "gauge mirrors the sample"
+        );
+        let logical = s.registry().gauge("capacity.logical_bytes").get();
+        assert_eq!(logical as u64, sample.space.logical_bytes);
     }
 }

@@ -24,6 +24,12 @@
 //!   detection, JSON dumps.
 //! - [`chrome`] — Chrome `trace_event` (Perfetto-loadable) export of
 //!   recorded traces, plus a dependency-free schema validator for CI.
+//! - [`events`] — the third pillar: a severity-leveled, bounded-ring
+//!   [`EventLog`] of discrete, virtual-time-stamped state changes (OSD
+//!   down, bloom overfill, WAL checkpoint, band transition) with
+//!   JSON-lines export.
+//! - [`health`] — the [`HealthCheck`] trait plus `ok/degraded/critical`
+//!   aggregation into a machine-readable [`HealthReport`].
 //!
 //! One `Registry` is created per storage stack (the engine builds it and
 //! shares it with its cluster) so a single snapshot shows the whole
@@ -32,15 +38,19 @@
 //! is set, producing `<figure>.trace.json` sidecars.
 
 pub mod chrome;
+pub mod events;
+pub mod health;
 pub mod optracker;
 pub mod probe;
 pub mod registry;
 pub mod trace;
 
 pub use chrome::{render, validate_chrome_trace};
+pub use events::{Event, EventLog, Severity};
+pub use health::{HealthCheck, HealthFinding, HealthReport, HealthStatus};
 pub use optracker::{Clock, OpTrace, OpTracker, SlowOpEvent, Span, Track, TrackerConfig};
 pub use probe::{sample_flow_engine, sample_resources};
 pub use registry::{
-    Counter, Gauge, Histogram, Labels, Meter, MetricSnapshot, Registry, SnapshotValue,
+    json_escape, Counter, Gauge, Histogram, Labels, Meter, MetricSnapshot, Registry, SnapshotValue,
 };
 pub use trace::{TraceCtx, TraceExport, Tracer};

@@ -60,11 +60,20 @@ pub struct Gauge {
 
 impl Gauge {
     /// Sets the level.
+    ///
+    /// Edge semantics (pinned): `set` is an atomic store and `add` an
+    /// atomic read-modify-write on the same cell. Interleaving is
+    /// last-writer-wins at the operation level — a `set` overwrites the
+    /// effect of every `add` that completed before it, and every `add`
+    /// that starts after it applies relative to the new level. Adds are
+    /// never lost *between themselves*: N concurrent `add(1)` calls with
+    /// no intervening `set` always raise the level by exactly N.
     pub fn set(&self, v: i64) {
         self.value.store(v, Ordering::Relaxed);
     }
 
-    /// Adds `n` (may be negative).
+    /// Adds `n` (may be negative). See [`Gauge::set`] for the pinned
+    /// set/add interleaving semantics.
     pub fn add(&self, n: i64) {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
@@ -164,6 +173,11 @@ impl Histogram {
     ///
     /// The estimate is the upper edge of the bucket holding the q-th
     /// sample, except that the final bucket reports the true maximum.
+    ///
+    /// Edge semantics (pinned): on an **empty** histogram every quantile
+    /// is `0` — as are [`Histogram::min`] and [`Histogram::max`] — so
+    /// "no samples" renders as zeros rather than NaNs or sentinels in
+    /// reports.
     pub fn quantile(&self, q: f64) -> u64 {
         let count = self.count();
         if count == 0 {
@@ -181,7 +195,8 @@ impl Histogram {
         self.inner.max.load(Ordering::Relaxed)
     }
 
-    /// Smallest sample recorded; 0 when empty.
+    /// Smallest sample recorded; `0` when empty (pinned — the internal
+    /// `u64::MAX` sentinel is never exposed).
     pub fn min(&self) -> u64 {
         let v = self.inner.min.load(Ordering::Relaxed);
         if v == u64::MAX {
@@ -191,7 +206,7 @@ impl Histogram {
         }
     }
 
-    /// Largest sample recorded.
+    /// Largest sample recorded; `0` when empty (pinned).
     pub fn max(&self) -> u64 {
         self.inner.max.load(Ordering::Relaxed)
     }
@@ -250,6 +265,12 @@ impl Meter {
     }
 
     /// Events per virtual second over the trailing window ending at `now`.
+    ///
+    /// Edge semantics (pinned): the window is **inclusive at its start**.
+    /// An event marked at exactly `now - window` still counts toward the
+    /// rate at `now`; one nanosecond older and it is pruned. Equivalently
+    /// the window covers `[now - window, now]`, so an event never
+    /// vanishes from the rate *at* the boundary, only strictly past it.
     pub fn rate(&self, now: SimTime) -> f64 {
         let mut inner = self.inner.lock().expect("meter lock");
         inner.prune(now);
@@ -483,7 +504,9 @@ impl Registry {
     }
 }
 
-pub(crate) fn json_escape(s: &str) -> String {
+/// Escapes a string for embedding in a JSON string literal (the escape
+/// rules every hand-rolled JSON emitter in this workspace shares).
+pub fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {
@@ -715,5 +738,50 @@ mod tests {
         // And the order itself is (name, labels)-sorted.
         let names: Vec<String> = fwd.snapshot(now).into_iter().map(|s| s.name).collect();
         assert_eq!(names, vec!["a.depth", "a.depth", "m.lat", "z.ops"]);
+    }
+
+    // --- pinned edge semantics (see the doc comments they mirror) ---
+
+    #[test]
+    fn empty_histogram_reports_zeros_not_sentinels() {
+        let h = Histogram::default();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert_eq!(h.quantile(1.0), 0);
+        assert_eq!(h.min(), 0, "u64::MAX sentinel must not leak");
+        assert_eq!(h.max(), 0);
+        // One sample flips min/max to that sample, not to garbage.
+        h.record(7);
+        assert_eq!((h.min(), h.max()), (7, 7));
+    }
+
+    #[test]
+    fn meter_window_start_is_inclusive() {
+        let reg = Registry::new();
+        let m = reg.meter("edge", SimDuration::from_secs(1));
+        m.mark(SimTime::from_secs(1), 10);
+        // Exactly one window later: the event sits at now - window and
+        // must still count (inclusive boundary).
+        assert_eq!(m.rate(SimTime::from_secs(2)), 10.0);
+        // One nanosecond past the boundary it is pruned.
+        assert_eq!(m.rate(SimTime::from_nanos(2_000_000_001)), 0.0);
+        // Pruning is permanent: asking at the boundary again after the
+        // later query still reports 0 (events are gone, not filtered).
+        assert_eq!(m.rate(SimTime::from_secs(2)), 0.0);
+        assert_eq!(m.total(), 10, "lifetime total survives pruning");
+    }
+
+    #[test]
+    fn gauge_set_add_interleaving_is_last_writer_wins() {
+        let g = Gauge::default();
+        g.add(5);
+        g.set(100); // overwrites the prior adds entirely
+        assert_eq!(g.get(), 100);
+        g.add(-30); // applies relative to the new level
+        g.add(10);
+        assert_eq!(g.get(), 80);
+        g.set(0); // reset discards accumulated adds again
+        assert_eq!(g.get(), 0);
     }
 }

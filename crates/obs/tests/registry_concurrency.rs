@@ -1,0 +1,125 @@
+//! Registry under concurrent writers and a snapshotting reader.
+//!
+//! N writer threads hammer counters, gauges and histograms (some shared,
+//! some per-thread-labelled) while a reader thread repeatedly snapshots.
+//! Every snapshot must be internally consistent — (name, labels)-sorted,
+//! labels themselves sorted, no torn or partially-registered series —
+//! and once the writers join, the final totals must be exact.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+
+use dedup_obs::{Registry, SnapshotValue};
+use dedup_sim::SimTime;
+
+const WRITERS: usize = 8;
+const OPS_PER_WRITER: u64 = 20_000;
+
+#[test]
+fn snapshots_stay_consistent_under_concurrent_writes() {
+    let reg = Registry::new();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let reg = reg.clone();
+        handles.push(thread::spawn(move || {
+            let label = w.to_string();
+            // Mix of shared series (all threads) and per-thread series
+            // (registered lazily from inside the race).
+            let shared = reg.counter("conc.ops");
+            let mine = reg.counter_with("conc.thread_ops", &[("thread", &label)]);
+            let depth = reg.gauge("conc.depth");
+            let hist = reg.histogram_with("conc.lat", &[("thread", &label)]);
+            for i in 0..OPS_PER_WRITER {
+                shared.inc();
+                mine.inc();
+                depth.add(1);
+                depth.add(-1);
+                hist.record(i + 1);
+            }
+        }));
+    }
+
+    let reader = {
+        let reg = reg.clone();
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || {
+            let mut snapshots_taken = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let snaps = reg.snapshot(SimTime::from_secs(1));
+                // Sorted by (name, labels) with no torn entries.
+                for pair in snaps.windows(2) {
+                    let a = (&pair[0].name, &pair[0].labels);
+                    let b = (&pair[1].name, &pair[1].labels);
+                    assert!(a <= b, "snapshot out of order: {a:?} > {b:?}");
+                }
+                for snap in &snaps {
+                    assert!(!snap.name.is_empty());
+                    let mut keys: Vec<&str> = snap.labels.iter().map(|(k, _)| k.as_str()).collect();
+                    let sorted = {
+                        let mut s = keys.clone();
+                        s.sort_unstable();
+                        s
+                    };
+                    assert_eq!(keys, sorted, "label keys not sorted in {}", snap.name);
+                    keys.dedup();
+                    assert_eq!(
+                        keys.len(),
+                        snap.labels.len(),
+                        "duplicate label key in {}",
+                        snap.name
+                    );
+                    if snap.name == "conc.thread_ops" || snap.name == "conc.lat" {
+                        assert_eq!(snap.labels.len(), 1, "torn label set on {}", snap.name);
+                        assert_eq!(snap.labels[0].0, "thread");
+                    }
+                }
+                // JSON-lines export must stay one-object-per-line too.
+                for line in reg.to_jsonl(SimTime::from_secs(1)).lines() {
+                    assert!(line.starts_with('{') && line.ends_with('}'), "line {line}");
+                }
+                snapshots_taken += 1;
+            }
+            snapshots_taken
+        })
+    };
+
+    for handle in handles {
+        handle.join().expect("writer panicked");
+    }
+    stop.store(true, Ordering::Relaxed);
+    let snapshots_taken = reader.join().expect("reader panicked");
+    assert!(snapshots_taken > 0, "reader never got a snapshot in");
+
+    // Final totals are exact: no lost updates.
+    let expected_total = WRITERS as u64 * OPS_PER_WRITER;
+    assert_eq!(reg.counter("conc.ops").get(), expected_total);
+    assert_eq!(reg.gauge("conc.depth").get(), 0);
+    let snaps = reg.snapshot(SimTime::from_secs(1));
+    let mut per_thread = 0u64;
+    let mut hist_samples = 0u64;
+    for snap in &snaps {
+        match (snap.name.as_str(), &snap.value) {
+            ("conc.thread_ops", SnapshotValue::Counter(n)) => {
+                assert_eq!(*n, OPS_PER_WRITER);
+                per_thread += n;
+            }
+            (
+                "conc.lat",
+                SnapshotValue::Histogram {
+                    count, min, max, ..
+                },
+            ) => {
+                assert_eq!(*count, OPS_PER_WRITER);
+                hist_samples += count;
+                assert_eq!(*min, 1);
+                assert_eq!(*max, OPS_PER_WRITER);
+            }
+            _ => {}
+        }
+    }
+    assert_eq!(per_thread, expected_total);
+    assert_eq!(hist_samples, expected_total);
+}

@@ -7,7 +7,7 @@ use std::time::Instant;
 
 use bytes::Bytes;
 use dedup_erasure::ReedSolomon;
-use dedup_obs::{Registry, TraceCtx, Tracer};
+use dedup_obs::{EventLog, Registry, Severity, TraceCtx, Tracer};
 use dedup_placement::{ClusterMap, NodeId, OsdId, PgMap, PoolId};
 use dedup_sim::{CostExpr, SimTime};
 use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
@@ -185,6 +185,9 @@ pub struct Cluster {
     object_size_cap: u64,
     pub(crate) metrics: ClusterMetrics,
     pub(crate) tracer: Option<Tracer>,
+    /// Structured event log for OSD and WAL lifecycle events; `None` (the
+    /// default) keeps every emission site a single branch.
+    pub(crate) events: Option<EventLog>,
     wal: Option<WalState>,
 }
 
@@ -212,6 +215,17 @@ pub struct WalCheckpointReport {
     pub segments: u64,
     /// Total bytes across the new segments.
     pub segment_bytes: u64,
+}
+
+/// What [`Cluster::wal_manifest_check`] found in a healthy MANIFEST.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WalManifestSummary {
+    /// Checkpoint generation the MANIFEST names (0 = no checkpoint yet).
+    pub epoch: u64,
+    /// First sequence number not covered by the checkpoint segments.
+    pub last_seq: u64,
+    /// Segments the MANIFEST names (all verified present and clean).
+    pub segments: u64,
 }
 
 /// Summary of one WAL recovery pass.
@@ -331,6 +345,7 @@ impl ClusterBuilder {
             object_size_cap: self.object_size_cap,
             metrics: ClusterMetrics::new(Registry::new()),
             tracer: None,
+            events: None,
             wal: None,
         }
     }
@@ -382,6 +397,18 @@ impl Cluster {
     /// The attached tracer, if any.
     pub fn tracer(&self) -> Option<&Tracer> {
         self.tracer.as_ref()
+    }
+
+    /// Attaches a structured event log: OSD up/down transitions, WAL
+    /// checkpoints/recoveries/torn-tail drops, and recovery repair passes
+    /// emit into it. Events only observe — they never add virtual cost.
+    pub fn attach_events(&mut self, events: EventLog) {
+        self.events = Some(events);
+    }
+
+    /// The attached event log, if any.
+    pub fn events(&self) -> Option<&EventLog> {
+        self.events.as_ref()
     }
 
     /// Attaches the durability plane: from here on every committed
@@ -501,6 +528,18 @@ impl Cluster {
         }
         w.epoch.store(epoch, Ordering::Relaxed);
         self.metrics.wal_checkpoints.inc();
+        if let Some(ev) = &self.events {
+            ev.emit(
+                Severity::Info,
+                "cluster.wal",
+                "checkpoint",
+                vec![
+                    ("epoch", report.epoch.to_string()),
+                    ("objects", report.objects.to_string()),
+                    ("segment_bytes", report.segment_bytes.to_string()),
+                ],
+            );
+        }
         Ok(report)
     }
 
@@ -575,6 +614,14 @@ impl Cluster {
             if torn {
                 report.torn_tails_dropped += 1;
                 self.metrics.wal_torn_dropped.inc();
+                if let Some(ev) = &self.events {
+                    ev.emit(
+                        Severity::Warn,
+                        "cluster.wal",
+                        "torn_tail_dropped",
+                        vec![("osd", osd.to_string())],
+                    );
+                }
             }
             // Records below the MANIFEST horizon are already inside the
             // segments (a crashed post-checkpoint truncation left them).
@@ -605,7 +652,53 @@ impl Cluster {
         self.metrics
             .wal_recovery_wall_ns
             .record(start.elapsed().as_nanos() as u64);
+        if let Some(ev) = &self.events {
+            ev.emit(
+                Severity::Info,
+                "cluster.wal",
+                "recovered",
+                vec![
+                    ("checkpoint_records", report.checkpoint_records.to_string()),
+                    (
+                        "log_records_replayed",
+                        report.log_records_replayed.to_string(),
+                    ),
+                    ("replay_errors", report.replay_errors.to_string()),
+                    ("torn_tails_dropped", report.torn_tails_dropped.to_string()),
+                ],
+            );
+        }
         Ok(report)
+    }
+
+    /// Validates the attached WAL's durable state without replaying it:
+    /// the MANIFEST must decode, and every segment it names must exist
+    /// and decode cleanly. Returns `None` without an attached WAL, and
+    /// `Err(detail)` describing the first corruption found. A missing
+    /// MANIFEST is a valid pre-first-checkpoint state.
+    pub fn wal_manifest_check(&self) -> Option<Result<WalManifestSummary, String>> {
+        let w = self.wal.as_ref()?;
+        let Some(buf) = w.backend.read_manifest() else {
+            return Some(Ok(WalManifestSummary::default()));
+        };
+        let manifest = match WalManifest::decode(&buf) {
+            Ok(m) => m,
+            Err(e) => return Some(Err(format!("manifest undecodable: {e}"))),
+        };
+        for seg_name in &manifest.segments {
+            let Some(seg) = w.backend.read_segment(seg_name) else {
+                return Some(Err(format!("manifest names missing segment {seg_name}")));
+            };
+            let (_, torn) = decode_records(&seg);
+            if torn {
+                return Some(Err(format!("checkpoint segment {seg_name} is corrupt")));
+            }
+        }
+        Some(Ok(WalManifestSummary {
+            epoch: manifest.epoch,
+            last_seq: manifest.last_seq,
+            segments: manifest.segments.len() as u64,
+        }))
     }
 
     /// Tags `cost` when a tracer is attached (for cluster-internal ops
@@ -648,6 +741,9 @@ impl Cluster {
         self.metrics
             .exec_latency
             .record(done.saturating_since(now).as_nanos());
+        if let Some(ev) = &self.events {
+            ev.advance(done);
+        }
         done
     }
 
@@ -1668,6 +1764,14 @@ impl Cluster {
     pub fn fail_osd(&mut self, osd: OsdId) {
         self.map.set_up(osd, false);
         self.osds[osd.0 as usize].write().wipe();
+        if let Some(ev) = &self.events {
+            ev.emit(
+                Severity::Error,
+                "cluster.osd",
+                "osd_failed",
+                vec![("osd", osd.0.to_string()), ("device", "wiped".to_string())],
+            );
+        }
     }
 
     /// Marks an OSD down without wiping it (temporary outage).
@@ -1677,6 +1781,14 @@ impl Cluster {
     /// Panics for unknown OSD ids.
     pub fn mark_down(&mut self, osd: OsdId) {
         self.map.set_up(osd, false);
+        if let Some(ev) = &self.events {
+            ev.emit(
+                Severity::Warn,
+                "cluster.osd",
+                "osd_down",
+                vec![("osd", osd.0.to_string())],
+            );
+        }
     }
 
     /// Brings an OSD back up (its device keeps whatever it held; run
@@ -1687,6 +1799,14 @@ impl Cluster {
     /// Panics for unknown OSD ids.
     pub fn revive_osd(&mut self, osd: OsdId) {
         self.map.set_up(osd, true);
+        if let Some(ev) = &self.events {
+            ev.emit(
+                Severity::Info,
+                "cluster.osd",
+                "osd_up",
+                vec![("osd", osd.0.to_string())],
+            );
+        }
     }
 
     /// Adds a brand-new OSD to `node` and returns its id.

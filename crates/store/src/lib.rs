@@ -25,6 +25,7 @@
 
 mod cluster;
 mod error;
+mod health;
 mod metrics;
 mod object;
 mod osd;
@@ -34,9 +35,11 @@ mod recovery;
 mod wal;
 
 pub use cluster::{
-    Cluster, ClusterBuilder, IoCtx, Timed, TxOp, WalCheckpointReport, WalRecoveryReport,
+    Cluster, ClusterBuilder, IoCtx, Timed, TxOp, WalCheckpointReport, WalManifestSummary,
+    WalRecoveryReport,
 };
 pub use error::StoreError;
+pub use health::{OsdHealth, WalHealth};
 pub use object::{ObjectName, Payload, RangeSet, StoredObject, PER_OBJECT_OVERHEAD};
 pub use osd::{Osd, OsdStats};
 pub use perf::{ClientId, PerfConfig, PerfTopology};

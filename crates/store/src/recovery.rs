@@ -68,6 +68,32 @@ impl Cluster {
         self.metrics.recovery_examined.add(report.objects_examined);
         self.metrics.recovery_repaired.add(report.objects_repaired);
         self.metrics.recovery_bytes_moved.add(report.bytes_moved);
+        if let Some(ev) = self.events() {
+            if report.objects_repaired > 0 || report.strays_removed > 0 {
+                ev.emit(
+                    dedup_obs::Severity::Info,
+                    "cluster.recovery",
+                    "repairs",
+                    vec![
+                        ("objects_examined", report.objects_examined.to_string()),
+                        ("objects_repaired", report.objects_repaired.to_string()),
+                        ("bytes_moved", report.bytes_moved.to_string()),
+                        ("strays_removed", report.strays_removed.to_string()),
+                    ],
+                );
+            }
+            for (pool, name) in &report.lost {
+                ev.emit(
+                    dedup_obs::Severity::Error,
+                    "cluster.recovery",
+                    "object_lost",
+                    vec![
+                        ("pool", pool.0.to_string()),
+                        ("object", name.as_str().to_string()),
+                    ],
+                );
+            }
+        }
         // Recovery proceeds in parallel across placement groups (bounded
         // in real clusters by op queues, but bandwidth-bound either way):
         // disks and NICs serialize transfers through the resource model,
