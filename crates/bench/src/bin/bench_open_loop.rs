@@ -1,0 +1,506 @@
+//! Wall-clock benchmark of the **read-concurrent foreground plane under
+//! skew**: an open-loop, Zipf-distributed GET/PUT mix against a live
+//! [`DedupService`].
+//!
+//! Each of N client threads replays one tenant's schedule from
+//! [`dedup_workloads::zipf::OpenLoopSpec`]: arrival times are fixed in
+//! *virtual* time (open loop — the schedule never slows down because the
+//! server is busy, unlike a closed loop whose think-time hides queueing),
+//! GETs draw a shared object rank from Zipf(θ), PUTs land on
+//! tenant-private objects so reads stay deterministic while writers churn
+//! their own shards. The sweep crosses skew θ ∈ {0, 0.99, 1.2} with
+//! 1/2/4/8 threads, in two modes over identical schedules:
+//!
+//! - **exclusive**: [`DedupConfig::exclusive_shard_reads`] reconstructs
+//!   the pre-RwLock plane — reads take their shard lock exclusively, so a
+//!   hot shard serializes its readers;
+//! - **rwlock**: the normal path — reads share the shard lock and only
+//!   mutations exclude.
+//!
+//! Both modes must produce identical op results (per-thread read
+//! checksums, engine op/cache-hit counters, per-shard routing counts);
+//! the benchmark fails loudly if they do not. Reported per cell:
+//! p50/p99/p999 GET and PUT latency from the histogram layer, throughput,
+//! per-shard op counts, and the read/write shard lock-wait split.
+//!
+//! The **gate** cell — 8 reader threads hammering a *single* hot object
+//! at θ = 1.2, pure GETs — asserts rwlock read throughput ≥ 2× the
+//! exclusive baseline (on hosts with ≥ 4 cores) and a non-zero read p999.
+//!
+//! Results land in `BENCH_open_loop.json` (override with `--out PATH` or
+//! `$DEDUP_BENCH_OUT`). `--smoke` shrinks the sweep for CI.
+
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use dedup_core::{CachePolicy, DedupConfig, DedupService, DedupStore};
+use dedup_obs::Registry;
+use dedup_store::{ClientId, ClusterBuilder, ObjectName};
+use dedup_workloads::zipf::{OpKind, OpenLoopSpec, ScheduledOp};
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const THETAS: [f64; 3] = [0.0, 0.99, 1.2];
+const SHARDS: usize = 16;
+const BLOCK: u32 = 32 * 1024;
+/// Private objects each tenant rotates its PUTs through.
+const PRIVATE_OBJECTS: u64 = 4;
+/// Host cores below which the gate's ≥2x speedup is reported but not
+/// asserted: with fewer cores than it takes to overlap reader threads,
+/// both modes serialize and the ratio is meaningless.
+const GATE_MIN_CORES: usize = 4;
+
+/// Workload dimensions for one benchmark invocation.
+struct Shape {
+    objects: usize,
+    object_size: u32,
+    ops_per_tenant: u64,
+    gate_ops_per_tenant: u64,
+    iters: usize,
+}
+
+impl Shape {
+    fn full() -> Self {
+        Shape {
+            objects: 64,
+            object_size: 128 * 1024,
+            ops_per_tenant: 4000,
+            gate_ops_per_tenant: 8000,
+            iters: 2,
+        }
+    }
+
+    fn smoke() -> Self {
+        Shape {
+            objects: 32,
+            object_size: 64 * 1024,
+            ops_per_tenant: 1200,
+            gate_ops_per_tenant: 3000,
+            iters: 2,
+        }
+    }
+
+    /// The open-loop spec for one sweep cell: 90/10 GET/PUT over the
+    /// shared population at 2000 virtual ops/s per tenant.
+    fn spec(&self, theta: f64, tenants: usize) -> OpenLoopSpec {
+        OpenLoopSpec {
+            tenants,
+            rate_per_tenant: 2000.0,
+            ops_per_tenant: self.ops_per_tenant,
+            objects: self.objects,
+            theta,
+            get_fraction: 0.9,
+            seed: 0xD5D0 + (theta * 100.0) as u64,
+        }
+    }
+
+    /// The gate cell: every tenant reads the *single* hot object —
+    /// Zipf(θ=1.2) over a population of one, pure GETs, 8 tenants.
+    fn gate_spec(&self) -> OpenLoopSpec {
+        OpenLoopSpec {
+            tenants: 8,
+            rate_per_tenant: 2000.0,
+            ops_per_tenant: self.gate_ops_per_tenant,
+            objects: 1,
+            theta: 1.2,
+            get_fraction: 1.0,
+            seed: 0x607_1007,
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Mode {
+    /// Pre-RwLock baseline: reads take their shard lock exclusively.
+    Exclusive,
+    /// Reader-writer shards: reads share, mutations exclude.
+    Rwlock,
+}
+
+impl Mode {
+    fn name(self) -> &'static str {
+        match self {
+            Mode::Exclusive => "exclusive",
+            Mode::Rwlock => "rwlock",
+        }
+    }
+}
+
+/// Deterministic content of shared read-only object `rank`.
+fn shared_object_data(rank: usize, size: u32) -> Vec<u8> {
+    (0..size as usize)
+        .map(|i| ((rank * 31 + i / 512) & 0xff) as u8)
+        .collect()
+}
+
+/// FNV-1a over a byte stream — the per-thread read-result checksum.
+fn fnv1a(h: u64, bytes: &[u8]) -> u64 {
+    let mut h = h;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct RunResult {
+    mode: Mode,
+    theta: f64,
+    threads: usize,
+    wall_secs: f64,
+    reads: u64,
+    writes: u64,
+    cache_hit_chunks: u64,
+    read_kops_per_s: f64,
+    total_kops_per_s: f64,
+    /// GET service latency percentiles, nanoseconds.
+    get_p50: u64,
+    get_p99: u64,
+    get_p999: u64,
+    /// PUT service latency percentiles, nanoseconds (0 when no PUTs ran).
+    put_p50: u64,
+    put_p99: u64,
+    put_p999: u64,
+    /// Shard lock-wait split from `service.shard.lock_wait_ns{mode=..}`.
+    lock_wait_read_count: u64,
+    lock_wait_read_p99: u64,
+    lock_wait_write_count: u64,
+    lock_wait_write_p99: u64,
+    /// Per-shard total op routing counts.
+    shard_ops: Vec<u64>,
+    /// Per-tenant FNV checksums over every GET's returned bytes.
+    checksums: Vec<u64>,
+}
+
+/// One full run: fresh cluster + service, shared-population preload,
+/// then N tenant threads replaying their open-loop schedules at full
+/// wall-clock speed (the virtual arrival stamps feed the engine clock).
+fn run(mode: Mode, spec: &OpenLoopSpec, shape: &Shape) -> RunResult {
+    let cluster = ClusterBuilder::new().nodes(4).osds_per_node(4).build();
+    let mut config = DedupConfig::with_chunk_size(BLOCK)
+        .cache_policy(CachePolicy::EvictAll)
+        .foreground_shards(SHARDS);
+    if mode == Mode::Exclusive {
+        config = config.exclusive_shard_reads();
+    }
+    let svc = Arc::new(DedupService::start(DedupStore::with_default_pools(
+        cluster, config,
+    )));
+
+    // Preload the shared read-only population outside the timed region.
+    let preload_client = ClientId(u32::MAX);
+    let names: Arc<Vec<ObjectName>> = Arc::new(
+        (0..spec.objects)
+            .map(|r| ObjectName::new(format!("shared-{r}")))
+            .collect(),
+    );
+    for (rank, name) in names.iter().enumerate() {
+        let data = shared_object_data(rank, shape.object_size);
+        let _ = svc
+            .write(preload_client, name, 0, data, dedup_sim::SimTime::ZERO)
+            .expect("preload write");
+    }
+
+    // Schedules and latency instruments live outside the timed region
+    // too. The registry is bench-local: these series never touch the
+    // store's registry (see METRICS.md's experiment-local appendix).
+    let schedules: Vec<Vec<ScheduledOp>> =
+        (0..spec.tenants).map(|t| spec.tenant_schedule(t)).collect();
+    let bench_registry = Registry::new();
+    let get_hist = bench_registry.histogram_with("bench.open_loop.latency_ns", &[("op", "get")]);
+    let put_hist = bench_registry.histogram_with("bench.open_loop.latency_ns", &[("op", "put")]);
+
+    let blocks_per_object = (shape.object_size / BLOCK) as u64;
+    let barrier = Arc::new(Barrier::new(spec.tenants + 1));
+    let mut handles = Vec::new();
+    for (t, schedule) in schedules.into_iter().enumerate() {
+        let svc = Arc::clone(&svc);
+        let names = Arc::clone(&names);
+        let barrier = Arc::clone(&barrier);
+        let (get_hist, put_hist) = (get_hist.clone(), put_hist.clone());
+        let object_size = shape.object_size;
+        handles.push(std::thread::spawn(move || {
+            let client = ClientId(t as u32);
+            // Tenant-private PUT targets and their deterministic blocks.
+            let private: Vec<ObjectName> = (0..PRIVATE_OBJECTS)
+                .map(|p| ObjectName::new(format!("t{t}-priv-{p}")))
+                .collect();
+            let put_blocks: Vec<Vec<u8>> = (0..PRIVATE_OBJECTS)
+                .map(|p| {
+                    (0..BLOCK as usize)
+                        .map(|i| ((t * 131 + p as usize * 17 + i / 256) & 0xff) as u8)
+                        .collect()
+                })
+                .collect();
+            let mut checksum = 0xcbf2_9ce4_8422_2325u64;
+            let mut puts_issued = 0u64;
+            barrier.wait();
+            for (k, op) in schedule.iter().enumerate() {
+                match op.kind {
+                    OpKind::Get => {
+                        // Deterministic block-aligned offset within the
+                        // zipf-chosen object.
+                        let block = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            % blocks_per_object.max(1);
+                        let offset = block * u64::from(BLOCK);
+                        let start = Instant::now();
+                        let r = svc
+                            .read(client, &names[op.object], offset, u64::from(BLOCK), op.at)
+                            .expect("bench read");
+                        get_hist.record(start.elapsed().as_nanos() as u64);
+                        assert_eq!(r.value.len(), BLOCK as usize, "short read");
+                        checksum = fnv1a(checksum, &r.value);
+                    }
+                    OpKind::Put => {
+                        let p = puts_issued % PRIVATE_OBJECTS;
+                        puts_issued += 1;
+                        let block = (k as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                            % (u64::from(object_size / BLOCK).max(1));
+                        let offset = block * u64::from(BLOCK);
+                        let start = Instant::now();
+                        let _ = svc
+                            .write(
+                                client,
+                                &private[p as usize],
+                                offset,
+                                put_blocks[p as usize].clone(),
+                                op.at,
+                            )
+                            .expect("bench write");
+                        put_hist.record(start.elapsed().as_nanos() as u64);
+                    }
+                }
+            }
+            checksum
+        }));
+    }
+
+    // Clock starts before the barrier: every worker is already parked
+    // there, so the extra measured time is one wakeup.
+    let start = Instant::now();
+    barrier.wait();
+    let checksums: Vec<u64> = handles
+        .into_iter()
+        .map(|h| h.join().expect("bench thread"))
+        .collect();
+    let wall_secs = start.elapsed().as_secs_f64();
+
+    let store = Arc::try_unwrap(svc)
+        .unwrap_or_else(|_| panic!("service handles leaked"))
+        .shutdown();
+    let stats = store.stats();
+    let preload = spec.objects as u64;
+    let measured_reads = stats.reads;
+    let measured_writes = stats.writes - preload;
+    let lock_read = store
+        .registry()
+        .histogram_with("service.shard.lock_wait_ns", &[("mode", "read")]);
+    let lock_write = store
+        .registry()
+        .histogram_with("service.shard.lock_wait_ns", &[("mode", "write")]);
+
+    RunResult {
+        mode,
+        theta: spec.theta,
+        threads: spec.tenants,
+        wall_secs,
+        reads: measured_reads,
+        writes: measured_writes,
+        cache_hit_chunks: stats.cache_hit_chunks,
+        read_kops_per_s: measured_reads as f64 / 1e3 / wall_secs.max(1e-9),
+        total_kops_per_s: (measured_reads + measured_writes) as f64 / 1e3 / wall_secs.max(1e-9),
+        get_p50: get_hist.quantile(0.5),
+        get_p99: get_hist.quantile(0.99),
+        get_p999: get_hist.quantile(0.999),
+        put_p50: put_hist.quantile(0.5),
+        put_p99: put_hist.quantile(0.99),
+        put_p999: put_hist.quantile(0.999),
+        lock_wait_read_count: lock_read.count(),
+        lock_wait_read_p99: lock_read.quantile(0.99),
+        lock_wait_write_count: lock_write.count(),
+        lock_wait_write_p99: lock_write.quantile(0.99),
+        shard_ops: store.shard_op_counts(),
+        checksums,
+    }
+}
+
+/// Best-of-N to damp scheduler noise; results must agree across runs.
+fn best_of(iters: usize, mode: Mode, spec: &OpenLoopSpec, shape: &Shape) -> RunResult {
+    let mut best: Option<RunResult> = None;
+    for _ in 0..iters {
+        let r = run(mode, spec, shape);
+        if let Some(b) = &best {
+            assert_eq!(b.checksums, r.checksums, "same schedule, same read bytes");
+            assert_eq!((b.reads, b.writes), (r.reads, r.writes));
+        }
+        if best.as_ref().is_none_or(|b| r.wall_secs < b.wall_secs) {
+            best = Some(r);
+        }
+    }
+    best.expect("at least one iteration")
+}
+
+/// The virtual-plane identity the RwLock conversion must preserve: both
+/// modes replayed the same schedules, so every op result and every
+/// routing decision must match bit for bit.
+fn assert_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(
+        a.checksums, b.checksums,
+        "read results must not depend on shard lock mode"
+    );
+    assert_eq!((a.reads, a.writes), (b.reads, b.writes), "op counts");
+    assert_eq!(a.cache_hit_chunks, b.cache_hit_chunks, "cache-hit counts");
+    assert_eq!(a.shard_ops, b.shard_ops, "per-shard routing counts");
+}
+
+fn json_run(r: &RunResult) -> String {
+    let shard_ops = r
+        .shard_ops
+        .iter()
+        .map(u64::to_string)
+        .collect::<Vec<_>>()
+        .join(", ");
+    format!(
+        "{{\"mode\": \"{}\", \"theta\": {}, \"threads\": {}, \"wall_secs\": {:.6}, \
+         \"reads\": {}, \"writes\": {}, \"read_kops_per_s\": {:.1}, \"total_kops_per_s\": {:.1}, \
+         \"get_p50_ns\": {}, \"get_p99_ns\": {}, \"get_p999_ns\": {}, \
+         \"put_p50_ns\": {}, \"put_p99_ns\": {}, \"put_p999_ns\": {}, \
+         \"lock_wait_read\": {{\"count\": {}, \"p99_ns\": {}}}, \
+         \"lock_wait_write\": {{\"count\": {}, \"p99_ns\": {}}}, \
+         \"shard_ops\": [{shard_ops}]}}",
+        r.mode.name(),
+        r.theta,
+        r.threads,
+        r.wall_secs,
+        r.reads,
+        r.writes,
+        r.read_kops_per_s,
+        r.total_kops_per_s,
+        r.get_p50,
+        r.get_p99,
+        r.get_p999,
+        r.put_p50,
+        r.put_p99,
+        r.put_p999,
+        r.lock_wait_read_count,
+        r.lock_wait_read_p99,
+        r.lock_wait_write_count,
+        r.lock_wait_write_p99,
+    )
+}
+
+fn main() {
+    let mut smoke = false;
+    let mut out: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out = Some(args.next().expect("--out needs a path")),
+            other => panic!("unknown argument: {other} (expected --smoke | --out PATH)"),
+        }
+    }
+    let out = out
+        .or_else(|| std::env::var("DEDUP_BENCH_OUT").ok())
+        .unwrap_or_else(|| "BENCH_open_loop.json".to_string());
+    let shape = if smoke { Shape::smoke() } else { Shape::full() };
+    let host = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+
+    println!("# bench_open_loop");
+    println!();
+    println!(
+        "{} shared objects x {} KiB, {} KiB blocks, {SHARDS} shards, 90/10 GET/PUT, \
+         {} ops/tenant; best of {} runs; host cores: {host}",
+        shape.objects,
+        shape.object_size / 1024,
+        BLOCK / 1024,
+        shape.ops_per_tenant,
+        shape.iters,
+    );
+    println!();
+    println!(
+        "| theta | threads | excl kops/s | rwlock kops/s | speedup | rw GET p50/p99/p999 us |"
+    );
+    println!("|---|---|---|---|---|---|");
+
+    let mut runs = Vec::new();
+    for &theta in &THETAS {
+        for &threads in &THREAD_COUNTS {
+            let spec = shape.spec(theta, threads);
+            let excl = best_of(shape.iters, Mode::Exclusive, &spec, &shape);
+            let rw = best_of(shape.iters, Mode::Rwlock, &spec, &shape);
+            assert_identical(&excl, &rw);
+            let speedup = rw.total_kops_per_s / excl.total_kops_per_s.max(1e-9);
+            println!(
+                "| {theta} | {threads} | {:.1} | {:.1} | {speedup:.2}x | {:.1}/{:.1}/{:.1} |",
+                excl.total_kops_per_s,
+                rw.total_kops_per_s,
+                rw.get_p50 as f64 / 1e3,
+                rw.get_p99 as f64 / 1e3,
+                rw.get_p999 as f64 / 1e3,
+            );
+            runs.push(excl);
+            runs.push(rw);
+        }
+    }
+
+    // Gate: 8 readers on one hot object. The regime the tentpole exists
+    // for — the exclusive baseline degenerates to a single-threaded
+    // server, the rwlock plane does not.
+    let gate_spec = shape.gate_spec();
+    let gate_excl = best_of(shape.iters.max(2), Mode::Exclusive, &gate_spec, &shape);
+    let gate_rw = best_of(shape.iters.max(2), Mode::Rwlock, &gate_spec, &shape);
+    assert_identical(&gate_excl, &gate_rw);
+    let gate_speedup = gate_rw.read_kops_per_s / gate_excl.read_kops_per_s.max(1e-9);
+    println!();
+    println!(
+        "gate (single hot object, theta=1.2, 8 reader threads): \
+         exclusive {:.1} kops/s, rwlock {:.1} kops/s, speedup {gate_speedup:.2}x, \
+         rw GET p999 {:.1} us",
+        gate_excl.read_kops_per_s,
+        gate_rw.read_kops_per_s,
+        gate_rw.get_p999 as f64 / 1e3,
+    );
+    assert!(
+        gate_rw.get_p999 > 0,
+        "gate read p999 must be reported non-zero"
+    );
+    if host >= GATE_MIN_CORES {
+        assert!(
+            gate_speedup >= 2.0,
+            "hot-shard read throughput gate: rwlock {:.1} kops/s must be >= 2x \
+             exclusive {:.1} kops/s (got {gate_speedup:.2}x on {host} cores)",
+            gate_rw.read_kops_per_s,
+            gate_excl.read_kops_per_s,
+        );
+    } else {
+        println!("gate speedup not asserted: only {host} host cores (< {GATE_MIN_CORES})");
+    }
+
+    let body = runs
+        .iter()
+        .chain([&gate_excl, &gate_rw])
+        .map(|r| format!("    {}", json_run(r)))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let json = format!(
+        "{{\n  \"bench\": \"open_loop\",\n  \"smoke\": {smoke},\n  \"host_parallelism\": {host},\n  \
+         \"shards\": {SHARDS},\n  \
+         \"shape\": {{\"objects\": {}, \"object_size\": {}, \"block_size\": {BLOCK}, \
+         \"ops_per_tenant\": {}, \"gate_ops_per_tenant\": {}}},\n  \
+         \"runs\": [\n{body}\n  ],\n  \
+         \"gate\": {{\"theta\": 1.2, \"threads\": 8, \"exclusive_read_kops_per_s\": {:.1}, \
+         \"rwlock_read_kops_per_s\": {:.1}, \"speedup\": {gate_speedup:.3}, \
+         \"rw_get_p999_ns\": {}}}\n}}\n",
+        shape.objects,
+        shape.object_size,
+        shape.ops_per_tenant,
+        shape.gate_ops_per_tenant,
+        gate_excl.read_kops_per_s,
+        gate_rw.read_kops_per_s,
+        gate_rw.get_p999,
+    );
+    std::fs::write(&out, json).expect("write benchmark JSON");
+    println!("results: {out}");
+}

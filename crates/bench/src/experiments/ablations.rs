@@ -182,6 +182,8 @@ pub mod chunk_sweep {
 pub mod cache_policy {
     use super::*;
     use dedup_workloads::fio::FioSpec;
+    use dedup_workloads::zipf::ZipfSampler;
+    use rand::Rng;
 
     const OBJECTS: usize = 16;
     const OBJECT_SIZE: u64 = 1 << 20;
@@ -191,7 +193,7 @@ pub mod cache_policy {
         report::header(
             "Ablation: cache policy",
             "HitSet hit_count sweep — read latency vs metadata-pool capacity",
-            "Zipf-ish re-read pattern over a flushed 16 MiB set; lower \
+            "Zipf(0.99) re-read pattern over a flushed 16 MiB set; lower \
              hit_count keeps more hot data cached (faster reads, more \
              metadata-pool bytes).",
         );
@@ -235,16 +237,19 @@ pub mod cache_policy {
                     .expect("flush");
             }
             sys.cluster_mut().perf_mut().pool.reset_all();
-            // Measure: 75% of reads hit the hot quarter.
+            // Measure: object popularity follows Zipf(0.99) (the shared
+            // sampler), so the low ranks the warm phase primed stay hot.
+            let zipf = ZipfSampler::new(OBJECTS, 0.99);
             let stats = run_closed_loop(&mut sys, 8, 4_000, 77, |i, rng| {
-                let (object, offset) = if i % 4 != 3 {
-                    random_block(rng, OBJECTS / 4, OBJECT_SIZE, 32 * 1024, |o| {
-                        format!("fio-{o}")
-                    })
-                } else {
-                    random_block(rng, OBJECTS, OBJECT_SIZE, 32 * 1024, |o| format!("fio-{o}"))
-                };
-                OpSpec::read(object, offset, 32 * 1024, ClientId((i % 3) as u32))
+                let object = zipf.sample(rng);
+                let blocks = OBJECT_SIZE / (32 * 1024);
+                let offset = rng.gen_range(0..blocks) * 32 * 1024;
+                OpSpec::read(
+                    format!("fio-{object}"),
+                    offset,
+                    32 * 1024,
+                    ClientId((i % 3) as u32),
+                )
             });
             let meta_bytes = sys
                 .store()

@@ -186,6 +186,12 @@ pub struct DedupConfig {
     /// Chunk index implementation (flat default, or memory-bounded
     /// hot/cold tiers).
     pub chunk_index: ChunkIndexKind,
+    /// Reconstructs the pre-RwLock foreground plane for A/B
+    /// benchmarking: reads take their shard lock in *exclusive* mode, so
+    /// same-shard reads serialize exactly as with the historical
+    /// `Mutex` shards. Off by default (reads share). Wall-clock only —
+    /// virtual-time results are identical either way.
+    pub exclusive_shard_reads: bool,
 }
 
 impl Default for DedupConfig {
@@ -204,6 +210,7 @@ impl Default for DedupConfig {
             bloom: BloomConfig::default(),
             tiered_fingerprint: false,
             chunk_index: ChunkIndexKind::Flat,
+            exclusive_shard_reads: false,
         }
     }
 }
@@ -273,6 +280,14 @@ impl DedupConfig {
     pub fn foreground_shards(mut self, shards: usize) -> Self {
         assert!(shards > 0, "foreground shard count must be positive");
         self.foreground_shards = shards;
+        self
+    }
+
+    /// Makes foreground reads take their shard lock exclusively (the
+    /// pre-RwLock baseline). Benchmarking knob; see
+    /// [`DedupConfig::exclusive_shard_reads`].
+    pub fn exclusive_shard_reads(mut self) -> Self {
+        self.exclusive_shard_reads = true;
         self
     }
 

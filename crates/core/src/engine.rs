@@ -19,12 +19,12 @@ use dedup_sim::{CostExpr, SimDuration, SimTime};
 use dedup_store::{
     ClientId, Cluster, IoCtx, ObjectName, PoolConfig, StoreError, Timed, TxOp, WalRecoveryReport,
 };
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::chunkmap::ChunkMapEntry;
 use crate::config::{CachePolicy, DedupConfig, DedupMode};
 use crate::error::DedupError;
-use crate::hitset::HitSet;
+use crate::hitset::SharedHitSet;
 use crate::index::{build_index, ChunkIndex};
 use crate::metrics::EngineMetrics;
 use crate::pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
@@ -162,37 +162,54 @@ pub fn shard_index(name: &ObjectName, shards: usize) -> usize {
     (h % shards.max(1) as u64) as usize
 }
 
+/// A held foreground shard lock, in either sharing mode. Only the guard's
+/// lifetime matters to callers; the enum exists because the read path can
+/// be configured ([`DedupConfig::exclusive_shard_reads`]) to take the
+/// exclusive side for baseline benchmarking.
+#[allow(dead_code)]
+enum ShardGuard<'a> {
+    /// Shared (read) side: other readers of the shard proceed.
+    Read(RwLockReadGuard<'a, ()>),
+    /// Exclusive (write) side: the shard is single-threaded.
+    Write(RwLockWriteGuard<'a, ()>),
+}
+
 /// The deduplicating storage service layered on a [`Cluster`].
 ///
 /// # Locking model (see DESIGN.md §9)
 ///
 /// Foreground ops ([`write`](DedupStore::write), [`read`](DedupStore::read),
 /// [`truncate`](DedupStore::truncate), [`delete`](DedupStore::delete)) take
-/// `&self`: each acquires the single shard lock owning its object
-/// ([`shard_index`]), so ops on distinct objects run in parallel while two
-/// ops on the same object serialize. Cross-object state sits behind its own
-/// fine-grained locks (dirty queue, hitset, rate controller, atomic stats),
+/// `&self`: each acquires the shard lock owning its object
+/// ([`shard_index`]) in reader-writer mode — mutations take the shard
+/// *write* lock, reads take the shard *read* lock, so ops on distinct
+/// objects run in parallel, concurrent reads of the same shard (one hot
+/// object included) run in parallel, and a mutation excludes everything
+/// else on its shard. Cross-object state sits behind its own fine-grained
+/// locks (dirty queue, atomic-bit hitset, rate controller, atomic stats),
 /// and the chunk-pool refcount read-modify-write is serialized per
 /// fingerprint by a second stripe array. Background flush, GC, recovery,
 /// and admin keep `&mut self`, which statically guarantees whole-store
-/// exclusion. Lock order: shard → {dirty | hitset | rate} → chunk stripe →
-/// OSD locks; no level is re-entered and at most one lock of each array is
-/// held at a time.
+/// exclusion. Lock order: shard (read or write) → {dirty | hitset | rate}
+/// → chunk stripe → OSD locks; no level is re-entered and at most one
+/// lock of each array is held at a time.
 pub struct DedupStore {
     cluster: Cluster,
     metadata_pool: PoolId,
     chunk_pool: PoolId,
     config: DedupConfig,
     chunker: FixedChunker,
-    /// Foreground namespace stripes: shard `i` serializes every op whose
-    /// object hashes to `i`.
-    shards: Vec<Mutex<()>>,
+    /// Foreground namespace stripes: shard `i` owns every object hashing
+    /// to `i`. Reader-writer: mutations hold the write side, reads share
+    /// the read side (unless [`DedupConfig::exclusive_shard_reads`]
+    /// reconstructs the old exclusive behaviour for A/B benchmarking).
+    shards: Vec<RwLock<()>>,
     /// Chunk refcount stripes: serialize the get_xattr → omap → transact
     /// read-modify-write in [`DedupStore::store_chunk`] /
     /// [`DedupStore::deref_chunk`] per fingerprint.
     chunk_stripes: Vec<Mutex<()>>,
     dirty: Mutex<DirtyQueue>,
-    hitset: Mutex<HitSet>,
+    hitset: SharedHitSet,
     rate: Mutex<RateController>,
     stats: AtomicEngineStats,
     metrics: EngineMetrics,
@@ -230,7 +247,7 @@ impl DedupStore {
         let metadata_pool = cluster.create_pool(metadata_pool_cfg);
         let chunk_pool = cluster.create_pool(chunk_pool_cfg);
         let chunker = FixedChunker::new(config.chunk_size);
-        let hitset = HitSet::new(config.hitset);
+        let hitset = SharedHitSet::new(config.hitset);
         let rate = RateController::new(config.watermarks);
         // One registry per stack: the engine owns it and rebinds the
         // cluster's instruments so a single snapshot covers both layers.
@@ -245,10 +262,10 @@ impl DedupStore {
             chunk_pool,
             config,
             chunker,
-            shards: (0..shard_count).map(|_| Mutex::new(())).collect(),
+            shards: (0..shard_count).map(|_| RwLock::new(())).collect(),
             chunk_stripes: (0..shard_count).map(|_| Mutex::new(())).collect(),
             dirty: Mutex::new(DirtyQueue::new()),
-            hitset: Mutex::new(hitset),
+            hitset,
             rate: Mutex::new(rate),
             stats: AtomicEngineStats::default(),
             metrics,
@@ -315,16 +332,41 @@ impl DedupStore {
         shard_index(name, self.shards.len())
     }
 
-    /// Acquires the foreground shard lock owning `name`, recording the
-    /// per-shard op counter and the wall-clock wait.
-    fn lock_shard(&self, name: &ObjectName) -> MutexGuard<'_, ()> {
+    /// Acquires the foreground shard lock owning `name` in *write*
+    /// (exclusive) mode, recording the per-shard op counters and the
+    /// wall-clock wait under `mode=write`.
+    fn lock_shard_write(&self, name: &ObjectName) -> ShardGuard<'_> {
         let idx = shard_index(name, self.shards.len());
         let start = Instant::now();
-        let guard = self.shards[idx].lock();
+        let guard = self.shards[idx].write();
         self.metrics
-            .shard_lock_wait_ns
+            .shard_lock_wait_write_ns
             .record(start.elapsed().as_nanos() as u64);
         self.metrics.shard_ops[idx].inc();
+        self.metrics.shard_write_ops[idx].inc();
+        ShardGuard::Write(guard)
+    }
+
+    /// Acquires the foreground shard lock owning `name` in *read*
+    /// (shared) mode, recording the per-shard op counters and the
+    /// wall-clock wait under `mode=read`. With
+    /// [`DedupConfig::exclusive_shard_reads`] set the guard is exclusive
+    /// instead — the pre-RwLock behaviour, kept reconstructible so the
+    /// open-loop bench can A/B the two under identical workloads — but
+    /// the op still counts as a read.
+    fn lock_shard_read(&self, name: &ObjectName) -> ShardGuard<'_> {
+        let idx = shard_index(name, self.shards.len());
+        let start = Instant::now();
+        let guard = if self.config.exclusive_shard_reads {
+            ShardGuard::Write(self.shards[idx].write())
+        } else {
+            ShardGuard::Read(self.shards[idx].read())
+        };
+        self.metrics
+            .shard_lock_wait_read_ns
+            .record(start.elapsed().as_nanos() as u64);
+        self.metrics.shard_ops[idx].inc();
+        self.metrics.shard_read_ops[idx].inc();
         guard
     }
 
@@ -382,6 +424,27 @@ impl DedupStore {
     /// Foreground ops routed through each namespace shard since startup.
     pub fn shard_op_counts(&self) -> Vec<u64> {
         self.metrics.shard_ops.iter().map(|c| c.get()).collect()
+    }
+
+    /// Foreground *reads* (shared-mode shard acquisitions) routed through
+    /// each namespace shard since startup.
+    pub fn shard_read_op_counts(&self) -> Vec<u64> {
+        self.metrics
+            .shard_read_ops
+            .iter()
+            .map(|c| c.get())
+            .collect()
+    }
+
+    /// Foreground *mutations* (exclusive-mode shard acquisitions —
+    /// writes, truncates, deletes) routed through each namespace shard
+    /// since startup.
+    pub fn shard_write_op_counts(&self) -> Vec<u64> {
+        self.metrics
+            .shard_write_ops
+            .iter()
+            .map(|c| c.get())
+            .collect()
     }
 
     /// The active watermark band last published by rate control
@@ -551,7 +614,7 @@ impl DedupStore {
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
         let data = data.into();
-        let _shard = self.lock_shard(name);
+        let _shard = self.lock_shard_write(name);
         self.stats.writes.fetch_add(1, Ordering::Relaxed);
         self.stats
             .bytes_written
@@ -560,7 +623,7 @@ impl DedupStore {
         self.metrics.write_bytes.add(data.len() as u64);
         self.metrics.foreground_ops.mark(now, 1);
         self.advance_events(now);
-        self.hitset.lock().access(name.as_bytes(), now);
+        self.hitset.access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
         match self.config.mode {
             DedupMode::PostProcess => self.write_postprocess(client, name, offset, data),
@@ -734,14 +797,14 @@ impl DedupStore {
         len: u64,
         now: SimTime,
     ) -> Result<Timed<Bytes>, DedupError> {
-        let _shard = self.lock_shard(name);
+        let _shard = self.lock_shard_read(name);
         self.stats.reads.fetch_add(1, Ordering::Relaxed);
         self.stats.bytes_read.fetch_add(len, Ordering::Relaxed);
         self.metrics.reads.inc();
         self.metrics.read_bytes.add(len);
         self.metrics.foreground_ops.mark(now, 1);
         self.advance_events(now);
-        self.hitset.lock().access(name.as_bytes(), now);
+        self.hitset.access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
 
         let object_len = self
@@ -891,7 +954,7 @@ impl DedupStore {
         // policy promotes; EvictAll pins data in the chunk pool and KeepAll
         // never evicted in the first place.
         if self.config.cache_policy == CachePolicy::HotnessAware
-            && self.hitset.lock().is_hot(name.as_bytes(), now)
+            && self.hitset.is_hot(name.as_bytes(), now)
         {
             let t = self.promote_chunks(name, offset, len)?;
             costs.push(self.label("read.promote", t.cost));
@@ -1029,14 +1092,14 @@ impl DedupStore {
         new_len: u64,
         now: SimTime,
     ) -> Result<Timed<()>, DedupError> {
-        let _shard = self.lock_shard(name);
+        let _shard = self.lock_shard_write(name);
         let old_len = self
             .cluster
             .stat(self.metadata_pool, name)?
             .ok_or_else(|| StoreError::NoSuchObject(self.metadata_pool, name.clone()))?;
         self.metrics.foreground_ops.mark(now, 1);
         self.advance_events(now);
-        self.hitset.lock().access(name.as_bytes(), now);
+        self.hitset.access(name.as_bytes(), now);
         self.rate.lock().record_foreground(now);
         let entries = self.load_chunk_map(name)?;
         let cs = self.chunker.chunk_size() as u64;
@@ -1108,7 +1171,7 @@ impl DedupStore {
     ///
     /// Fails if the store does.
     pub fn delete(&self, client: ClientId, name: &ObjectName) -> Result<Timed<()>, DedupError> {
-        let _shard = self.lock_shard(name);
+        let _shard = self.lock_shard_write(name);
         let entries = self.load_chunk_map(name)?;
         let mut costs = Vec::new();
         // Delete the metadata object first: once it (and its chunk map) is
@@ -1437,7 +1500,7 @@ impl DedupStore {
         }
 
         // Cache-manager decision (paper §4.3): hot objects are left alone.
-        let hot = self.hitset.lock().is_hot(name.as_bytes(), now);
+        let hot = self.hitset.is_hot(name.as_bytes(), now);
         if hot && self.config.cache_policy == CachePolicy::HotnessAware {
             self.stats.hot_skips.fetch_add(1, Ordering::Relaxed);
             self.metrics.hot_skips.inc();

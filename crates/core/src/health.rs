@@ -8,13 +8,19 @@
 //!
 //! Thresholds (all documented on the individual probes):
 //!
-//! | component       | degraded                        | critical              |
-//! |-----------------|---------------------------------|-----------------------|
-//! | `engine.bloom`  | fill ratio > 0.5                | fill ratio ≥ 0.9      |
-//! | `engine.index`  | resident ≥ 90% of bound         | resident > bound      |
-//! | `service.shard` | max/mean op skew > 4 (>1k ops)  | —                     |
-//! | `engine.flush`  | dirty queue made no progress    | —                     |
-//! | `rate`          | band 2 (hardest throttle)       | —                     |
+//! | component       | degraded                              | critical         |
+//! |-----------------|---------------------------------------|------------------|
+//! | `engine.bloom`  | fill ratio > 0.5                      | fill ratio ≥ 0.9 |
+//! | `engine.index`  | resident ≥ 90% of bound               | resident > bound |
+//! | `service.shard` | write-heavy op skew > 4 (>1k ops)     | —                |
+//! | `engine.flush`  | dirty queue made no progress          | —                |
+//! | `rate`          | band 2 (hardest throttle)             | —                |
+//!
+//! Shard skew is verdict-split since the foreground plane went
+//! reader-writer: a skewed shard dominated by shared-mode *reads* no
+//! longer serializes (readers share the lock), so it reports an
+//! informational `shard_skew_read` finding at `ok`; only a skewed shard
+//! dominated by exclusive-mode *mutations* still degrades.
 
 use dedup_obs::{HealthCheck, HealthFinding, HealthReport, HealthStatus};
 use dedup_sim::SimTime;
@@ -33,6 +39,11 @@ const INDEX_NEAR_BOUND: f64 = 0.9;
 const SHARD_SKEW_LIMIT: f64 = 4.0;
 /// Minimum total shard ops before skew is meaningful.
 const SHARD_SKEW_MIN_OPS: u64 = 1000;
+/// Fraction of a skewed shard's ops that must be exclusive-mode
+/// mutations before the skew counts as write-heavy (and degrades):
+/// shared-mode reads don't serialize, so a read-dominated hot shard is
+/// merely worth knowing about.
+const SHARD_SKEW_WRITE_HEAVY: f64 = 0.5;
 
 /// Bloom-gate saturation probe. A filter past ~50% fill answers
 /// "maybe" too often to be worth consulting; past ~90% it is noise.
@@ -112,7 +123,12 @@ impl HealthCheck for IndexHealth<'_> {
 
 /// Foreground-shard balance probe: a shard drawing more than
 /// [`SHARD_SKEW_LIMIT`]× the mean op count signals a pathological name
-/// distribution (one hot object serializing the foreground path).
+/// distribution (one hot object). Since the shard plane is
+/// reader-writer, the verdict depends on *what* is skewed: a hot shard
+/// dominated by exclusive-mode mutations still serializes the
+/// foreground path (degraded, `shard_skew`), while one dominated by
+/// shared-mode reads proceeds in parallel and is reported
+/// informationally (`shard_skew_read` at [`HealthStatus::Ok`]).
 pub struct ShardHealth<'a> {
     store: &'a DedupStore,
 }
@@ -138,18 +154,49 @@ impl HealthCheck for ShardHealth<'_> {
         if total < SHARD_SKEW_MIN_OPS {
             return Vec::new();
         }
-        let max = *counts.iter().max().expect("len >= 2");
+        let (hottest, &max) = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .expect("len >= 2");
         let mean = total as f64 / counts.len() as f64;
         let skew = max as f64 / mean;
         if skew <= SHARD_SKEW_LIMIT {
             return Vec::new();
+        }
+        let writes = self
+            .store
+            .shard_write_op_counts()
+            .get(hottest)
+            .copied()
+            .unwrap_or(0);
+        let write_fraction = if max == 0 {
+            0.0
+        } else {
+            writes as f64 / max as f64
+        };
+        if write_fraction < SHARD_SKEW_WRITE_HEAVY {
+            // Read-heavy: shared-mode acquisitions run in parallel, so
+            // the hot shard is not a serialization point — informational.
+            return vec![HealthFinding::new(
+                "service.shard",
+                HealthStatus::Ok,
+                "shard_skew_read",
+                format!(
+                    "hottest shard took {max} of {total} ops ({skew:.1}x the mean across {} shards), \
+                     but only {writes} were exclusive-mode mutations — read-heavy skew is benign \
+                     under reader-writer shards",
+                    counts.len()
+                ),
+            )];
         }
         vec![HealthFinding::new(
             "service.shard",
             HealthStatus::Degraded,
             "shard_skew",
             format!(
-                "hottest shard took {max} of {total} ops ({skew:.1}x the mean across {} shards)",
+                "hottest shard took {max} of {total} ops ({skew:.1}x the mean across {} shards), \
+                 {writes} of them exclusive-mode mutations — write-heavy skew serializes the shard",
                 counts.len()
             ),
         )]
@@ -322,6 +369,7 @@ mod tests {
         let findings = ShardHealth::new(&s).check(SimTime::ZERO);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].code, "shard_skew");
+        assert_eq!(findings[0].status, HealthStatus::Degraded);
 
         // A store with balanced names stays quiet.
         let s2 = store_with(DedupConfig::with_chunk_size(4096).foreground_shards(4));
@@ -332,5 +380,40 @@ mod tests {
                 .expect("write");
         }
         assert!(ShardHealth::new(&s2).check(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn read_heavy_skew_is_benign_write_heavy_degrades() {
+        // Read-heavy: one preload write, then a skew of shared-mode reads
+        // on the same object. The hot shard no longer serializes, so the
+        // probe reports informationally at Ok.
+        let s = store_with(DedupConfig::with_chunk_size(4096).foreground_shards(8));
+        let name = ObjectName::new("hot");
+        let _ = s
+            .write(ClientId(0), &name, 0, vec![1u8; 4096], SimTime::ZERO)
+            .expect("preload");
+        for i in 0..1200u64 {
+            let _ = s
+                .read(ClientId(0), &name, 0, 4096, SimTime::from_secs(i))
+                .expect("read");
+        }
+        let findings = ShardHealth::new(&s).check(SimTime::ZERO);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "shard_skew_read");
+        assert_eq!(findings[0].status, HealthStatus::Ok);
+        // The informational finding never drags the report below Ok.
+        assert_eq!(s.health_report(SimTime::ZERO).status(), HealthStatus::Ok);
+
+        // Write-heavy on the same shape: the degraded verdict stands.
+        let s2 = store_with(DedupConfig::with_chunk_size(4096).foreground_shards(8));
+        for i in 0..1200u64 {
+            let _ = s2
+                .write(ClientId(0), &name, 0, vec![1u8; 512], SimTime::from_secs(i))
+                .expect("write");
+        }
+        let findings = ShardHealth::new(&s2).check(SimTime::ZERO);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "shard_skew");
+        assert_eq!(findings[0].status, HealthStatus::Degraded);
     }
 }

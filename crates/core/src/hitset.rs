@@ -3,19 +3,51 @@
 //! The cache manager asks "has this object been accessed in at least
 //! `hit_count` recent intervals?" — if so it is *hot* and is kept cached in
 //! the metadata pool instead of being deduplicated away.
+//!
+//! Concurrency: every cached foreground read records an access, so the
+//! hitset must not serialize the read path. [`BloomFilter`] stores its bit
+//! array as `AtomicU64` words — `insert`/`contains` take `&self` and set or
+//! test exactly the same bits as the pre-atomic version (`fetch_or` per
+//! word), so hotness decisions are bit-identical to the old
+//! `Mutex<HitSet>` form. [`SharedHitSet`] wraps the ring in a `RwLock`:
+//! recording into (or counting against) the *current* interval needs only
+//! a read lock; the write lock is taken only to roll the ring forward when
+//! an access lands in a new interval — once per `interval_secs` of virtual
+//! time, not per op.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use dedup_placement::hash::xxh64;
 use dedup_sim::SimTime;
+use parking_lot::RwLock;
 
 use crate::config::HitSetConfig;
 
 /// A fixed-size bloom filter keyed by object names.
-#[derive(Debug, Clone)]
+///
+/// Bits live in `AtomicU64` words so concurrent readers can record
+/// accesses without exclusive locking; `clear` still needs `&mut self`.
+#[derive(Debug)]
 pub struct BloomFilter {
-    bits: Vec<u64>,
+    bits: Vec<AtomicU64>,
     mask: usize,
     hashes: u32,
-    insertions: u64,
+    insertions: AtomicU64,
+}
+
+impl Clone for BloomFilter {
+    fn clone(&self) -> Self {
+        BloomFilter {
+            bits: self
+                .bits
+                .iter()
+                .map(|w| AtomicU64::new(w.load(Ordering::Relaxed)))
+                .collect(),
+            mask: self.mask,
+            hashes: self.hashes,
+            insertions: AtomicU64::new(self.insertions.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl BloomFilter {
@@ -29,10 +61,10 @@ impl BloomFilter {
         assert!(bits > 0 && hashes > 0, "bloom parameters must be positive");
         let bits = bits.next_power_of_two();
         BloomFilter {
-            bits: vec![0u64; bits / 64 + 1],
+            bits: (0..bits / 64 + 1).map(|_| AtomicU64::new(0)).collect(),
             mask: bits - 1,
             hashes,
-            insertions: 0,
+            insertions: AtomicU64::new(0),
         }
     }
 
@@ -44,31 +76,34 @@ impl BloomFilter {
         (0..self.hashes).map(move |i| (h1.wrapping_add(h2.wrapping_mul(i as u64)) & mask) as usize)
     }
 
-    /// Inserts a key.
-    pub fn insert(&mut self, key: &[u8]) {
-        let positions: Vec<usize> = self.positions(key).collect();
-        for p in positions {
-            self.bits[p / 64] |= 1 << (p % 64);
+    /// Inserts a key. Safe under concurrent inserts/lookups: each probe
+    /// bit is set with one atomic OR, so the final bit pattern is the
+    /// same regardless of interleaving.
+    pub fn insert(&self, key: &[u8]) {
+        for p in self.positions(key) {
+            self.bits[p / 64].fetch_or(1 << (p % 64), Ordering::Relaxed);
         }
-        self.insertions += 1;
+        self.insertions.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Whether the key *may* have been inserted (false positives possible,
     /// false negatives impossible).
     pub fn contains(&self, key: &[u8]) -> bool {
         self.positions(key)
-            .all(|p| self.bits[p / 64] & (1 << (p % 64)) != 0)
+            .all(|p| self.bits[p / 64].load(Ordering::Relaxed) & (1 << (p % 64)) != 0)
     }
 
     /// Number of insert calls.
     pub fn insertions(&self) -> u64 {
-        self.insertions
+        self.insertions.load(Ordering::Relaxed)
     }
 
     /// Clears the filter.
     pub fn clear(&mut self) {
-        self.bits.fill(0);
-        self.insertions = 0;
+        for w in &mut self.bits {
+            *w.get_mut() = 0;
+        }
+        *self.insertions.get_mut() = 0;
     }
 }
 
@@ -107,6 +142,36 @@ impl HitSet {
         }
     }
 
+    /// Records an access without rolling the ring: succeeds (and returns
+    /// `true`) only when `now` falls at or before the head interval.
+    /// Returns `false` when the ring must first roll forward — the caller
+    /// then needs exclusive access and [`HitSet::access`].
+    fn record_current(&self, key: &[u8], now: SimTime) -> bool {
+        let interval = self.interval_of(now);
+        if interval > self.head_interval {
+            return false;
+        }
+        let slot = (interval as usize) % self.ring.len();
+        self.ring[slot].1.insert(key);
+        true
+    }
+
+    /// Counts retained-interval hits without rolling the ring; `None`
+    /// when the ring must first roll forward.
+    fn count_current(&self, key: &[u8], now: SimTime) -> Option<u32> {
+        let interval = self.interval_of(now);
+        if interval > self.head_interval {
+            return None;
+        }
+        let oldest = interval.saturating_sub(self.ring.len() as u64 - 1);
+        Some(
+            self.ring
+                .iter()
+                .filter(|(i, f)| *i >= oldest && *i <= interval && f.contains(key))
+                .count() as u32,
+        )
+    }
+
     /// Records an access to `key` at `now`.
     pub fn access(&mut self, key: &[u8], now: SimTime) {
         let interval = self.interval_of(now);
@@ -119,16 +184,58 @@ impl HitSet {
     pub fn hit_count(&mut self, key: &[u8], now: SimTime) -> u32 {
         let interval = self.interval_of(now);
         self.roll_to(interval);
-        let oldest = interval.saturating_sub(self.ring.len() as u64 - 1);
-        self.ring
-            .iter()
-            .filter(|(i, f)| *i >= oldest && *i <= interval && f.contains(key))
-            .count() as u32
+        self.count_current(key, now)
+            .expect("ring rolled to the access interval")
     }
 
     /// Whether `key` is hot at `now` per the configured threshold.
     pub fn is_hot(&mut self, key: &[u8], now: SimTime) -> bool {
         self.hit_count(key, now) >= self.config.hit_count
+    }
+}
+
+/// A [`HitSet`] shared between concurrent foreground readers.
+///
+/// The fast path (`now` within the already-current interval — every op
+/// but the first of each interval) runs under a read lock and records via
+/// atomic bloom bits, so cached reads on the same shard never serialize
+/// on hotness sampling. Only an interval roll escalates to the write
+/// lock, and the rolled state is re-checked under that lock, so races
+/// between a roller and fast-path recorders resolve exactly as some
+/// sequential order of the same calls would.
+#[derive(Debug)]
+pub struct SharedHitSet {
+    inner: RwLock<HitSet>,
+}
+
+impl SharedHitSet {
+    /// Creates a shared hitset from configuration.
+    pub fn new(config: HitSetConfig) -> Self {
+        SharedHitSet {
+            inner: RwLock::new(HitSet::new(config)),
+        }
+    }
+
+    /// Records an access to `key` at `now`.
+    pub fn access(&self, key: &[u8], now: SimTime) {
+        if self.inner.read().record_current(key, now) {
+            return;
+        }
+        self.inner.write().access(key, now);
+    }
+
+    /// Number of retained intervals in which `key` was (probably) accessed.
+    pub fn hit_count(&self, key: &[u8], now: SimTime) -> u32 {
+        if let Some(count) = self.inner.read().count_current(key, now) {
+            return count;
+        }
+        self.inner.write().hit_count(key, now)
+    }
+
+    /// Whether `key` is hot at `now` per the configured threshold.
+    pub fn is_hot(&self, key: &[u8], now: SimTime) -> bool {
+        let threshold = self.inner.read().config.hit_count;
+        self.hit_count(key, now) >= threshold
     }
 }
 
@@ -147,7 +254,7 @@ mod tests {
 
     #[test]
     fn bloom_no_false_negatives() {
-        let mut f = BloomFilter::new(1 << 12, 4);
+        let f = BloomFilter::new(1 << 12, 4);
         for i in 0..100u32 {
             f.insert(&i.to_le_bytes());
         }
@@ -158,7 +265,7 @@ mod tests {
 
     #[test]
     fn bloom_few_false_positives_when_sized_right() {
-        let mut f = BloomFilter::new(1 << 14, 4);
+        let f = BloomFilter::new(1 << 14, 4);
         for i in 0..500u32 {
             f.insert(&i.to_le_bytes());
         }
@@ -175,6 +282,30 @@ mod tests {
         f.clear();
         assert!(!f.contains(b"x"));
         assert_eq!(f.insertions(), 0);
+    }
+
+    #[test]
+    fn bloom_concurrent_inserts_lose_nothing() {
+        let f = std::sync::Arc::new(BloomFilter::new(1 << 14, 4));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let f = f.clone();
+                std::thread::spawn(move || {
+                    for i in 0..250u32 {
+                        f.insert(&(t * 1000 + i).to_le_bytes());
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("inserter");
+        }
+        for t in 0..4u32 {
+            for i in 0..250u32 {
+                assert!(f.contains(&(t * 1000 + i).to_le_bytes()), "lost {t}/{i}");
+            }
+        }
+        assert_eq!(f.insertions(), 1000);
     }
 
     #[test]
@@ -221,6 +352,50 @@ mod tests {
         assert!(h.is_hot(b"a", SimTime::from_secs(1)));
         assert!(!h.is_hot(b"b", SimTime::from_secs(1)));
     }
+
+    #[test]
+    fn shared_hitset_matches_exclusive_semantics() {
+        let s = SharedHitSet::new(config());
+        s.access(b"obj", SimTime::from_secs(0));
+        assert_eq!(s.hit_count(b"obj", SimTime::from_secs(0)), 1);
+        assert!(!s.is_hot(b"obj", SimTime::from_secs(0)));
+        s.access(b"obj", SimTime::from_secs(1));
+        assert!(s.is_hot(b"obj", SimTime::from_secs(1)));
+        // Querying a future interval rolls the ring exactly like HitSet.
+        assert!(!s.is_hot(b"obj", SimTime::from_secs(10)));
+        assert_eq!(s.hit_count(b"obj", SimTime::from_secs(10)), 0);
+    }
+
+    #[test]
+    fn shared_hitset_concurrent_accesses_all_land() {
+        let s = std::sync::Arc::new(SharedHitSet::new(HitSetConfig {
+            interval_secs: 1,
+            intervals: 4,
+            hit_count: 2,
+            bloom_bits: 1 << 14,
+        }));
+        let handles: Vec<_> = (0..4u32)
+            .map(|t| {
+                let s = s.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200u32 {
+                        let key = (t * 1000 + i).to_le_bytes();
+                        s.access(&key, SimTime::from_secs(0));
+                        s.access(&key, SimTime::from_secs(1));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().expect("recorder");
+        }
+        for t in 0..4u32 {
+            for i in 0..200u32 {
+                let key = (t * 1000 + i).to_le_bytes();
+                assert!(s.is_hot(&key, SimTime::from_secs(1)), "lost heat {t}/{i}");
+            }
+        }
+    }
 }
 
 #[cfg(test)]
@@ -234,7 +409,7 @@ mod proptests {
         fn bloom_no_false_negatives_prop(
             keys in proptest::collection::vec(proptest::collection::vec(any::<u8>(), 1..32), 1..64),
         ) {
-            let mut f = BloomFilter::new(1 << 12, 4);
+            let f = BloomFilter::new(1 << 12, 4);
             for k in &keys {
                 f.insert(k);
             }
@@ -266,6 +441,35 @@ mod proptests {
                 prop_assert!(c <= 4, "count exceeds retained intervals");
             }
             prop_assert_eq!(h.hit_count(b"k", SimTime::from_secs(last + 100)), 0);
+        }
+
+        /// The shared wrapper and the exclusive HitSet agree on every
+        /// hit count over an arbitrary forward-moving access trace.
+        #[test]
+        fn shared_matches_exclusive_prop(
+            accesses in proptest::collection::vec((0u64..12, 0u8..4), 0..60),
+        ) {
+            let config = HitSetConfig {
+                interval_secs: 1,
+                intervals: 4,
+                hit_count: 2,
+                bloom_bits: 1 << 12,
+            };
+            let mut exclusive = HitSet::new(config);
+            let shared = SharedHitSet::new(config);
+            let mut last = 0u64;
+            for (t, k) in accesses {
+                let t = last.max(t);
+                last = t;
+                let key = [k];
+                let now = SimTime::from_secs(t);
+                exclusive.access(&key, now);
+                shared.access(&key, now);
+                prop_assert_eq!(
+                    exclusive.hit_count(&key, now),
+                    shared.hit_count(&key, now),
+                );
+            }
         }
     }
 }

@@ -74,9 +74,21 @@ pub(crate) struct EngineMetrics {
     /// Foreground ops routed through each namespace shard (one labelled
     /// counter per shard, `service.shard.ops{shard=i}`).
     pub shard_ops: Vec<Counter>,
-    /// Wall-clock nanoseconds foreground ops spent waiting for their
-    /// shard lock (recorded on every acquisition, contended or not).
-    pub shard_lock_wait_ns: Histogram,
+    /// Foreground reads per shard (`service.shard.read_ops{shard=i}`):
+    /// shared-mode shard acquisitions. Read-heavy skew is benign under
+    /// RwLock shards; the shard health probe tells the two apart.
+    pub shard_read_ops: Vec<Counter>,
+    /// Foreground mutations per shard
+    /// (`service.shard.write_ops{shard=i}`): exclusive-mode shard
+    /// acquisitions (write/truncate/delete).
+    pub shard_write_ops: Vec<Counter>,
+    /// Wall-clock nanoseconds foreground *reads* spent waiting for their
+    /// shard lock (`service.shard.lock_wait_ns{mode=read}`; recorded on
+    /// every acquisition, contended or not).
+    pub shard_lock_wait_read_ns: Histogram,
+    /// Wall-clock nanoseconds foreground *mutations* spent waiting for
+    /// their shard lock (`service.shard.lock_wait_ns{mode=write}`).
+    pub shard_lock_wait_write_ns: Histogram,
     /// Payload bytes deep-copied (memcpy) on the data plane. Shares the
     /// `engine.bytes_copied` instrument with the cluster layer, so one
     /// snapshot covers every remaining copy in the stack.
@@ -129,7 +141,20 @@ impl EngineMetrics {
             shard_ops: (0..shards)
                 .map(|i| registry.counter_with("service.shard.ops", &[("shard", &i.to_string())]))
                 .collect(),
-            shard_lock_wait_ns: registry.histogram("service.shard.lock_wait_ns"),
+            shard_read_ops: (0..shards)
+                .map(|i| {
+                    registry.counter_with("service.shard.read_ops", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            shard_write_ops: (0..shards)
+                .map(|i| {
+                    registry.counter_with("service.shard.write_ops", &[("shard", &i.to_string())])
+                })
+                .collect(),
+            shard_lock_wait_read_ns: registry
+                .histogram_with("service.shard.lock_wait_ns", &[("mode", "read")]),
+            shard_lock_wait_write_ns: registry
+                .histogram_with("service.shard.lock_wait_ns", &[("mode", "write")]),
             writes: registry.counter("engine.writes"),
             write_bytes: registry.counter("engine.write_bytes"),
             reads: registry.counter("engine.reads"),

@@ -15,6 +15,8 @@
 //!   all OS blocks, with compressible content.
 //! * [`backup`] — snapshot generations with overwrite/insertion mutations
 //!   (the CDC-vs-static chunking testbed).
+//! * [`zipf`] — seeded Zipf(θ) object popularity plus multi-tenant
+//!   open-loop arrival schedules (the skewed-serving testbed).
 //!
 //! All generators are deterministic given a seed.
 
@@ -27,6 +29,7 @@ pub mod content;
 pub mod fio;
 pub mod sfs;
 pub mod vm_images;
+pub mod zipf;
 
 use serde::{Deserialize, Serialize};
 

@@ -15,7 +15,15 @@
 //!
 //! Shard routing itself is covered by a proptest below: it must be a pure
 //! function of the object name.
+//!
+//! A second regime hammers ONE object — the worst case for the
+//! reader-writer shard plane, where every op maps to the same lock — with
+//! eight concurrent readers, one writer, and racing background ticks:
+//! reads must be torn-free and the writer keeps read-your-writes even
+//! while sharing its shard's lock with readers. A proptest additionally
+//! checks that concurrent same-shard readers all see identical bytes.
 
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 use global_dedup::core::{shard_index, DedupConfig, DedupService, DedupStore};
@@ -217,7 +225,167 @@ fn writers_readers_and_flusher_race_without_corruption() {
     );
 }
 
+/// The skewed-serving worst case: every op lands on ONE object, so the
+/// entire load funnels through a single shard lock. Eight readers spin on
+/// the hot object while one writer overwrites it with successive uniform
+/// fills and the main thread races background ticks. Shared-mode reads
+/// must never observe a torn fill, the writer must read its own writes
+/// back, and the settled store must audit clean.
+#[test]
+fn hot_object_readers_race_one_writer() {
+    const READERS: u32 = 8;
+    const HOT_ROUNDS: usize = 48;
+
+    let cluster = ClusterBuilder::new().nodes(4).osds_per_node(2).build();
+    let config = DedupConfig::with_chunk_size(CS)
+        .flush_batch_size(4)
+        .flush_parallelism(2)
+        .foreground_shards(SHARDS);
+    let svc = Arc::new(DedupService::start(DedupStore::with_default_pools(
+        cluster, config,
+    )));
+    let hot = ObjectName::new("hot");
+    let _ = svc
+        .write(ClientId(0), &hot, 0, [1u8; OBJECT_BYTES], SimTime::ZERO)
+        .expect("seed the hot object");
+
+    let stop = Arc::new(AtomicBool::new(false));
+    let mut handles = Vec::new();
+    for t in 0..READERS {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        handles.push(std::thread::spawn(move || {
+            let mut reads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                let r = svc
+                    .read(
+                        ClientId(10 + t),
+                        &ObjectName::new("hot"),
+                        0,
+                        OBJECT_BYTES as u64,
+                        SimTime::from_secs(reads),
+                    )
+                    .expect("hot read");
+                let first = r.value[0];
+                assert!(
+                    r.value.iter().all(|&b| b == first),
+                    "torn read on the hot object"
+                );
+                assert!(first >= 1, "fill byte from no known writer");
+                reads += 1;
+            }
+            reads
+        }));
+    }
+
+    let writer = {
+        let svc = Arc::clone(&svc);
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let hot = ObjectName::new("hot");
+            for round in 0..HOT_ROUNDS {
+                let fill = vec![(round % 250) as u8 + 1; OBJECT_BYTES];
+                let now = SimTime::from_secs(round as u64);
+                let _ = svc
+                    .write(ClientId(0), &hot, 0, &fill, now)
+                    .expect("hot write");
+                let r = svc
+                    .read(ClientId(0), &hot, 0, OBJECT_BYTES as u64, now)
+                    .expect("writer read-back");
+                assert_eq!(r.value, fill, "writer lost read-your-writes");
+            }
+            stop.store(true, Ordering::Relaxed);
+        })
+    };
+
+    // Background ticks race the hot-object storm.
+    for round in 0..HOT_ROUNDS {
+        svc.tick(SimTime::from_secs(round as u64));
+    }
+
+    writer.join().expect("writer thread");
+    let total_reads: u64 = handles
+        .into_iter()
+        .map(|h| h.join().expect("reader thread"))
+        .sum();
+    assert!(total_reads > 0, "readers never ran");
+
+    svc.tick(SimTime::from_secs(10_000));
+    svc.drain();
+    assert_eq!(svc.worker_errors(), 0, "background worker hit errors");
+    svc.with_store(|s| {
+        let _ = s.flush_all(SimTime::from_secs(20_000)).expect("settle");
+        assert_eq!(s.dirty_len(), 0, "queue drained");
+        assert!(
+            s.verify_references().expect("scrub").is_empty(),
+            "dangling chunk references after the hot-object race"
+        );
+    });
+    let r = svc
+        .read(
+            ClientId(0),
+            &hot,
+            0,
+            OBJECT_BYTES as u64,
+            SimTime::from_secs(30_000),
+        )
+        .expect("read after settle");
+    assert_eq!(
+        r.value,
+        vec![(HOT_ROUNDS - 1) as u8 % 250 + 1; OBJECT_BYTES],
+        "last write did not win"
+    );
+}
+
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Concurrent readers of one (same-shard, by construction) object all
+    /// return bit-identical bytes: the shared read path — shard read
+    /// lock, atomic hitset recording, chunk-stripe lookups — must not let
+    /// read concurrency perturb the returned data.
+    #[test]
+    fn concurrent_same_shard_reads_are_identical(seed in any::<u64>()) {
+        let cluster = ClusterBuilder::new().nodes(4).osds_per_node(2).build();
+        let svc = Arc::new(DedupService::start(DedupStore::with_default_pools(
+            cluster,
+            DedupConfig::with_chunk_size(CS).foreground_shards(SHARDS),
+        )));
+        let data = patterned(OBJECT_BYTES, seed);
+        let _ = svc
+            .write(ClientId(0), &ObjectName::new("probe"), 0, &data, SimTime::ZERO)
+            .expect("probe write");
+        let results: Vec<Vec<u8>> = (0..4u32)
+            .map(|t| {
+                let svc = Arc::clone(&svc);
+                std::thread::spawn(move || {
+                    let mut last = Vec::new();
+                    for k in 0..4u64 {
+                        last = svc
+                            .read(
+                                ClientId(t),
+                                &ObjectName::new("probe"),
+                                0,
+                                OBJECT_BYTES as u64,
+                                SimTime::from_secs(k),
+                            )
+                            .expect("concurrent read")
+                            .value
+                            .to_vec();
+                    }
+                    last
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().expect("reader"))
+            .collect();
+        for r in &results {
+            prop_assert_eq!(r, &data, "concurrent read diverged from the written bytes");
+        }
+        svc.drain();
+    }
+
     /// Shard routing is a pure function of the object name: stable across
     /// calls and across `ObjectName` instances, always within range, and
     /// independent of any store state.

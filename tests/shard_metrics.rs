@@ -1,10 +1,13 @@
 //! Audit of the sharded data plane's contention instruments: every
 //! foreground op (write, read, truncate, delete) must increment exactly
 //! one `service.shard.ops{shard=i}` counter — the one [`shard_index`]
-//! routes its object to — and record exactly one sample in the
-//! `service.shard.lock_wait_ns` histogram. The labelled series must also
-//! appear in registry snapshots, which is what the metrics sidecar
-//! samples.
+//! routes its object to — plus the matching per-mode counter
+//! (`service.shard.read_ops` for shared-mode reads,
+//! `service.shard.write_ops` for exclusive-mode mutations), and record
+//! exactly one sample in the `service.shard.lock_wait_ns` histogram
+//! under its op class's `mode=read|write` label. The labelled series
+//! must also appear in registry snapshots, which is what the metrics
+//! sidecar samples.
 
 use global_dedup::core::{shard_index, CachePolicy, DedupConfig, DedupStore};
 use global_dedup::obs::SnapshotValue;
@@ -33,8 +36,20 @@ fn shard_ops(s: &DedupStore, shard: usize) -> u64 {
         .get()
 }
 
+fn shard_mode_ops(s: &DedupStore, name: &str, shard: usize) -> u64 {
+    s.registry()
+        .counter_with(name, &[("shard", &shard.to_string())])
+        .get()
+}
+
+fn lock_waits_mode(s: &DedupStore, mode: &str) -> u64 {
+    s.registry()
+        .histogram_with("service.shard.lock_wait_ns", &[("mode", mode)])
+        .count()
+}
+
 fn lock_waits(s: &DedupStore) -> u64 {
-    s.registry().histogram("service.shard.lock_wait_ns").count()
+    lock_waits_mode(s, "read") + lock_waits_mode(s, "write")
 }
 
 fn t(secs: u64) -> SimTime {
@@ -49,17 +64,36 @@ fn fill(s: &DedupStore, name: &str, seed: u8, now: SimTime) {
 }
 
 /// The invariant under audit: per-shard counters sum to the number of
-/// foreground ops, and the lock-wait histogram saw one sample per op.
-fn assert_ops_accounted(s: &DedupStore, expected_ops: u64, context: &str) {
+/// foreground ops, the per-mode counters partition them, and the
+/// mode-labelled lock-wait histograms saw one sample per op of that
+/// class.
+fn assert_ops_accounted(s: &DedupStore, expected_reads: u64, expected_writes: u64, context: &str) {
+    let expected_ops = expected_reads + expected_writes;
     let total: u64 = (0..SHARDS).map(|i| shard_ops(s, i)).sum();
     assert_eq!(
         total, expected_ops,
         "shard op counters out of sync after {context}"
     );
+    let reads: u64 = (0..SHARDS)
+        .map(|i| shard_mode_ops(s, "service.shard.read_ops", i))
+        .sum();
+    let writes: u64 = (0..SHARDS)
+        .map(|i| shard_mode_ops(s, "service.shard.write_ops", i))
+        .sum();
     assert_eq!(
-        lock_waits(s),
-        expected_ops,
-        "lock-wait samples out of sync after {context}"
+        (reads, writes),
+        (expected_reads, expected_writes),
+        "per-mode shard counters out of sync after {context}"
+    );
+    assert_eq!(
+        lock_waits_mode(s, "read"),
+        expected_reads,
+        "read lock-wait samples out of sync after {context}"
+    );
+    assert_eq!(
+        lock_waits_mode(s, "write"),
+        expected_writes,
+        "write lock-wait samples out of sync after {context}"
     );
 }
 
@@ -89,8 +123,20 @@ fn every_foreground_op_lands_on_its_routed_shard() {
             want,
             "shard {shard} counter diverged from routing"
         );
+        // One write and one read per object: the mode split halves each
+        // shard's total.
+        assert_eq!(
+            shard_mode_ops(&s, "service.shard.read_ops", shard),
+            want / 2,
+            "shard {shard} read-mode counter diverged"
+        );
+        assert_eq!(
+            shard_mode_ops(&s, "service.shard.write_ops", shard),
+            want / 2,
+            "shard {shard} write-mode counter diverged"
+        );
     }
-    assert_ops_accounted(&s, 24, "writes + reads");
+    assert_ops_accounted(&s, 12, 12, "writes + reads");
 }
 
 #[test]
@@ -106,7 +152,30 @@ fn truncate_and_delete_count_as_shard_ops() {
     let _ = s.delete(ClientId(0), &name).expect("delete");
 
     assert_eq!(shard_ops(&s, shard), 3, "write + truncate + delete");
-    assert_ops_accounted(&s, 3, "churn sequence");
+    assert_eq!(
+        shard_mode_ops(&s, "service.shard.write_ops", shard),
+        3,
+        "truncate and delete are exclusive-mode mutations"
+    );
+    assert_ops_accounted(&s, 0, 3, "churn sequence");
+}
+
+#[test]
+fn exclusive_shard_reads_still_count_as_reads() {
+    // The bench's reconstructed baseline takes the exclusive lock side
+    // for reads, but the op-class accounting must not change: the A/B
+    // comparison relies on identical counters in both modes.
+    let s = store_with(
+        DedupConfig::with_chunk_size(CS)
+            .cache_policy(CachePolicy::EvictAll)
+            .foreground_shards(SHARDS)
+            .exclusive_shard_reads(),
+    );
+    fill(&s, "ab", 3, t(0));
+    let _ = s
+        .read(ClientId(0), &ObjectName::new("ab"), 0, CS as u64, t(1))
+        .expect("read");
+    assert_ops_accounted(&s, 1, 1, "exclusive-read baseline");
 }
 
 #[test]
@@ -120,7 +189,7 @@ fn background_flush_takes_no_shard_locks() {
         before,
         "background flush must rely on whole-store exclusion, not shard locks"
     );
-    assert_ops_accounted(&s, 1, "background flush");
+    assert_ops_accounted(&s, 0, 1, "background flush");
 }
 
 #[test]
@@ -128,31 +197,48 @@ fn labelled_series_appear_in_snapshots() {
     let s = sharded_store();
     fill(&s, "snap", 1, t(0));
     let snap = s.registry().snapshot(t(2));
-    let shard_series: Vec<_> = snap
+    for series in [
+        "service.shard.ops",
+        "service.shard.read_ops",
+        "service.shard.write_ops",
+    ] {
+        let shard_series: Vec<_> = snap.iter().filter(|m| m.name == series).collect();
+        assert_eq!(
+            shard_series.len(),
+            SHARDS,
+            "one labelled {series} series per shard"
+        );
+        assert!(
+            shard_series
+                .iter()
+                .all(|m| m.labels.iter().any(|(k, _)| k == "shard")),
+            "{series} series carry the shard label"
+        );
+    }
+    let total: u64 = snap
         .iter()
         .filter(|m| m.name == "service.shard.ops")
-        .collect();
-    assert_eq!(
-        shard_series.len(),
-        SHARDS,
-        "one labelled ops series per shard"
-    );
-    let total: u64 = shard_series
-        .iter()
         .map(|m| match m.value {
             SnapshotValue::Counter(v) => v,
             _ => panic!("service.shard.ops must snapshot as a counter"),
         })
         .sum();
     assert_eq!(total, 1, "the one write shows up in the snapshot");
-    assert!(
-        shard_series
-            .iter()
-            .all(|m| m.labels.iter().any(|(k, _)| k == "shard")),
-        "series carry the shard label"
+    let lock_modes: Vec<_> = snap
+        .iter()
+        .filter(|m| m.name == "service.shard.lock_wait_ns")
+        .collect();
+    assert_eq!(
+        lock_modes.len(),
+        2,
+        "lock-wait histogram exported once per mode"
     );
-    assert!(
-        snap.iter().any(|m| m.name == "service.shard.lock_wait_ns"),
-        "lock-wait histogram exported"
-    );
+    for mode in ["read", "write"] {
+        assert!(
+            lock_modes
+                .iter()
+                .any(|m| m.labels.iter().any(|(k, v)| k == "mode" && v == mode)),
+            "lock-wait series carries mode={mode}"
+        );
+    }
 }
