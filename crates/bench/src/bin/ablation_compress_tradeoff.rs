@@ -1,0 +1,6 @@
+//! Ablation study. See `dedup_bench::experiments::ablations::compress_tradeoff`.
+fn main() {
+    dedup_bench::report::parse_trace_flag();
+    let smoke = std::env::args().skip(1).any(|a| a == "--smoke");
+    dedup_bench::experiments::ablations::compress_tradeoff::run(smoke);
+}

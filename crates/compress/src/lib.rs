@@ -60,10 +60,28 @@ fn write_varlen(out: &mut Vec<u8>, mut extra: usize) {
     out.push(extra as u8);
 }
 
+/// Upper bound on `compress(data).len()` for an input of `len` bytes:
+/// the size of the stored-block escape (one literal run covering the
+/// whole input), `len + len/255 + 2`.
+///
+/// [`compress`] falls back to that encoding whenever the match-bearing
+/// output would be larger, so the bound holds for *every* input —
+/// adversarial, random, or otherwise.
+pub fn max_compressed_len(len: usize) -> usize {
+    match len {
+        0 => 0,
+        l if l < 15 => l + 1,
+        l => l + 2 + (l - 15) / 255,
+    }
+}
+
 /// Compresses `data`. Output of an empty input is empty.
 ///
-/// Worst-case expansion is bounded (~0.4% plus a few bytes) because
-/// incompressible bytes are emitted as literal runs with small headers.
+/// Worst-case expansion is bounded by [`max_compressed_len`] (one part in
+/// 255 plus two bytes): if the match-bearing encoding expands the input —
+/// adversarial data can make every sequence pay its token/varlen overhead
+/// for 4-byte matches — the whole input is re-emitted as a single stored
+/// literal run instead, which is itself a valid stream in the same format.
 pub fn compress(data: &[u8]) -> Vec<u8> {
     let mut out = Vec::with_capacity(data.len() / 2 + 16);
     if data.is_empty() {
@@ -112,6 +130,11 @@ pub fn compress(data: &[u8]) -> Vec<u8> {
         // distinguish from empty input; emit an empty trailing literal run.
         emit_sequence(&mut out, &[], None);
     }
+    if out.len() > max_compressed_len(data.len()) {
+        // Stored-block escape: emit the input as one raw literal run.
+        out.clear();
+        emit_sequence(&mut out, data, None);
+    }
     out
 }
 
@@ -156,13 +179,32 @@ fn read_varlen(data: &[u8], pos: &mut usize, base: usize) -> Result<usize, Decom
 /// Returns [`DecompressError`] if the stream is truncated or references data
 /// before the start of the output.
 pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
-    let mut out = Vec::with_capacity(data.len() * 3);
+    decompress_with_limit(data, usize::MAX)
+}
+
+/// Decompresses a stream produced by [`compress`], refusing to produce more
+/// than `max_out` bytes of output.
+///
+/// Callers that know the original size (the dedup engine records it next to
+/// each compressed chunk) use this to keep a corrupt or malicious stream
+/// from allocating beyond that size: the output buffer never grows past
+/// `max_out` before the error is returned.
+///
+/// # Errors
+///
+/// Returns [`DecompressError`] if the stream is truncated, references data
+/// before the start of the output, or would expand past `max_out` bytes.
+pub fn decompress_with_limit(data: &[u8], max_out: usize) -> Result<Vec<u8>, DecompressError> {
+    let mut out = Vec::with_capacity(data.len().saturating_mul(3).min(max_out));
     let mut pos = 0usize;
     while pos < data.len() {
         let token = data[pos];
         pos += 1;
         let lit_len = read_varlen(data, &mut pos, (token >> 4) as usize)?;
         if pos + lit_len > data.len() {
+            return Err(DecompressError { at: pos });
+        }
+        if lit_len > max_out - out.len() {
             return Err(DecompressError { at: pos });
         }
         out.extend_from_slice(&data[pos..pos + lit_len]);
@@ -177,6 +219,9 @@ pub fn decompress(data: &[u8]) -> Result<Vec<u8>, DecompressError> {
         pos += 2;
         let match_len = read_varlen(data, &mut pos, (token & 0x0F) as usize)? + MIN_MATCH;
         if offset == 0 || offset > out.len() {
+            return Err(DecompressError { at: pos });
+        }
+        if match_len > max_out - out.len() {
             return Err(DecompressError { at: pos });
         }
         let start = out.len() - offset;
@@ -320,6 +365,70 @@ mod tests {
     }
 
     #[test]
+    fn random_bytes_bounded_by_stored_block_escape() {
+        // Regression for the incompressible-data bound: random input must
+        // never expand past the single-literal-run encoding.
+        for (seed, len) in [(1u64, 1usize), (2, 14), (3, 15), (4, 270), (5, 65_536)] {
+            let mut state = seed;
+            let data: Vec<u8> = (0..len)
+                .map(|_| {
+                    state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    (state >> 33) as u8
+                })
+                .collect();
+            let packed = compress(&data);
+            assert!(
+                packed.len() <= max_compressed_len(data.len()),
+                "len {} expanded to {} (bound {})",
+                data.len(),
+                packed.len(),
+                max_compressed_len(data.len())
+            );
+            roundtrip(&data);
+        }
+    }
+
+    #[test]
+    fn max_compressed_len_matches_literal_run_encoding() {
+        for len in [0usize, 1, 14, 15, 16, 269, 270, 271, 1000, 65_536] {
+            let data = vec![0xA5u8; len];
+            let mut literal_run = Vec::new();
+            if len > 0 {
+                emit_sequence(&mut literal_run, &data, None);
+            }
+            assert_eq!(
+                literal_run.len(),
+                max_compressed_len(len),
+                "bound must equal the escape encoding at len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_varlen_header_errors() {
+        // Token promising an extended literal run, then nothing.
+        assert!(decompress(&[0xF0]).is_err());
+        // Continuation byte chain cut mid-stream.
+        assert!(decompress(&[0xF0, 255, 255]).is_err());
+    }
+
+    #[test]
+    fn limit_caps_output_and_matches_unlimited() {
+        let data = b"limitcase ".repeat(400);
+        let packed = compress(&data);
+        assert_eq!(
+            decompress_with_limit(&packed, data.len()).expect("fits"),
+            data
+        );
+        assert!(decompress_with_limit(&packed, data.len() - 1).is_err());
+        // An RLE bomb (huge match length from a few input bytes) must stop
+        // at the limit instead of allocating the full expansion.
+        let bomb = compress(&vec![0u8; 1 << 20]);
+        assert!(bomb.len() < 6000, "bomb input compresses: {}", bomb.len());
+        assert!(decompress_with_limit(&bomb, 4096).is_err());
+    }
+
+    #[test]
     fn stats_ratio() {
         let s = CompressionStats::measure(&b"aaaa".repeat(1000));
         assert!(s.ratio() > 10.0);
@@ -363,12 +472,43 @@ mod proptests {
             prop_assert_eq!(decompress(&packed).expect("valid"), data);
         }
 
-        /// Worst-case expansion is bounded: incompressible data grows by at
-        /// most ~1% plus a small constant (literal-run headers).
+        /// Worst-case expansion is bounded by the stored-block escape:
+        /// `len + len/255 + 2` for any input whatsoever.
         #[test]
         fn expansion_is_bounded(data in proptest::collection::vec(any::<u8>(), 0..8192)) {
             let packed = compress(&data);
-            prop_assert!(packed.len() <= data.len() + data.len() / 64 + 16);
+            prop_assert!(packed.len() <= max_compressed_len(data.len()));
+        }
+
+        /// Arbitrary garbage fed to the decoder must either decode or
+        /// return an error — never panic, and with a limit never produce
+        /// more output than the limit allows.
+        #[test]
+        fn malformed_streams_never_panic(
+            garbage in proptest::collection::vec(any::<u8>(), 0..2048),
+            limit in 0usize..16384,
+        ) {
+            let _ = decompress(&garbage); // must not panic
+            if let Ok(out) = decompress_with_limit(&garbage, limit) {
+                prop_assert!(out.len() <= limit);
+            }
+        }
+
+        /// Flipping one byte of a valid stream must never panic the
+        /// decoder (it may still decode to different bytes).
+        #[test]
+        fn corrupted_streams_never_panic(
+            data in proptest::collection::vec(any::<u8>(), 1..2048),
+            flip_at in any::<u16>(),
+            flip_to in any::<u8>(),
+        ) {
+            let mut packed = compress(&data);
+            let at = flip_at as usize % packed.len();
+            packed[at] = flip_to;
+            let _ = decompress(&packed); // must not panic
+            if let Ok(out) = decompress_with_limit(&packed, data.len()) {
+                prop_assert!(out.len() <= data.len());
+            }
         }
 
         /// Truncating a valid stream anywhere either errors or yields a

@@ -122,6 +122,99 @@ impl Default for TieredIndexConfig {
     }
 }
 
+/// Which bytes the flush-path fingerprint (and the tiered pipeline's
+/// [`dedup_fingerprint::ChunkSig`]) covers when inline compression is on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum FingerprintDomain {
+    /// Hash the raw chunk bytes (classic behaviour): dedup is independent
+    /// of how each copy happened to be stored.
+    #[default]
+    Raw,
+    /// Hash the *stored* bytes (post-compression fingerprinting, the
+    /// SPACE design): identical compressed segments dedup across tenants
+    /// and every full hash touches the smaller compressed stream.
+    /// Compressed-stored names are tagged into their own namespace
+    /// ([`dedup_fingerprint::Fingerprint::into_compressed_domain`]) so raw
+    /// and compressed chunks never falsely collide.
+    Compressed,
+}
+
+/// CPU cost model for the inline compression plane (virtual-time nanos
+/// charged per byte pushed through the codec).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionCostModel {
+    /// Compression throughput of one core in bytes per second.
+    pub compress_bytes_per_sec: u64,
+    /// Decompression throughput of one core in bytes per second.
+    pub decompress_bytes_per_sec: u64,
+}
+
+impl Default for CompressionCostModel {
+    /// Roughly LZ4 software throughput on one core: compression is
+    /// hash-table bound, decompression is a straight copy loop.
+    fn default() -> Self {
+        CompressionCostModel {
+            compress_bytes_per_sec: 768 * 1024 * 1024,
+            decompress_bytes_per_sec: 3 * 1024 * 1024 * 1024,
+        }
+    }
+}
+
+impl CompressionCostModel {
+    /// Virtual CPU nanoseconds to compress `bytes`.
+    pub fn compress_nanos(&self, bytes: u64) -> u64 {
+        Self::nanos(bytes, self.compress_bytes_per_sec)
+    }
+
+    /// Virtual CPU nanoseconds to decompress into `bytes` of output.
+    pub fn decompress_nanos(&self, bytes: u64) -> u64 {
+        Self::nanos(bytes, self.decompress_bytes_per_sec)
+    }
+
+    fn nanos(bytes: u64, rate: u64) -> u64 {
+        if rate == 0 {
+            return 0;
+        }
+        ((bytes as u128 * 1_000_000_000) / rate as u128) as u64
+    }
+}
+
+/// Inline chunk-pool compression (off by default).
+///
+/// When enabled, the flush pipeline compresses every staged chunk off the
+/// engine lock and keeps the compressed form only if it pays: a chunk
+/// whose compressed size exceeds `max_ratio_ppm` millionths of its raw
+/// size is stored as the original `Bytes` view untouched — the zero-copy
+/// CoW fast path (no allocation, no copy). Stored-compressed chunks carry
+/// their raw length in an object xattr and are transparently decompressed
+/// on read.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CompressionConfig {
+    /// Master switch. `false` leaves every path byte-identical to the
+    /// pre-compression engine.
+    pub enabled: bool,
+    /// Keep the compressed form only if
+    /// `compressed_len * 1_000_000 <= raw_len * max_ratio_ppm`; otherwise
+    /// the chunk is stored raw. Default 900 000 (store compressed only
+    /// when at least 10% smaller).
+    pub max_ratio_ppm: u64,
+    /// Which bytes fingerprints (and tiered signatures) cover.
+    pub domain: FingerprintDomain,
+    /// Virtual CPU cost of the codec.
+    pub cost: CompressionCostModel,
+}
+
+impl Default for CompressionConfig {
+    fn default() -> Self {
+        CompressionConfig {
+            enabled: false,
+            max_ratio_ppm: 900_000,
+            domain: FingerprintDomain::Raw,
+            cost: CompressionCostModel::default(),
+        }
+    }
+}
+
 /// Which [`crate::ChunkIndex`] implementation the engine builds.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub enum ChunkIndexKind {
@@ -192,6 +285,9 @@ pub struct DedupConfig {
     /// `Mutex` shards. Off by default (reads share). Wall-clock only —
     /// virtual-time results are identical either way.
     pub exclusive_shard_reads: bool,
+    /// Inline chunk-pool compression plane (off by default; the default
+    /// path is byte-identical to the pre-compression engine).
+    pub compression: CompressionConfig,
 }
 
 impl Default for DedupConfig {
@@ -211,6 +307,7 @@ impl Default for DedupConfig {
             tiered_fingerprint: false,
             chunk_index: ChunkIndexKind::Flat,
             exclusive_shard_reads: false,
+            compression: CompressionConfig::default(),
         }
     }
 }
@@ -316,6 +413,34 @@ impl DedupConfig {
         self.chunk_index = ChunkIndexKind::Tiered(index);
         self
     }
+
+    /// Enables inline chunk-pool compression (raw fingerprint domain).
+    pub fn compress(mut self) -> Self {
+        self.compression.enabled = true;
+        self
+    }
+
+    /// Enables inline compression and selects the fingerprint domain.
+    pub fn compress_domain(mut self, domain: FingerprintDomain) -> Self {
+        self.compression.enabled = true;
+        self.compression.domain = domain;
+        self
+    }
+
+    /// Overrides the store-compressed threshold in parts per million of
+    /// the raw size (see [`CompressionConfig::max_ratio_ppm`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ppm` is zero or exceeds 1 000 000.
+    pub fn compress_max_ratio_ppm(mut self, ppm: u64) -> Self {
+        assert!(
+            ppm > 0 && ppm <= 1_000_000,
+            "compression ratio threshold must be in 1..=1_000_000 ppm"
+        );
+        self.compression.max_ratio_ppm = ppm;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -335,6 +460,26 @@ mod tests {
         assert_eq!(c.bloom, BloomConfig::default(), "historical bloom sizing");
         assert!(!c.tiered_fingerprint, "tiered pipeline is opt-in");
         assert_eq!(c.chunk_index, ChunkIndexKind::Flat, "flat index default");
+        assert!(!c.compression.enabled, "compression is opt-in");
+        assert_eq!(c.compression.domain, FingerprintDomain::Raw);
+        assert_eq!(c.compression.max_ratio_ppm, 900_000);
+    }
+
+    #[test]
+    fn compression_builders_compose() {
+        let c = DedupConfig::default()
+            .compress_domain(FingerprintDomain::Compressed)
+            .compress_max_ratio_ppm(750_000);
+        assert!(c.compression.enabled);
+        assert_eq!(c.compression.domain, FingerprintDomain::Compressed);
+        assert_eq!(c.compression.max_ratio_ppm, 750_000);
+        assert!(DedupConfig::default().compress().compression.enabled);
+    }
+
+    #[test]
+    #[should_panic(expected = "compression ratio threshold")]
+    fn oversized_compress_ratio_rejected() {
+        let _ = DedupConfig::default().compress_max_ratio_ppm(1_000_001);
     }
 
     #[test]

@@ -22,7 +22,7 @@ use dedup_store::{
 use parking_lot::{Mutex, MutexGuard, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 use crate::chunkmap::ChunkMapEntry;
-use crate::config::{CachePolicy, DedupConfig, DedupMode};
+use crate::config::{CachePolicy, DedupConfig, DedupMode, FingerprintDomain};
 use crate::error::DedupError;
 use crate::hitset::SharedHitSet;
 use crate::index::{build_index, ChunkIndex};
@@ -30,7 +30,10 @@ use crate::metrics::EngineMetrics;
 use crate::pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
 use crate::queue::DirtyQueue;
 use crate::ratecontrol::RateController;
-use crate::refs::{decode_refcount, encode_refcount, BackRef, REFCOUNT_XATTR};
+use crate::refs::{
+    decode_raw_len, decode_refcount, encode_raw_len, encode_refcount, BackRef, COMPRESS_XATTR,
+    REFCOUNT_XATTR,
+};
 
 /// Injectable crash points in the flush protocol, matching the failure
 /// analysis of the paper's consistency model (§4.6, Fig. 9).
@@ -717,7 +720,7 @@ impl DedupStore {
                     if let Some(fp) = e.chunk_id {
                         let chunk_name = ObjectName::new(fp.to_object_name());
                         let cctx = self.chunk_ctx(client);
-                        let t = self.cluster.read_at(&cctx, &chunk_name, 0, e.len as u64)?;
+                        let t = self.read_chunk_at(&cctx, &chunk_name, 0, e.len as u64)?;
                         costs.push(t.cost);
                         content[..t.value.len()].copy_from_slice(&t.value);
                     }
@@ -747,7 +750,7 @@ impl DedupStore {
                     }
                 }
             }
-            let t = self.store_chunk(client, fp, content.into(), name, c_off, None)?;
+            let t = self.store_chunk(client, fp, content.into(), name, c_off, None, None)?;
             costs.push(t.cost);
 
             let entry = ChunkMapEntry {
@@ -893,9 +896,7 @@ impl DedupStore {
                         if resident {
                             continue;
                         }
-                        let t = self
-                            .cluster
-                            .read_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
+                        let t = self.read_chunk_at(&cctx, &chunk_name, hs - c_off, he - hs)?;
                         patched[(hs - want_start) as usize..(he - want_start) as usize]
                             .copy_from_slice(&t.value);
                         chunk_costs.push(self.label("read.chunk_fallback", t.cost));
@@ -921,14 +922,15 @@ impl DedupStore {
                 // ways. This is the paper's read penalty (Figs. 10b & 11).
                 let cctx = self.chunk_ctx(ClientId::INTERNAL);
                 let t = self
-                    .cluster
-                    .read_at(&cctx, &chunk_name, want_start - c_off, span)
+                    .read_chunk_at(&cctx, &chunk_name, want_start - c_off, span)
                     .map_err(|err| match err {
-                        StoreError::NoSuchObject(..) => DedupError::MissingChunk {
-                            object: name.clone(),
-                            chunk: chunk_name.to_string(),
-                        },
-                        other => other.into(),
+                        DedupError::Store(StoreError::NoSuchObject(..)) => {
+                            DedupError::MissingChunk {
+                                object: name.clone(),
+                                chunk: chunk_name.to_string(),
+                            }
+                        }
+                        other => other,
                     })?;
                 parts.push((want_start, t.value));
                 let meta_node = self.primary_node(self.metadata_pool, name)?;
@@ -1038,10 +1040,10 @@ impl DedupStore {
             let Some(fp) = e.chunk_id else { continue };
             let chunk_name = ObjectName::new(fp.to_object_name());
             let cctx = self.chunk_ctx(ClientId::INTERNAL);
-            let t = match self.cluster.read_at(&cctx, &chunk_name, 0, e.len as u64) {
+            let t = match self.read_chunk_at(&cctx, &chunk_name, 0, e.len as u64) {
                 Ok(t) => t,
-                Err(StoreError::NoSuchObject(..)) => continue, // raced with GC
-                Err(err) => return Err(err.into()),
+                Err(DedupError::Store(StoreError::NoSuchObject(..))) => continue, // raced with GC
+                Err(err) => return Err(err),
             };
             costs.push(t.cost);
             ops.push(TxOp::Write {
@@ -1220,9 +1222,100 @@ impl DedupStore {
             .cpu_busy(node, dedup_sim::SimDuration::from_nanos(nanos))
     }
 
+    /// Stored format of a chunk object: `Some(raw_len)` when the payload
+    /// is compressed (the xattr carries the logical length), `None` for a
+    /// raw payload. Metadata-plane probe: like chunk-map lookups it rides
+    /// the request and charges no virtual-time cost, so read paths on a
+    /// pool with no compressed chunks stay cost-identical to a build
+    /// without the compression plane.
+    fn chunk_raw_len(
+        &self,
+        cctx: &IoCtx,
+        chunk_name: &ObjectName,
+    ) -> Result<Option<u64>, StoreError> {
+        let t = self.cluster.get_xattr(cctx, chunk_name, COMPRESS_XATTR)?;
+        Ok(t.value.and_then(|v| decode_raw_len(&v)))
+    }
+
+    /// A chunk object's *logical* extent — the raw length for
+    /// compressed-stored chunks, the stored extent otherwise — or `None`
+    /// when the object is absent.
+    fn chunk_extent(
+        &self,
+        cctx: &IoCtx,
+        chunk_name: &ObjectName,
+    ) -> Result<Option<u64>, DedupError> {
+        let Some(stored) = self.cluster.stat(self.chunk_pool, chunk_name)? else {
+            return Ok(None);
+        };
+        Ok(Some(
+            self.chunk_raw_len(cctx, chunk_name)?.unwrap_or(stored),
+        ))
+    }
+
+    /// Reads `[off, off + len)` of a chunk object's *logical* payload,
+    /// transparently decompressing compressed-stored chunks. A raw-stored
+    /// chunk passes its stored view straight through — the same single
+    /// `read_at` (and the same cost expression) as a store without a
+    /// compression plane, so the CoW fast path stays zero-copy end to
+    /// end. A compressed chunk reads its whole (smaller) stored extent,
+    /// decodes it once, and returns the requested span as a zero-copy
+    /// slice of the decoded buffer; the decode CPU is charged to the
+    /// chunk's primary node.
+    fn read_chunk_at(
+        &self,
+        cctx: &IoCtx,
+        chunk_name: &ObjectName,
+        off: u64,
+        len: u64,
+    ) -> Result<Timed<Bytes>, DedupError> {
+        let Some(raw_len) = self.chunk_raw_len(cctx, chunk_name)? else {
+            return Ok(self.cluster.read_at(cctx, chunk_name, off, len)?);
+        };
+        let extent = self
+            .cluster
+            .stat(self.chunk_pool, chunk_name)?
+            .ok_or_else(|| StoreError::NoSuchObject(self.chunk_pool, chunk_name.clone()))?;
+        let t = self.cluster.read_at(cctx, chunk_name, 0, extent)?;
+        let raw =
+            dedup_compress::decompress_with_limit(&t.value, raw_len as usize).map_err(|_| {
+                DedupError::CorruptCompressedChunk {
+                    chunk: chunk_name.to_string(),
+                }
+            })?;
+        self.metrics.compress_decompressed_chunks.inc();
+        self.metrics
+            .compress_decompressed_bytes
+            .add(raw.len() as u64);
+        let node = self.primary_node(self.chunk_pool, chunk_name)?;
+        let nanos = self
+            .config
+            .compression
+            .cost
+            .decompress_nanos(raw.len() as u64);
+        let cpu = self
+            .cluster
+            .perf()
+            .cpu_busy(node, SimDuration::from_nanos(nanos));
+        let raw = Bytes::from(raw);
+        let end = (off + len).min(raw.len() as u64);
+        let start = off.min(end);
+        Ok(Timed::new(
+            raw.slice(start as usize..end as usize),
+            CostExpr::seq([t.cost, self.label("read.decompress_cpu", cpu)]),
+        ))
+    }
+
     /// Stores or references a chunk object named by its fingerprint —
     /// *double hashing* in action: the name is the content hash, placement
     /// is the cluster's ordinary name hash.
+    ///
+    /// `content` is the bytes the pool stores (the compressed form when
+    /// the flush encode kept it); `encoded_raw_len` carries the logical
+    /// length for compressed payloads so the create branch stamps the
+    /// [`COMPRESS_XATTR`] format marker. `None` means raw — such chunks
+    /// are byte-identical to ones written with compression off.
+    #[allow(clippy::too_many_arguments)]
     fn store_chunk(
         &self,
         client: ClientId,
@@ -1231,6 +1324,7 @@ impl DedupStore {
         referrer: &ObjectName,
         ref_offset: u64,
         sig: Option<ChunkSig>,
+        encoded_raw_len: Option<u64>,
     ) -> Result<Timed<ChunkStoreOutcome>, DedupError> {
         // The refcount update is a read-modify-write spanning three cluster
         // calls; the stripe lock keeps two referrers of the same chunk from
@@ -1306,15 +1400,18 @@ impl DedupStore {
                 };
                 self.index.note_stored(fp, sig);
                 self.metrics.bytes_shared.add(content.len() as u64);
-                let tx = self.cluster.transact(
-                    &cctx,
-                    &chunk_name,
-                    vec![
-                        TxOp::WriteFull(content),
-                        TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(1).into()),
-                        TxOp::SetOmap(backref.key(), backref.encode_value().into()),
-                    ],
-                )?;
+                let mut ops = vec![
+                    TxOp::WriteFull(content),
+                    TxOp::SetXattr(REFCOUNT_XATTR.into(), encode_refcount(1).into()),
+                    TxOp::SetOmap(backref.key(), backref.encode_value().into()),
+                ];
+                if let Some(raw_len) = encoded_raw_len {
+                    ops.push(TxOp::SetXattr(
+                        COMPRESS_XATTR.into(),
+                        encode_raw_len(raw_len).into(),
+                    ));
+                }
+                let tx = self.cluster.transact(&cctx, &chunk_name, ops)?;
                 Ok(Timed::new(ChunkStoreOutcome::Created, tx.cost))
             }
         }
@@ -1409,10 +1506,9 @@ impl DedupStore {
                 // A zero-extending truncate can grow this entry past the
                 // chunk object flushed for its previous content; bytes
                 // beyond that extent were never written and stay zero.
-                let old_extent = self
-                    .cluster
-                    .stat(self.chunk_pool, &chunk_name)?
-                    .unwrap_or(0);
+                // (Logical extent: a compressed-stored chunk's stored
+                // extent is its physical size, not its data length.)
+                let old_extent = self.chunk_extent(&cctx, &chunk_name)?.unwrap_or(0);
                 for &(hs, he, resident) in &splits {
                     if resident {
                         continue;
@@ -1423,8 +1519,7 @@ impl DedupStore {
                         continue;
                     }
                     let t =
-                        self.cluster
-                            .read_at(&cctx, &chunk_name, rel_start, rel_end - rel_start)?;
+                        self.read_chunk_at(&cctx, &chunk_name, rel_start, rel_end - rel_start)?;
                     buf[rel_start as usize..rel_end as usize].copy_from_slice(&t.value);
                     costs.push(t.cost);
                     merged = true;
@@ -1533,9 +1628,19 @@ impl DedupStore {
             // candidate appearing later (e.g. stored by an earlier chunk
             // of this very batch) is still caught.
             let (sig, fingerprint_wanted) = if self.config.tiered_fingerprint {
-                let s = ChunkSig::of(&content);
-                let wanted = !self.index.candidates(&s, now).is_empty();
-                (Some(s), wanted)
+                if self.config.compression.enabled
+                    && self.config.compression.domain == FingerprintDomain::Compressed
+                {
+                    // Signatures live in the compressed namespace, which
+                    // is unknown until stage 2 encodes; stage 2 signs the
+                    // stored bytes and commit probes under the lock. Full
+                    // hashing stays unpaid unless that probe collides.
+                    (None, false)
+                } else {
+                    let s = ChunkSig::of(&content);
+                    let wanted = !self.index.candidates(&s, now).is_empty();
+                    (Some(s), wanted)
+                }
             } else {
                 (None, true)
             };
@@ -1547,6 +1652,7 @@ impl DedupStore {
                 fingerprint: None,
                 sig,
                 fingerprint_wanted,
+                encoded: None,
             });
         }
         Ok(StageOutcome::Staged(StagedObject {
@@ -1646,7 +1752,12 @@ impl DedupStore {
     ) -> Result<Timed<FlushReport>, DedupError> {
         let start = Instant::now();
         let parallelism = self.fingerprint_parallelism();
-        fingerprint_batch(&mut batch, parallelism);
+        fingerprint_batch(
+            &mut batch,
+            parallelism,
+            self.config.tiered_fingerprint,
+            &self.config.compression,
+        );
         let elapsed = start.elapsed().as_nanos() as u64;
         self.metrics.fingerprint_wall_ns.record(elapsed);
         if let Some(t) = &self.tracer {
@@ -1744,11 +1855,51 @@ impl DedupStore {
         // deref keeps its original slot in the cost sequence so the
         // virtual-time model is byte-for-byte unchanged.
         let mut pending_derefs: Vec<(usize, Fingerprint, BackRef)> = Vec::new();
+        let compress_enabled = self.config.compression.enabled;
+        let compressed_domain =
+            compress_enabled && self.config.compression.domain == FingerprintDomain::Compressed;
+        let mut chunks_compressed = 0u64;
+        let mut chunks_stored_raw = 0u64;
         for chunk in chunks {
             let e = chunk.entry;
+            let stored = chunk.stored().clone();
+            let encoded = chunk.encoded.is_some();
             let content = chunk.content;
             let merged = chunk.merged;
             costs.extend(chunk.read_costs);
+            if compress_enabled && !content.is_empty() {
+                // The encode attempt ran in stage 2 with the lock
+                // released; like fingerprinting, its CPU bill lands on
+                // the metadata node here so parallelism never perturbs
+                // virtual-time results. The bill covers the raw bytes
+                // whether or not the compressed form was kept.
+                self.metrics.compress_attempted_chunks.inc();
+                self.metrics
+                    .compress_attempted_bytes
+                    .add(content.len() as u64);
+                let nanos = self
+                    .config
+                    .compression
+                    .cost
+                    .compress_nanos(content.len() as u64);
+                let cpu = self
+                    .cluster
+                    .perf()
+                    .cpu_busy(meta_node, SimDuration::from_nanos(nanos));
+                costs.push(self.label("flush.compress_cpu", cpu));
+                if encoded {
+                    chunks_compressed += 1;
+                    self.metrics.compress_stored_chunks.inc();
+                    self.metrics.compress_raw_bytes.add(content.len() as u64);
+                    self.metrics.compress_stored_bytes.add(stored.len() as u64);
+                    // The compressed form is a fresh allocation; the CoW
+                    // fast path (stored raw) allocates nothing.
+                    self.metrics.bytes_copied.add(stored.len() as u64);
+                } else {
+                    chunks_stored_raw += 1;
+                    self.metrics.compress_raw_fallbacks.inc();
+                }
+            }
             // (3) Resolve the chunk's target name. Classic mode: the full
             // fingerprint was computed in stage 2 (possibly on a worker
             // thread with the engine lock released); its CPU cost is
@@ -1757,22 +1908,41 @@ impl DedupStore {
             // lock and pay the full fingerprint only on a candidate
             // collision — a miss proves global uniqueness and the chunk
             // stores under a minted weak name, never hashed in full.
+            // In the compressed fingerprint domain both paths hash (and
+            // sign) the *stored* bytes — fewer bytes per full hash.
             let (fp, sig) = if self.config.tiered_fingerprint {
+                let (domain_bytes, domain_len) = if compressed_domain {
+                    (&stored, stored.len() as u64)
+                } else {
+                    (&content, e.len as u64)
+                };
                 self.resolve_chunk_target(
-                    chunk.sig.unwrap_or_else(|| ChunkSig::of(&content)),
+                    chunk.sig.unwrap_or_else(|| ChunkSig::of(domain_bytes)),
                     chunk.fingerprint,
-                    &content,
-                    e.len as u64,
+                    domain_bytes,
+                    domain_len,
+                    compressed_domain && encoded,
                     meta_node,
                     staged_at,
                     &mut costs,
                 )?
             } else {
-                let fp = chunk
-                    .fingerprint
-                    .unwrap_or_else(|| Fingerprint::of(&content));
+                let (hashed, hashed_len) = if compressed_domain {
+                    (&stored, stored.len() as u64)
+                } else {
+                    (&content, e.len as u64)
+                };
+                let fp = chunk.fingerprint.unwrap_or_else(|| {
+                    let f = Fingerprint::of(hashed);
+                    if compressed_domain && encoded {
+                        f.into_compressed_domain()
+                    } else {
+                        f
+                    }
+                });
                 self.metrics.fp_full_calls.inc();
-                let fp_cost = self.fingerprint_cost(meta_node, e.len as u64);
+                self.metrics.fp_full_hash_bytes.add(hashed_len);
+                let fp_cost = self.fingerprint_cost(meta_node, hashed_len);
                 costs.push(self.label("flush.fingerprint_cpu", fp_cost));
                 (fp, None)
             };
@@ -1798,14 +1968,16 @@ impl DedupStore {
                         BackRef::new(self.metadata_pool, name.clone(), e.offset),
                     ));
                 }
-                // (4–5) Store or reference the chunk in the chunk pool.
+                // (4–5) Store or reference the chunk in the chunk pool
+                // (the stored bytes: compressed form when encode kept it).
                 let t = self.store_chunk(
                     ClientId::INTERNAL,
                     fp,
-                    content.clone(),
+                    stored.clone(),
                     &name,
                     e.offset,
                     sig,
+                    encoded.then_some(content.len() as u64),
                 )?;
                 match t.value {
                     ChunkStoreOutcome::Created => report.chunks_created += 1,
@@ -1813,13 +1985,19 @@ impl DedupStore {
                         report.chunks_deduped += 1
                     }
                 }
-                // Data travels metadata node → chunk pool.
+                // Data travels metadata node → chunk pool — the stored
+                // (possibly compressed) bytes when the plane is on.
+                let hop_bytes = if compress_enabled {
+                    stored.len() as u64
+                } else {
+                    e.len as u64
+                };
                 let chunk_name = ObjectName::new(fp.to_object_name());
                 let chunk_node = self.primary_node(self.chunk_pool, &chunk_name)?;
                 let hop = self
                     .cluster
                     .perf()
-                    .node_to_node(meta_node, chunk_node, e.len as u64);
+                    .node_to_node(meta_node, chunk_node, hop_bytes);
                 costs.push(self.label("flush.chunk_hop", hop));
                 costs.push(self.label("flush.chunk_store", t.cost));
             }
@@ -1870,6 +2048,20 @@ impl DedupStore {
             }
             costs[slot] = self.label("flush.deref", t.cost);
         }
+        if chunks_compressed > 0 {
+            if let Some(ev) = &self.events {
+                ev.emit(
+                    Severity::Info,
+                    "engine.compress",
+                    "chunks_compressed",
+                    vec![
+                        ("object", name.as_str().to_string()),
+                        ("compressed", chunks_compressed.to_string()),
+                        ("stored_raw", chunks_stored_raw.to_string()),
+                    ],
+                );
+            }
+        }
         self.finish_clean(&name);
         self.record_flush_report(&report);
         Ok(Some(Timed::new(report, CostExpr::seq(costs))))
@@ -1898,6 +2090,11 @@ impl DedupStore {
     ///
     /// Returns the target fingerprint plus the signature for
     /// [`DedupStore::store_chunk`] to index on creation.
+    ///
+    /// `content` is in the configured fingerprint domain (raw bytes, or
+    /// stored bytes under [`FingerprintDomain::Compressed`]);
+    /// `tag_compressed` marks a compressed stream so a fallback hash
+    /// lands in the compressed fingerprint namespace.
     #[allow(clippy::too_many_arguments)]
     fn resolve_chunk_target(
         &self,
@@ -1905,6 +2102,7 @@ impl DedupStore {
         staged_fp: Option<Fingerprint>,
         content: &Bytes,
         len: u64,
+        tag_compressed: bool,
         meta_node: usize,
         staged_at: SimTime,
         costs: &mut Vec<CostExpr>,
@@ -1924,8 +2122,16 @@ impl DedupStore {
             return Ok((Fingerprint::mint_weak(&sig, seq), Some(sig)));
         }
         // Collision (or stage 2 hashed already): pay the full fingerprint.
-        let full = staged_fp.unwrap_or_else(|| Fingerprint::of(content));
+        let full = staged_fp.unwrap_or_else(|| {
+            let f = Fingerprint::of(content);
+            if tag_compressed {
+                f.into_compressed_domain()
+            } else {
+                f
+            }
+        });
         self.metrics.fp_full_calls.inc();
+        self.metrics.fp_full_hash_bytes.add(len);
         let fp_cost = self.fingerprint_cost(meta_node, len);
         costs.push(self.label("flush.fingerprint_cpu", fp_cost));
         for cand in cands {
@@ -1953,7 +2159,7 @@ impl DedupStore {
         costs: &mut Vec<CostExpr>,
     ) -> Result<Option<Fingerprint>, DedupError> {
         let chunk_name = ObjectName::new(stored.to_object_name());
-        let len = match self.cluster.stat(self.chunk_pool, &chunk_name)? {
+        let extent = match self.cluster.stat(self.chunk_pool, &chunk_name)? {
             Some(len) => len,
             None => {
                 self.index.drop_candidate(sig, stored);
@@ -1961,10 +2167,31 @@ impl DedupStore {
             }
         };
         let cctx = self.chunk_ctx(ClientId::INTERNAL);
-        let t = self.cluster.read_at(&cctx, &chunk_name, 0, len)?;
-        costs.push(self.label("flush.upgrade_read", t.cost));
-        let full = Fingerprint::of(&t.value);
+        let compressed_domain = self.config.compression.enabled
+            && self.config.compression.domain == FingerprintDomain::Compressed;
+        let (full, len) = if compressed_domain {
+            // Compressed domain: the full name covers the *stored* bytes,
+            // tagged into the compressed namespace when those bytes are a
+            // compressed stream.
+            let t = self.cluster.read_at(&cctx, &chunk_name, 0, extent)?;
+            costs.push(self.label("flush.upgrade_read", t.cost));
+            let f = Fingerprint::of(&t.value);
+            let f = if self.chunk_raw_len(&cctx, &chunk_name)?.is_some() {
+                f.into_compressed_domain()
+            } else {
+                f
+            };
+            (f, extent)
+        } else {
+            // Raw domain: hash the logical payload (decompressing a
+            // compressed-stored candidate first).
+            let logical = self.chunk_extent(&cctx, &chunk_name)?.unwrap_or(extent);
+            let t = self.read_chunk_at(&cctx, &chunk_name, 0, logical)?;
+            costs.push(self.label("flush.upgrade_read", t.cost));
+            (Fingerprint::of(&t.value), logical)
+        };
         costs.push(self.label("flush.upgrade_cpu", self.fingerprint_cost(meta_node, len)));
+        self.metrics.fp_full_hash_bytes.add(len);
         self.index.memoize_full(sig, stored, full);
         self.metrics.fp_upgrades.inc();
         Ok(Some(full))
@@ -2233,6 +2460,11 @@ impl DedupStore {
         self.bloom_warned.store(false, Ordering::Relaxed);
         let tiered = self.config.tiered_fingerprint
             || !matches!(self.config.chunk_index, crate::config::ChunkIndexKind::Flat);
+        // Signatures must be re-derived over the same bytes the live
+        // pipeline signs: stored bytes under the compressed fingerprint
+        // domain, logical (decompressed) bytes otherwise.
+        let compressed_domain = self.config.compression.enabled
+            && self.config.compression.domain == FingerprintDomain::Compressed;
         let cctx = self.chunk_ctx(ClientId::INTERNAL);
         let mut seeded = 0;
         let mut max_weak = 0u64;
@@ -2241,15 +2473,25 @@ impl DedupStore {
                 continue;
             };
             let sig = if tiered {
-                let len = self
-                    .cluster
-                    .stat(self.chunk_pool, &chunk_name)?
-                    .unwrap_or(0);
-                if len == 0 {
-                    Some(ChunkSig::of(&[]))
+                if compressed_domain {
+                    let len = self
+                        .cluster
+                        .stat(self.chunk_pool, &chunk_name)?
+                        .unwrap_or(0);
+                    if len == 0 {
+                        Some(ChunkSig::of(&[]))
+                    } else {
+                        let t = self.cluster.read_at(&cctx, &chunk_name, 0, len)?;
+                        Some(ChunkSig::of(&t.value))
+                    }
                 } else {
-                    let t = self.cluster.read_at(&cctx, &chunk_name, 0, len)?;
-                    Some(ChunkSig::of(&t.value))
+                    let len = self.chunk_extent(&cctx, &chunk_name)?.unwrap_or(0);
+                    if len == 0 {
+                        Some(ChunkSig::of(&[]))
+                    } else {
+                        let t = self.read_chunk_at(&cctx, &chunk_name, 0, len)?;
+                        Some(ChunkSig::of(&t.value))
+                    }
                 }
             } else {
                 None

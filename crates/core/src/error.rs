@@ -31,6 +31,14 @@ pub enum DedupError {
         /// The chunk object with no refcount metadata.
         chunk: String,
     },
+    /// A compressed-stored chunk object's payload failed to decode — its
+    /// stored bytes are not a valid compressed stream for the raw length
+    /// its xattr declares (data corruption beyond the pools' fault
+    /// tolerance).
+    CorruptCompressedChunk {
+        /// The chunk object whose payload would not decompress.
+        chunk: String,
+    },
 }
 
 impl fmt::Display for DedupError {
@@ -45,6 +53,9 @@ impl fmt::Display for DedupError {
             }
             DedupError::MissingRefcount { chunk } => {
                 write!(f, "chunk {chunk} exists but has no refcount metadata")
+            }
+            DedupError::CorruptCompressedChunk { chunk } => {
+                write!(f, "compressed chunk {chunk} failed to decode")
             }
         }
     }

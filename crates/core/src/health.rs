@@ -257,6 +257,67 @@ impl HealthCheck for QueueHealth<'_> {
     }
 }
 
+/// Effective compression ratio (ppm, physical/logical) at or above which
+/// the compression plane is burning CPU without reclaiming capacity.
+const COMPRESS_INEFFECTIVE_RATIO_PPM: u64 = 950_000;
+/// Minimum bytes pushed through the compressor before the ratio verdict
+/// is statistically meaningful.
+const COMPRESS_MIN_ATTEMPTED_BYTES: u64 = 1 << 20;
+
+/// Compression-effectiveness probe: when the inline compression plane is
+/// enabled but the data does not compress (effective physical/logical
+/// ratio at or above [`COMPRESS_INEFFECTIVE_RATIO_PPM`] after at least
+/// [`COMPRESS_MIN_ATTEMPTED_BYTES`] attempted), every flush is paying
+/// compressor CPU for no capacity return — the plane should be turned
+/// off for this workload. Inactive while compression is disabled.
+pub struct CompressionHealth<'a> {
+    store: &'a DedupStore,
+}
+
+impl<'a> CompressionHealth<'a> {
+    /// Probes `store`'s lifetime compression counters.
+    pub fn new(store: &'a DedupStore) -> Self {
+        CompressionHealth { store }
+    }
+}
+
+impl HealthCheck for CompressionHealth<'_> {
+    fn component(&self) -> &str {
+        "engine.compress"
+    }
+
+    fn check(&self, _now: SimTime) -> Vec<HealthFinding> {
+        if !self.store.config().compression.enabled {
+            return Vec::new();
+        }
+        let m = self.store.metrics();
+        let attempted = m.compress_attempted_bytes.get();
+        if attempted < COMPRESS_MIN_ATTEMPTED_BYTES {
+            return Vec::new();
+        }
+        // `compress_raw_bytes` is the logical size of chunks that kept
+        // their compressed form; everything else fell back to verbatim
+        // storage, so the effective physical footprint is the kept
+        // compressed bytes plus the logical size of the fallbacks.
+        let raw = m.compress_raw_bytes.get();
+        let physical = m.compress_stored_bytes.get() + attempted.saturating_sub(raw);
+        let ratio_ppm = physical.saturating_mul(1_000_000) / attempted.max(1);
+        if ratio_ppm < COMPRESS_INEFFECTIVE_RATIO_PPM {
+            return Vec::new();
+        }
+        vec![HealthFinding::new(
+            "engine.compress",
+            HealthStatus::Degraded,
+            "compression_ineffective",
+            format!(
+                "inline compression is not paying: {physical} physical B for {attempted} logical B \
+                 ({ratio_ppm} ppm, degraded >= {COMPRESS_INEFFECTIVE_RATIO_PPM} ppm) — \
+                 workload is incompressible, consider disabling the plane"
+            ),
+        )]
+    }
+}
+
 /// Rate-control pressure probe: band 2 means foreground IOPS exceeded
 /// the high watermark and dedup is throttled hardest — sustained, the
 /// dirty backlog only grows.
@@ -302,9 +363,15 @@ impl DedupStore {
         let shards = ShardHealth::new(self);
         let queue = QueueHealth::new(self);
         let rate = RateHealth::new(self);
+        let compress = CompressionHealth::new(self);
         let osd = OsdHealth::new(self.cluster());
         let wal = WalHealth::new(self.cluster());
-        HealthReport::collect(now, &[&bloom, &index, &shards, &queue, &rate, &osd, &wal])
+        HealthReport::collect(
+            now,
+            &[
+                &bloom, &index, &shards, &queue, &rate, &compress, &osd, &wal,
+            ],
+        )
     }
 }
 
@@ -354,6 +421,52 @@ mod tests {
         // Flush; next probe sees progress and clears.
         let _ = s.flush_all(now).expect("flush");
         assert!(QueueHealth::new(&s).check(now).is_empty());
+    }
+
+    #[test]
+    fn compression_probe_inactive_when_disabled_and_quiet_when_paying() {
+        // Disabled plane: never reports, whatever the data looks like.
+        let mut s = store();
+        let name = ObjectName::new("obj");
+        let _ = s
+            .write(ClientId(0), &name, 0, vec![0u8; 1 << 21], SimTime::ZERO)
+            .expect("write");
+        let _ = s.flush_all(SimTime::ZERO).expect("flush");
+        assert!(CompressionHealth::new(&s).check(SimTime::ZERO).is_empty());
+
+        // Enabled on compressible data: the ratio is good, stay quiet.
+        let mut s = store_with(DedupConfig::with_chunk_size(4096).compress());
+        let _ = s
+            .write(ClientId(0), &name, 0, vec![0u8; 1 << 21], SimTime::ZERO)
+            .expect("write");
+        let _ = s.flush_all(SimTime::ZERO).expect("flush");
+        assert!(s.metrics().compress_attempted_bytes.get() >= 1 << 20);
+        assert!(CompressionHealth::new(&s).check(SimTime::ZERO).is_empty());
+    }
+
+    #[test]
+    fn compression_probe_degrades_on_incompressible_workload() {
+        let mut s = store_with(DedupConfig::with_chunk_size(4096).compress());
+        // Pseudorandom payload: no repeated windows for the compressor
+        // to exploit, so every chunk falls back to raw storage.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let data: Vec<u8> = (0..(2usize << 20))
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect();
+        let name = ObjectName::new("rand");
+        let _ = s
+            .write(ClientId(0), &name, 0, data, SimTime::ZERO)
+            .expect("write");
+        let _ = s.flush_all(SimTime::ZERO).expect("flush");
+        let findings = CompressionHealth::new(&s).check(SimTime::ZERO);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].code, "compression_ineffective");
+        assert_eq!(findings[0].status, HealthStatus::Degraded);
     }
 
     #[test]

@@ -71,8 +71,8 @@ pub use baseline::{global_ratio, local_ratio, RatioAnalysis};
 pub use bloom::BloomConfig;
 pub use chunkmap::{ChunkMapEntry, CHUNK_MAP_ENTRY_BYTES};
 pub use config::{
-    CachePolicy, ChunkIndexKind, DedupConfig, DedupMode, HitSetConfig, TieredIndexConfig,
-    Watermarks,
+    CachePolicy, ChunkIndexKind, CompressionConfig, CompressionCostModel, DedupConfig, DedupMode,
+    FingerprintDomain, HitSetConfig, TieredIndexConfig, Watermarks,
 };
 pub use crashpoint::{
     enumerate_crash_points, plan_for, rebuilt_store, wal_store, CrashPoint, CrashTopology,
@@ -81,12 +81,14 @@ pub use engine::{
     shard_index, CrashRecoveryReport, DedupStore, EngineStats, FailurePoint, FlushReport, GcReport,
 };
 pub use error::DedupError;
-pub use health::{BloomHealth, IndexHealth, QueueHealth, RateHealth, ShardHealth, StallState};
+pub use health::{
+    BloomHealth, CompressionHealth, IndexHealth, QueueHealth, RateHealth, ShardHealth, StallState,
+};
 pub use hitset::{BloomFilter, HitSet};
 pub use index::{build_index, CandidateRef, ChunkIndex, FlatChunkIndex, IndexStats, TieredIndex};
 pub use pipeline::{fingerprint_batch, StagedBatch, StagedChunk, StagedObject};
 pub use queue::{DirtyQueue, DirtyTicket};
 pub use ratecontrol::RateController;
-pub use refs::{BackRef, REFCOUNT_XATTR, REF_ENTRY_BYTES};
+pub use refs::{BackRef, COMPRESS_XATTR, REFCOUNT_XATTR, REF_ENTRY_BYTES};
 pub use service::DedupService;
-pub use stats::{CapacitySample, SpaceReport};
+pub use stats::{CapacitySample, CompressionReport, SpaceReport};

@@ -109,8 +109,30 @@ pub(crate) struct EngineMetrics {
     /// where false positives start climbing steeply. One increment per
     /// crossing (reset by an index rebuild).
     pub bloom_overfill: Counter,
+    /// Chunks run through the inline compressor on the flush path.
+    pub compress_attempted_chunks: Counter,
+    /// Raw bytes run through the inline compressor on the flush path.
+    pub compress_attempted_bytes: Counter,
+    /// Chunks stored in compressed form (the encode beat the ratio
+    /// threshold).
+    pub compress_stored_chunks: Counter,
+    /// Chunks stored raw because compression did not pay — the zero-copy
+    /// CoW fast path.
+    pub compress_raw_fallbacks: Counter,
+    /// Logical (pre-compression) bytes of chunks stored compressed.
+    pub compress_raw_bytes: Counter,
+    /// Physical (compressed) bytes of chunks stored compressed.
+    pub compress_stored_bytes: Counter,
+    /// Chunk reads that decoded a compressed-stored payload.
+    pub compress_decompressed_chunks: Counter,
+    /// Raw bytes produced by read-path decompression.
+    pub compress_decompressed_bytes: Counter,
     /// Full content fingerprints computed on the flush path.
     pub fp_full_calls: Counter,
+    /// Bytes run through full content fingerprints on the flush path
+    /// (stored bytes in the compressed fingerprint domain — the series
+    /// that shows post-compression hashing touching fewer bytes).
+    pub fp_full_hash_bytes: Counter,
     /// Cheap chunk signatures computed on the flush path (tiered pipeline).
     pub fp_sig_calls: Counter,
     /// Chunks proven globally unique by signature miss — the full
@@ -186,7 +208,16 @@ impl EngineMetrics {
             bloom_misses: registry.counter("engine.chunkmap.bloom_misses"),
             bloom_fill_ratio: registry.gauge("engine.chunkmap.bloom_fill_ratio"),
             bloom_overfill: registry.counter("engine.chunkmap.bloom_overfill_warnings"),
+            compress_attempted_chunks: registry.counter("engine.compress.attempted_chunks"),
+            compress_attempted_bytes: registry.counter("engine.compress.attempted_bytes"),
+            compress_stored_chunks: registry.counter("engine.compress.stored_chunks"),
+            compress_raw_fallbacks: registry.counter("engine.compress.raw_fallbacks"),
+            compress_raw_bytes: registry.counter("engine.compress.raw_bytes"),
+            compress_stored_bytes: registry.counter("engine.compress.stored_bytes"),
+            compress_decompressed_chunks: registry.counter("engine.compress.decompressed_chunks"),
+            compress_decompressed_bytes: registry.counter("engine.compress.decompressed_bytes"),
             fp_full_calls: registry.counter("engine.fp.full_calls"),
+            fp_full_hash_bytes: registry.counter("engine.fp.full_hash_bytes"),
             fp_sig_calls: registry.counter("engine.fp.sig_calls"),
             fp_skipped_unique: registry.counter("engine.fp.skipped_unique"),
             fp_upgrades: registry.counter("engine.fp.upgrades"),

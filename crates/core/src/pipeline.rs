@@ -26,12 +26,15 @@
 //! `CostExpr` sequence the serial implementation produced — only
 //! wall-clock time improves. Figure and table outputs are bit-identical.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
+
 use bytes::Bytes;
 use dedup_fingerprint::{ChunkSig, Fingerprint};
 use dedup_sim::{CostExpr, SimTime};
 use dedup_store::ObjectName;
 
 use crate::chunkmap::ChunkMapEntry;
+use crate::config::{CompressionConfig, FingerprintDomain};
 use crate::queue::DirtyTicket;
 
 /// One dirty chunk staged for flushing: its chunk-map entry and fully
@@ -58,6 +61,20 @@ pub struct StagedChunk {
     /// collision that appears later is still caught — this flag is purely
     /// a work-avoidance hint, never a correctness gate).
     pub(crate) fingerprint_wanted: bool,
+    /// Compressed form of `content`, produced by the encode half of
+    /// stage 2 when inline compression is on **and** compression paid off
+    /// under the configured ratio threshold. `None` means the chunk is
+    /// stored raw — the zero-copy CoW fast path keeps the original
+    /// `content` view untouched.
+    pub(crate) encoded: Option<Bytes>,
+}
+
+impl StagedChunk {
+    /// The bytes the chunk pool will actually store: the compressed form
+    /// when the encode stage kept it, the original content view otherwise.
+    pub(crate) fn stored(&self) -> &Bytes {
+        self.encoded.as_ref().unwrap_or(&self.content)
+    }
 }
 
 /// One metadata object staged for flushing.
@@ -133,15 +150,47 @@ impl StagedBatch {
     }
 }
 
-/// Stage 2: fingerprints every staged chunk in `batch`, hashing across a
-/// scoped pool of up to `parallelism` worker threads.
+/// Stage 2: encodes (when inline compression is on) and fingerprints
+/// every staged chunk in `batch`, working across a scoped pool of up to
+/// `parallelism` worker threads.
 ///
 /// Needs no engine state, so callers holding a [`crate::DedupStore`]
 /// behind a lock can (and should) run it with the lock released. The
-/// virtual-time CPU cost of hashing is *not* recorded here — the commit
-/// stage charges it to the metadata node exactly as the serial engine
-/// did, so parallelism never perturbs simulated results.
-pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
+/// virtual-time CPU cost of hashing and compressing is *not* recorded
+/// here — the commit stage charges it to the metadata node exactly as the
+/// serial engine did, so parallelism never perturbs simulated results.
+///
+/// With compression enabled, every non-empty chunk is compressed here;
+/// the compressed form is kept only if it beats the configured ratio
+/// threshold, otherwise the chunk stays a zero-copy view of its original
+/// content ([`StagedChunk::stored`]). In the
+/// [`FingerprintDomain::Compressed`] domain, fingerprints (and tiered
+/// chunk signatures) are computed over the stored bytes, with
+/// compressed-stored chunks tagged into their own fingerprint namespace.
+pub fn fingerprint_batch(
+    batch: &mut StagedBatch,
+    parallelism: usize,
+    tiered: bool,
+    compression: &CompressionConfig,
+) {
+    if compression.enabled {
+        encode_batch(batch, parallelism, compression);
+    }
+    let compressed_domain =
+        compression.enabled && compression.domain == FingerprintDomain::Compressed;
+    if compressed_domain && tiered {
+        // Stage 1 could not sign these chunks (signatures cover stored
+        // bytes, unknown before encode); sign them now so commit can
+        // probe the index under the lock. Full fingerprints stay unpaid
+        // unless commit's probe finds a candidate collision.
+        for obj in &mut batch.objects {
+            for chunk in &mut obj.chunks {
+                if chunk.sig.is_none() {
+                    chunk.sig = Some(ChunkSig::of(chunk.stored()));
+                }
+            }
+        }
+    }
     // Tiered mode leaves `fingerprint_wanted` false for chunks whose
     // stage-time signature probe proved no stored chunk can match — those
     // skip hashing entirely. Classic mode wants every chunk.
@@ -150,7 +199,13 @@ pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
         .iter()
         .flat_map(|o| o.chunks.iter())
         .filter(|c| c.fingerprint_wanted)
-        .map(|c| &c.content[..])
+        .map(|c| {
+            if compressed_domain {
+                &c.stored()[..]
+            } else {
+                &c.content[..]
+            }
+        })
         .collect();
     if contents.is_empty() {
         return;
@@ -159,7 +214,66 @@ pub fn fingerprint_batch(batch: &mut StagedBatch, parallelism: usize) {
     let mut it = fps.into_iter();
     for obj in &mut batch.objects {
         for chunk in obj.chunks.iter_mut().filter(|c| c.fingerprint_wanted) {
-            chunk.fingerprint = Some(it.next().expect("one fingerprint per wanted chunk"));
+            let fp = it.next().expect("one fingerprint per wanted chunk");
+            chunk.fingerprint = Some(if compressed_domain && chunk.encoded.is_some() {
+                fp.into_compressed_domain()
+            } else {
+                fp
+            });
+        }
+    }
+}
+
+/// The encode half of stage 2: compresses every non-empty staged chunk
+/// across a scoped worker pool and keeps each compressed form only when
+/// `compressed_len * 1_000_000 <= raw_len * max_ratio_ppm`. Results are
+/// deterministic at any parallelism.
+fn encode_batch(batch: &mut StagedBatch, parallelism: usize, compression: &CompressionConfig) {
+    let mut slots: Vec<&mut StagedChunk> = batch
+        .objects
+        .iter_mut()
+        .flat_map(|o| o.chunks.iter_mut())
+        .filter(|c| !c.content.is_empty())
+        .collect();
+    if slots.is_empty() {
+        return;
+    }
+    let contents: Vec<&[u8]> = slots.iter().map(|c| &c.content[..]).collect();
+    let workers = parallelism.max(1).min(contents.len());
+    let encoded: Vec<Vec<u8>> = if workers <= 1 {
+        contents
+            .iter()
+            .map(|d| dedup_compress::compress(d))
+            .collect()
+    } else {
+        let cursor = AtomicUsize::new(0);
+        crossbeam::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    s.spawn(|_| {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = cursor.fetch_add(1, Ordering::Relaxed);
+                            let Some(item) = contents.get(i) else { break };
+                            out.push((i, dedup_compress::compress(item)));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            let mut result = vec![Vec::new(); contents.len()];
+            for h in handles {
+                for (i, enc) in h.join().expect("compression worker") {
+                    result[i] = enc;
+                }
+            }
+            result
+        })
+        .expect("compression pool")
+    };
+    for (slot, enc) in slots.iter_mut().zip(encoded) {
+        if enc.len() as u64 * 1_000_000 <= slot.content.len() as u64 * compression.max_ratio_ppm {
+            slot.encoded = Some(Bytes::from(enc));
         }
     }
 }
@@ -186,8 +300,21 @@ mod tests {
                     fingerprint: None,
                     sig: None,
                     fingerprint_wanted: true,
+                    encoded: None,
                 })
                 .collect(),
+        }
+    }
+
+    fn off() -> CompressionConfig {
+        CompressionConfig::default()
+    }
+
+    fn on(domain: FingerprintDomain) -> CompressionConfig {
+        CompressionConfig {
+            enabled: true,
+            domain,
+            ..CompressionConfig::default()
         }
     }
 
@@ -208,7 +335,7 @@ mod tests {
                     c.fingerprint = None;
                 }
             }
-            fingerprint_batch(&mut batch, parallelism);
+            fingerprint_batch(&mut batch, parallelism, false, &off());
             assert_eq!(
                 batch.objects[0].chunks[0].fingerprint,
                 Some(Fingerprint::of(b"alpha"))
@@ -227,7 +354,7 @@ mod tests {
     #[test]
     fn empty_batch_is_a_noop() {
         let mut batch = StagedBatch::default();
-        fingerprint_batch(&mut batch, 8);
+        fingerprint_batch(&mut batch, 8, false, &off());
         assert!(batch.is_empty());
     }
 
@@ -238,7 +365,7 @@ mod tests {
             ..Default::default()
         };
         batch.objects[0].chunks[1].fingerprint_wanted = false;
-        fingerprint_batch(&mut batch, 2);
+        fingerprint_batch(&mut batch, 2, false, &off());
         assert_eq!(
             batch.objects[0].chunks[0].fingerprint,
             Some(Fingerprint::of(b"alpha"))
@@ -248,5 +375,69 @@ mod tests {
             batch.objects[0].chunks[2].fingerprint,
             Some(Fingerprint::of(b"gamma"))
         );
+    }
+
+    #[test]
+    fn encode_keeps_compressible_drops_incompressible() {
+        let compressible = b"the quick brown fox ".repeat(200);
+        let mut state = 0xDEADu64;
+        let random: Vec<u8> = (0..4096)
+            .map(|_| {
+                state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+                (state >> 33) as u8
+            })
+            .collect();
+        for parallelism in [1, 4] {
+            let mut batch = StagedBatch {
+                objects: vec![staged("a", &[&compressible, &random, b""])],
+                ..Default::default()
+            };
+            fingerprint_batch(&mut batch, parallelism, false, &on(FingerprintDomain::Raw));
+            let chunks = &batch.objects[0].chunks;
+            assert!(chunks[0].encoded.is_some(), "compressible chunk encodes");
+            assert!(
+                chunks[0].stored().len() < compressible.len(),
+                "encoded form is smaller"
+            );
+            assert!(chunks[1].encoded.is_none(), "random chunk stays raw");
+            assert!(chunks[2].encoded.is_none(), "empty chunk stays raw");
+            // Raw domain: fingerprints still cover the raw content.
+            assert_eq!(chunks[0].fingerprint, Some(Fingerprint::of(&compressible)));
+            assert_eq!(chunks[1].fingerprint, Some(Fingerprint::of(&random)));
+        }
+    }
+
+    #[test]
+    fn compressed_domain_hashes_stored_bytes() {
+        let compressible = b"setting=value\npath=/usr/lib\n".repeat(150);
+        let mut batch = StagedBatch {
+            objects: vec![staged("a", &[&compressible])],
+            ..Default::default()
+        };
+        fingerprint_batch(&mut batch, 2, false, &on(FingerprintDomain::Compressed));
+        let chunk = &batch.objects[0].chunks[0];
+        let stored = chunk.encoded.clone().expect("compresses");
+        assert_eq!(
+            chunk.fingerprint,
+            Some(Fingerprint::of(&stored).into_compressed_domain()),
+            "fingerprint covers the compressed bytes, tagged"
+        );
+    }
+
+    #[test]
+    fn compressed_domain_signs_stored_bytes_for_tiered_commit() {
+        let compressible = b"tiered sig body ".repeat(100);
+        let mut batch = StagedBatch {
+            objects: vec![staged("a", &[&compressible])],
+            ..Default::default()
+        };
+        // Tiered + compressed domain: stage 1 leaves sig unset and the
+        // fingerprint unwanted; stage 2 signs the stored bytes.
+        batch.objects[0].chunks[0].fingerprint_wanted = false;
+        fingerprint_batch(&mut batch, 1, true, &on(FingerprintDomain::Compressed));
+        let chunk = &batch.objects[0].chunks[0];
+        let stored = chunk.encoded.clone().expect("compresses");
+        assert_eq!(chunk.sig, Some(ChunkSig::of(&stored)));
+        assert_eq!(chunk.fingerprint, None, "full hash stays unpaid");
     }
 }

@@ -19,6 +19,24 @@ pub const REF_ENTRY_BYTES: usize = 64;
 /// The xattr key holding the reference count.
 pub const REFCOUNT_XATTR: &str = "dedup.refcount";
 
+/// The xattr key marking a chunk object whose payload is stored
+/// compressed. The value is the chunk's *raw* (logical) length as little
+/// endian `u64`; the object's stored extent is the physical (compressed)
+/// length. Absent xattr means the payload is raw — stored-raw chunks are
+/// byte-identical to chunks written with compression off, so mixed pools
+/// read correctly without a format flag on the common path.
+pub const COMPRESS_XATTR: &str = "dedup.compress.raw_len";
+
+/// Encodes the raw (pre-compression) length for [`COMPRESS_XATTR`].
+pub fn encode_raw_len(len: u64) -> Vec<u8> {
+    len.to_le_bytes().to_vec()
+}
+
+/// Decodes a [`COMPRESS_XATTR`] value; `None` if malformed.
+pub fn decode_raw_len(value: &[u8]) -> Option<u64> {
+    Some(u64::from_le_bytes(value.try_into().ok()?))
+}
+
 const KEY_PREFIX: &str = "ref.";
 
 /// A back reference from a chunk object to one metadata-object chunk slot.
@@ -125,6 +143,14 @@ mod tests {
         assert!(BackRef::decode_key("ref.zz.00.x").is_none());
         assert!(!BackRef::is_ref_key("chunk.0"));
         assert!(BackRef::is_ref_key(&backref().key()));
+    }
+
+    #[test]
+    fn raw_len_round_trips() {
+        for l in [0u64, 1, 4096, u64::MAX] {
+            assert_eq!(decode_raw_len(&encode_raw_len(l)), Some(l));
+        }
+        assert_eq!(decode_raw_len(&[1, 2, 3]), None);
     }
 
     #[test]

@@ -153,6 +153,15 @@ impl DedupService {
                 s.events().cloned(),
             )
         };
+        // Stage-2 knobs, captured once: config is immutable while the
+        // service owns the store.
+        let (tiered, compression) = {
+            let s = store.read();
+            (
+                s.config().tiered_fingerprint,
+                s.config().compression,
+            )
+        };
         let worker_store = Arc::clone(&store);
         let worker_state = Arc::clone(&state);
         let worker = std::thread::Builder::new()
@@ -231,7 +240,7 @@ impl DedupService {
                                 };
                                 let clean = batch.clean();
                                 let fp_start = std::time::Instant::now();
-                                fingerprint_batch(&mut batch, parallelism);
+                                fingerprint_batch(&mut batch, parallelism, tiered, &compression);
                                 let fp_ns = fp_start.elapsed().as_nanos() as u64;
                                 fingerprint_wall.record(fp_ns);
                                 if let Some(t) = &tracer {

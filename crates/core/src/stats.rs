@@ -94,6 +94,76 @@ impl DedupStore {
     }
 }
 
+/// Compression accounting across the chunk pool: how many chunk objects
+/// are stored compressed, and the logical-vs-physical byte split for
+/// them. Produced by [`DedupStore::compression_report`] from the
+/// [`crate::refs::COMPRESS_XATTR`] format markers, so it reflects what is
+/// actually on storage (GC'd chunks excluded), not lifetime counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CompressionReport {
+    /// Chunk objects stored in compressed form.
+    pub compressed_chunks: u64,
+    /// Chunk objects stored raw (incompressible, or written with the
+    /// plane off).
+    pub raw_chunks: u64,
+    /// Logical (pre-compression) bytes of compressed-stored chunks.
+    pub compressed_logical_bytes: u64,
+    /// Physical (stored) bytes of compressed-stored chunks.
+    pub compressed_stored_bytes: u64,
+}
+
+impl CompressionReport {
+    /// Bytes compression removed from the chunk pool (per copy).
+    pub fn saved_bytes(&self) -> u64 {
+        self.compressed_logical_bytes
+            .saturating_sub(self.compressed_stored_bytes)
+    }
+
+    /// Physical/logical ratio over compressed-stored chunks in
+    /// parts-per-million; 1,000,000 when nothing is compressed.
+    pub fn ratio_ppm(&self) -> u64 {
+        if self.compressed_logical_bytes == 0 {
+            return 1_000_000;
+        }
+        self.compressed_stored_bytes
+            .saturating_mul(1_000_000)
+            .div_euclid(self.compressed_logical_bytes)
+    }
+}
+
+impl DedupStore {
+    /// Takes a [`CompressionReport`] by scanning the chunk pool's format
+    /// markers. Costs one pool scan, like the refcount histogram.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the store does.
+    pub fn compression_report(&self) -> Result<CompressionReport, DedupError> {
+        use crate::refs::{decode_raw_len, COMPRESS_XATTR};
+        use dedup_store::IoCtx;
+        let mut report = CompressionReport::default();
+        let chunk_pool = self.chunk_pool();
+        let cctx = IoCtx::new(chunk_pool);
+        for name in self.cluster().list_objects(chunk_pool)? {
+            let stored = self.cluster().stat(chunk_pool, &name)?.unwrap_or(0);
+            match self
+                .cluster()
+                .get_xattr(&cctx, &name, COMPRESS_XATTR)?
+                .value
+                .and_then(|v| decode_raw_len(&v))
+            {
+                Some(raw_len) => {
+                    report.compressed_chunks += 1;
+                    report.compressed_logical_bytes += raw_len;
+                    report.compressed_stored_bytes += stored;
+                }
+                None => report.raw_chunks += 1,
+            }
+        }
+        Ok(report)
+    }
+}
+
 impl DedupStore {
     /// Distribution of chunk reference counts: `count → number of chunk
     /// objects with that many referrers`. The shape of this histogram is
@@ -150,6 +220,10 @@ pub struct CapacitySample {
     pub gc_chunks_reclaimed: u64,
     /// Lifetime stale references dropped by GC passes.
     pub gc_stale_refs_dropped: u64,
+    /// On-storage compression accounting
+    /// ([`DedupStore::compression_report`]).
+    #[serde(default)]
+    pub compression: CompressionReport,
 }
 
 impl CapacitySample {
@@ -213,6 +287,20 @@ impl DedupStore {
             .set(shared_chunks as i64);
         reg.gauge("capacity.max_refcount").set(max_refcount as i64);
 
+        let compression = self.compression_report()?;
+        reg.gauge("capacity.compress.compressed_chunks")
+            .set(compression.compressed_chunks as i64);
+        reg.gauge("capacity.compress.raw_chunks")
+            .set(compression.raw_chunks as i64);
+        reg.gauge("capacity.compress.logical_bytes")
+            .set(compression.compressed_logical_bytes as i64);
+        reg.gauge("capacity.compress.stored_bytes")
+            .set(compression.compressed_stored_bytes as i64);
+        reg.gauge("capacity.compress.saved_bytes")
+            .set(compression.saved_bytes() as i64);
+        reg.gauge("capacity.compress.ratio_ppm")
+            .set(compression.ratio_ppm() as i64);
+
         let sample = CapacitySample {
             at_ns: now.as_nanos(),
             space,
@@ -224,6 +312,7 @@ impl DedupStore {
             fp_upgrades: self.metrics().fp_upgrades.get(),
             gc_chunks_reclaimed: self.metrics().gc_chunks_reclaimed.get(),
             gc_stale_refs_dropped: self.metrics().gc_stale_refs_dropped.get(),
+            compression,
         };
         if let Some(ev) = self.events() {
             ev.emit_at(

@@ -61,7 +61,20 @@ fn obj_name(obj: u8) -> ObjectName {
     ObjectName::new(format!("obj-{obj}"))
 }
 
+/// Seed flag selecting highly compressible content, so the compression
+/// audits exercise both stored forms (kept-compressed and raw-fallback
+/// chunks) from the same `Op::Write` vocabulary.
+const COMPRESSIBLE: u64 = 1 << 63;
+
 fn patterned(len: usize, seed: u64) -> Vec<u8> {
+    if seed & COMPRESSIBLE != 0 {
+        // Long runs with a sparse marker: compresses far below the
+        // keep-threshold while still being seed-distinct.
+        let b = ((seed >> 8) as u8) | 1;
+        return (0..len)
+            .map(|i| if i % 64 < 56 { b } else { (i % 7) as u8 })
+            .collect();
+    }
     let mut state = seed | 1;
     (0..len)
         .map(|_| {
@@ -275,10 +288,13 @@ fn model_matches(s: &DedupStore, model: &Model) -> bool {
 /// The full audit for one engine configuration: reference run, enumerate,
 /// crash everywhere, recover, verify.
 fn audit_config(config: DedupConfig, config_label: &str) {
+    audit_config_with(config, config_label, mixed_workload());
+}
+
+fn audit_config_with(config: DedupConfig, config_label: &str, ops: Vec<Op>) {
     let topology = CrashTopology::default();
 
     // Reference run: no crash plan, complete workload, journal filled.
-    let ops = mixed_workload();
     let (mut s, backend) = wal_store(topology, config.clone());
     let reference = run_workload(&mut s, &ops, config_label);
     assert!(!reference.crashed, "[{config_label}] reference run crashed");
@@ -359,6 +375,62 @@ fn every_crash_point_recovers_tiered() {
             ..Default::default()
         });
     audit_config(config, "tiered");
+}
+
+/// The mixed workload plus compressible writes, so a compression-enabled
+/// audit crashes across chunks stored in *both* forms: raw fallbacks
+/// (the LCG-patterned writes are incompressible) and kept-compressed
+/// payloads whose raw-length xattr must commit atomically with the chunk.
+fn compress_workload() -> Vec<Op> {
+    let mut ops = mixed_workload();
+    ops.insert(
+        0,
+        Op::Write {
+            obj: 3,
+            offset: 0,
+            len: 2 * CS as usize,
+            seed: COMPRESSIBLE | 7,
+        },
+    );
+    // Rewrite one compressible chunk after the first flush: the old
+    // compressed chunk gets dereferenced and GC'd like any other.
+    ops.insert(
+        4,
+        Op::Write {
+            obj: 3,
+            offset: CS as u64,
+            len: CS as usize,
+            seed: COMPRESSIBLE | 11,
+        },
+    );
+    ops
+}
+
+/// The inline compression plane under the same crash-at-every-point
+/// audit: the raw-length xattr rides the chunk-create transaction, so a
+/// crash can never leave a compressed payload that reads as raw (or vice
+/// versa), and recovery decompresses transparently.
+#[test]
+fn every_crash_point_recovers_compressed() {
+    let config = DedupConfig::with_chunk_size(CS).compress();
+    audit_config_with(config, "compressed", compress_workload());
+}
+
+/// Compressed-domain fingerprinting stacked on the tiered pipeline: the
+/// riskiest recovery path, because `rebuild_index` must re-sign chunks
+/// over their *stored* (compressed) bytes to reproduce the same weak
+/// signatures and fingerprints the pre-crash pipeline assigned.
+#[test]
+fn every_crash_point_recovers_compressed_domain_tiered() {
+    let config = DedupConfig::with_chunk_size(CS)
+        .compress()
+        .compress_domain(dedup_core::FingerprintDomain::Compressed)
+        .tiered_fingerprint()
+        .tiered_index(dedup_core::TieredIndexConfig {
+            hot_capacity: 4,
+            ..Default::default()
+        });
+    audit_config_with(config, "compressed-domain-tiered", compress_workload());
 }
 
 /// Property-style sweep: pseudo-random op sequences (LCG-driven), crash

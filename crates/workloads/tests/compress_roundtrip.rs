@@ -1,0 +1,100 @@
+//! Compressor hardening over the real workload generators.
+//!
+//! The inline compression plane feeds every flushed chunk through
+//! `dedup_compress`, so the compressor must round-trip — and respect its
+//! worst-case expansion bound — on exactly the byte distributions the
+//! experiment workloads produce: FIO-style dedup mixes, SPEC-SFS-2014-DB
+//! file sets, private-cloud VM fleets, and the VM-image set. `proptest`
+//! sweeps each generator's parameter space instead of a handful of fixed
+//! seeds.
+
+use dedup_compress::{compress, decompress, decompress_with_limit, max_compressed_len};
+use dedup_workloads::cloud::CloudSpec;
+use dedup_workloads::fio::FioSpec;
+use dedup_workloads::sfs::SfsSpec;
+use dedup_workloads::vm_images::VmImageSpec;
+use proptest::prelude::*;
+
+/// Round-trips one buffer through the compressor and checks the
+/// stored-block expansion bound and the exact-size decompress limit the
+/// engine uses (it records each chunk's raw length and decodes with
+/// `decompress_with_limit(stream, raw_len)`).
+fn check(data: &[u8]) {
+    let packed = compress(data);
+    assert!(
+        packed.len() <= max_compressed_len(data.len()),
+        "len {} expanded to {} (bound {})",
+        data.len(),
+        packed.len(),
+        max_compressed_len(data.len())
+    );
+    let got = decompress(&packed).expect("generated stream must decode");
+    assert_eq!(&got[..], data);
+    let limited = decompress_with_limit(&packed, data.len()).expect("exact limit must fit");
+    assert_eq!(&limited[..], data);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// FIO-style mixes across the dedup-fraction and block-size axes.
+    #[test]
+    fn fio_datasets_round_trip(
+        seed in any::<u64>(),
+        dup_pct in 0u32..=100,
+        block_shift in 12u32..=15, // 4 KiB..32 KiB
+    ) {
+        let spec = FioSpec::new(256 * 1024, dup_pct as f64 / 100.0)
+            .block_size(1 << block_shift)
+            .object_size(64 * 1024)
+            .seed(seed);
+        for (_, data) in spec.dataset().iter_refs() {
+            check(data);
+        }
+    }
+
+    /// SPEC-SFS-2014-DB-style file sets across load levels.
+    #[test]
+    fn sfs_datasets_round_trip(seed in any::<u64>(), load in 1u32..=4) {
+        let spec = SfsSpec::with_load(load)
+            .files(6, 32 * 1024)
+            .seed(seed);
+        for (_, data) in spec.dataset().iter_refs() {
+            check(data);
+        }
+    }
+
+    /// Private-cloud VM fleets (mixed shared/unique block content).
+    #[test]
+    fn cloud_datasets_round_trip(seed in any::<u64>()) {
+        let spec = CloudSpec {
+            vms: 4,
+            os_images: 2,
+            common_pool_blocks: 8,
+            block_size: 8 * 1024,
+            ..CloudSpec::default()
+        }
+        .scaled(1.0 / 16.0)
+        .seed(seed);
+        for (_, data) in spec.dataset().iter_refs() {
+            check(data);
+        }
+    }
+
+    /// VM images: compressible OS region plus per-image user data, and
+    /// the incompressible user-image variant.
+    #[test]
+    fn vm_images_round_trip(seed in any::<u64>(), os_pct in 0u32..=100) {
+        let spec = VmImageSpec {
+            images: 3,
+            image_bytes: 128 * 1024,
+            os_fraction: os_pct as f64 / 100.0,
+            block_size: 16 * 1024,
+            seed,
+        };
+        for i in 0..spec.images {
+            check(&spec.image(i).data);
+            check(&spec.incompressible_user_image(i).data);
+        }
+    }
+}
